@@ -1,0 +1,343 @@
+(* dgc-sim: run configurable simulations of the back-tracing collector
+   (or a baseline) on synthetic workloads and report what happened.
+
+   Examples:
+     dgc-sim --sites 4 --workload ring --span 3 --minutes 10
+     dgc-sim --workload hypertext --churn 4 --minutes 20 --drop 0.1
+     dgc-sim --collector hughes --workload ring --crash 2
+     dgc-sim --workload random --seed 9 --verbose
+*)
+
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_rts
+open Dgc_core
+open Dgc_workload
+open Dgc_baselines
+open Cmdliner
+
+type collector_kind = Back_tracing | Global | Hughes_ts | Group | Migrate
+
+type opts = {
+  o_sites : int;
+  o_seed : int;
+  o_workload : string;
+  o_span : int;
+  o_per_site : int;
+  o_delta : int;
+  o_threshold2 : int;
+  o_interval : float;
+  o_window : float;
+  o_drop : float;
+  o_churn : int;
+  o_minutes : float;
+  o_crash : int option;
+  o_collector : collector_kind;
+  o_verbose : bool;
+  o_dot : string option;
+  o_journal : int;
+}
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let build_workload eng opts =
+  let rng = Rng.create ~seed:(opts.o_seed + 1) in
+  let sites n = List.init n Site_id.of_int in
+  match opts.o_workload with
+  | "ring" ->
+      ignore
+        (Graph_gen.ring eng ~sites:(sites opts.o_span)
+           ~per_site:opts.o_per_site ~rooted:false);
+      ignore
+        (Graph_gen.ring eng ~sites:(sites opts.o_span)
+           ~per_site:opts.o_per_site ~rooted:true)
+  | "clique" ->
+      ignore (Graph_gen.clique eng ~sites:(sites opts.o_span) ~rooted:false)
+  | "hypertext" ->
+      ignore
+        (Graph_gen.hypertext eng ~rng ~docs_per_site:3
+           ~pages_per_doc:opts.o_per_site ~cross_links:(opts.o_sites * 6)
+           ~rooted_frac:0.5)
+  | "random" ->
+      ignore
+        (Graph_gen.random_graph eng ~rng ~objects_per_site:20
+           ~out_degree:1.5 ~remote_frac:0.3 ~root_frac:0.08)
+  | w -> Fmt.failwith "unknown workload %S" w
+
+let config_of opts =
+  {
+    Config.default with
+    Config.n_sites = opts.o_sites;
+    seed = opts.o_seed;
+    delta = opts.o_delta;
+    threshold2 = opts.o_threshold2;
+    trace_interval = Sim_time.of_seconds opts.o_interval;
+    trace_jitter = Sim_time.of_seconds (opts.o_interval /. 10.);
+    trace_duration = Sim_time.of_seconds opts.o_window;
+    ext_drop = opts.o_drop;
+  }
+
+let report eng ~verbose =
+  let m = Engine.metrics eng in
+  say "-- per-site summary ----------------------------------------";
+  say "%a" Report.pp_summary eng;
+  say "%s" (Report.garbage_overview eng);
+  say "-- results ------------------------------------------------";
+  say "garbage remaining (oracle): %d" (Dgc_oracle.Oracle.garbage_count eng);
+  say "objects freed:              %d" (Metrics.get m "gc.objects_freed");
+  say "local traces:               %d" (Metrics.get m "gc.local_traces");
+  say "messages (total):           %d" (Metrics.get m "msg.total");
+  say "back traces started:        %d" (Metrics.get m "back.traces_started");
+  say "  garbage / live verdicts:  %d / %d"
+    (Metrics.get m "back.outcome_garbage")
+    (Metrics.get m "back.outcome_live");
+  say "  back-trace messages:      %d" (Metrics.get m "back.msgs");
+  if verbose then begin
+    say "-- all counters -------------------------------------------";
+    List.iter (fun (k, v) -> say "%-40s %d" k v) (Metrics.counters m)
+  end;
+  match Dgc_oracle.Oracle.table_violations eng with
+  | [] -> say "table integrity:            ok"
+  | vs ->
+      say "table integrity:            %d violations" (List.length vs);
+      if verbose then List.iter (fun v -> say "  %s" v) vs
+
+let dump_dot opts eng =
+  match opts.o_dot with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Report.to_dot eng);
+      close_out oc;
+      say "wrote object graph to %s" path
+
+let attach_journal opts eng =
+  if opts.o_journal > 0 then begin
+    let j = Journal.create ~capacity:(max 64 opts.o_journal) () in
+    Engine.attach_journal eng j
+  end
+
+let print_journal opts eng =
+  if opts.o_journal > 0 then
+    match Engine.journal eng with
+    | Some j ->
+        say "-- journal (last %d events) --------------------------------"
+          opts.o_journal;
+        List.iter
+          (fun (at, cat, text) ->
+            say "%a [%s] %s" Sim_time.pp at cat text)
+          (Journal.events ~last:opts.o_journal j)
+    | None -> ()
+
+let run opts =
+  let cfg = config_of opts in
+  say "dgc-sim: %a" Config.pp cfg;
+  let minutes = Sim_time.of_minutes opts.o_minutes in
+  (match opts.o_collector with
+  | Back_tracing ->
+      let sim = Sim.make ~cfg () in
+      let eng = sim.Sim.eng in
+      attach_journal opts eng;
+      build_workload eng opts;
+      let churn =
+        if opts.o_churn > 0 then
+          Some
+            (Churn.start sim
+               ~rng:(Rng.create ~seed:(opts.o_seed + 2))
+               ~agents:opts.o_churn
+               ~mean_op_gap:(Sim_time.of_millis 400.))
+        else None
+      in
+      Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
+      Sim.start sim;
+      Sim.run_for sim minutes;
+      Option.iter Churn.stop churn;
+      Sim.run_for sim (Sim_time.of_minutes 1.);
+      report eng ~verbose:opts.o_verbose;
+      print_journal opts eng;
+      dump_dot opts eng
+  | Global ->
+      let eng = Engine.create cfg in
+      let gt = Global_trace.install eng in
+      build_workload eng opts;
+      Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
+      Engine.start_gc_schedule eng;
+      let finished = ref false in
+      Global_trace.collect gt
+        ~on_done:(fun ~freed ~rounds ->
+          finished := true;
+          say "global collection: freed %d in %d rounds" freed rounds)
+        ();
+      Engine.run_for eng minutes;
+      if not !finished then say "global collection DID NOT FINISH";
+      report eng ~verbose:opts.o_verbose;
+      dump_dot opts eng
+  | Hughes_ts ->
+      let eng = Engine.create cfg in
+      let h = Hughes.install eng ~slack:(Sim_time.of_seconds 60.) in
+      build_workload eng opts;
+      Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
+      Engine.start_gc_schedule eng;
+      let steps =
+        int_of_float (Sim_time.to_seconds minutes /. opts.o_interval)
+      in
+      for _ = 1 to max 1 steps do
+        Engine.run_for eng (Sim_time.of_seconds opts.o_interval);
+        Hughes.run_threshold_round h ()
+      done;
+      say "hughes threshold: %.1f after %d rounds" (Hughes.threshold h)
+        (Hughes.rounds_completed h);
+      report eng ~verbose:opts.o_verbose;
+      dump_dot opts eng
+  | Group ->
+      let eng = Engine.create cfg in
+      let g = Group_trace.install eng ~max_group:opts.o_sites in
+      build_workload eng opts;
+      Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
+      Engine.start_gc_schedule eng;
+      Engine.run_for eng minutes;
+      say "groups: %d formed, %d aborted, last size %d"
+        (Group_trace.groups_formed g)
+        (Group_trace.groups_aborted g)
+        (Group_trace.last_group_size g);
+      report eng ~verbose:opts.o_verbose;
+      dump_dot opts eng
+  | Migrate ->
+      let eng = Engine.create cfg in
+      let m = Migration.install eng in
+      build_workload eng opts;
+      Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
+      Engine.start_gc_schedule eng;
+      Engine.run_for eng minutes;
+      say "migration: %d moves, %d bytes, %d multi-holder skips"
+        (Migration.migrations m) (Migration.bytes_moved m)
+        (Migration.skipped_multi_holder m);
+      report eng ~verbose:opts.o_verbose;
+      dump_dot opts eng);
+  0
+
+(* --- cmdliner ----------------------------------------------------------- *)
+
+let opts_term =
+  let open Term in
+  let sites =
+    Arg.(value & opt int 4 & info [ "sites" ] ~doc:"Number of sites.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let workload =
+    Arg.(
+      value
+      & opt string "ring"
+      & info [ "workload" ]
+          ~doc:"Workload: $(b,ring), $(b,clique), $(b,hypertext), $(b,random).")
+  in
+  let span =
+    Arg.(
+      value & opt int 3
+      & info [ "span" ] ~doc:"Sites spanned by ring/clique workloads.")
+  in
+  let per_site =
+    Arg.(
+      value & opt int 2
+      & info [ "per-site" ] ~doc:"Objects per site (ring), pages (hypertext).")
+  in
+  let delta =
+    Arg.(value & opt int 3 & info [ "delta" ] ~doc:"Suspicion threshold Δ.")
+  in
+  let threshold2 =
+    Arg.(value & opt int 6 & info [ "threshold2" ] ~doc:"Back threshold Δ2.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 10.
+      & info [ "interval" ] ~doc:"Seconds between local traces.")
+  in
+  let window =
+    Arg.(
+      value & opt float 0.
+      & info [ "window" ] ~doc:"Local-trace window seconds (0 = atomic).")
+  in
+  let drop =
+    Arg.(
+      value & opt float 0.
+      & info [ "drop" ] ~doc:"Collector-message drop probability.")
+  in
+  let churn =
+    Arg.(value & opt int 0 & info [ "churn" ] ~doc:"Mutator agents to run.")
+  in
+  let minutes =
+    Arg.(
+      value & opt float 10. & info [ "minutes" ] ~doc:"Simulated minutes.")
+  in
+  let crash =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash" ] ~doc:"Crash this site id for the whole run.")
+  in
+  let collector =
+    let kinds =
+      [
+        ("back", Back_tracing);
+        ("global", Global);
+        ("hughes", Hughes_ts);
+        ("group", Group);
+        ("migration", Migrate);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum kinds) Back_tracing
+      & info [ "collector" ]
+          ~doc:"Collector: $(b,back), $(b,global), $(b,hughes), $(b,group), \
+                $(b,migration).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Dump all counters.")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~doc:"Write the final object graph as Graphviz dot.")
+  in
+  let journal =
+    Arg.(
+      value & opt int 0
+      & info [ "journal" ]
+          ~doc:"Record a bounded event journal and print its last N events.")
+  in
+  let make o_sites o_seed o_workload o_span o_per_site o_delta o_threshold2
+      o_interval o_window o_drop o_churn o_minutes o_crash o_collector
+      o_verbose o_dot o_journal =
+    {
+      o_sites;
+      o_seed;
+      o_workload;
+      o_span;
+      o_per_site;
+      o_delta;
+      o_threshold2;
+      o_interval;
+      o_window;
+      o_drop;
+      o_churn;
+      o_minutes;
+      o_crash;
+      o_collector;
+      o_verbose;
+      o_dot;
+      o_journal;
+    }
+  in
+  const make $ sites $ seed $ workload $ span $ per_site $ delta $ threshold2
+  $ interval $ window $ drop $ churn $ minutes $ crash $ collector $ verbose
+  $ dot $ journal
+
+let cmd =
+  let doc = "simulate distributed cyclic garbage collection by back tracing" in
+  Cmd.v
+    (Cmd.info "dgc-sim" ~doc)
+    Term.(const run $ opts_term)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Config Dgc_core Dgc_heap Dgc_prelude Dgc_rts Dgc_simcore Dgc_workload Engine Format Graph_gen List Metrics Sim Sim_time Site Site_id

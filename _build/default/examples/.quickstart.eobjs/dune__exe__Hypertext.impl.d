@@ -1,0 +1,1 @@
+examples/hypertext.ml: Array Churn Config Dgc_core Dgc_heap Dgc_oracle Dgc_prelude Dgc_rts Dgc_simcore Dgc_workload Engine Format Graph_gen List Metrics Rng Sim Sim_time Site

@@ -1,0 +1,95 @@
+(* Quickstart: build a three-site store, create an inter-site garbage
+   cycle, and watch the collector find it.
+
+     dune exec examples/quickstart.exe
+
+   This walks exactly the Figure 1 situation from the paper: local
+   tracing alone collects acyclic garbage but can never collect the
+   cross-site cycle; the distance heuristic suspects it, and a back
+   trace confirms and reclaims it. *)
+
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_heap
+open Dgc_rts
+open Dgc_core
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let () =
+  (* A simulation with three sites and second-scale GC so the demo is
+     quick; real deployments trace minutes apart. *)
+  let cfg =
+    {
+      Config.default with
+      Config.n_sites = 3;
+      trace_interval = Sim_time.of_seconds 10.;
+      delta = 3;
+      threshold2 = 6;
+      threshold_bump = 4;
+    }
+  in
+  let sim = Sim.make ~cfg () in
+  let eng = sim.Sim.eng in
+  let s0 = Site_id.of_int 0
+  and s1 = Site_id.of_int 1
+  and s2 = Site_id.of_int 2 in
+
+  (* A persistent root at site 0 anchoring some live data... *)
+  let root = Builder.root_obj eng s0 in
+  let live = Builder.obj eng s1 in
+  Builder.link eng ~src:root ~dst:live;
+
+  (* ...an acyclic garbage chain across sites 0 -> 1... *)
+  let g1 = Builder.obj eng s0 in
+  let g2 = Builder.obj eng s1 in
+  Builder.link eng ~src:g1 ~dst:g2;
+
+  (* ...and a garbage cycle spread over sites 1 and 2. *)
+  let c1 = Builder.obj eng s1 in
+  let c2 = Builder.obj eng s2 in
+  Builder.link eng ~src:c1 ~dst:c2;
+  Builder.link eng ~src:c2 ~dst:c1;
+
+  say "Initial state: %d garbage objects (oracle view)"
+    (Dgc_oracle.Oracle.garbage_count eng);
+
+  Sim.start sim;
+  Sim.run_rounds sim 3;
+  say "After 3 rounds of local tracing:";
+  say "  acyclic chain collected: %b"
+    ((not (Heap.mem (Engine.site eng s0).Site.heap g1))
+    && not (Heap.mem (Engine.site eng s1).Site.heap g2));
+  say "  cycle still there:       %b"
+    (Heap.mem (Engine.site eng s1).Site.heap c1
+    && Heap.mem (Engine.site eng s2).Site.heap c2);
+
+  (* Keep going: distances on the cycle grow without bound, cross the
+     suspicion threshold delta, then the back threshold delta2; a back
+     trace runs and confirms the cycle as garbage. *)
+  let collected = Sim.collect_all sim ~max_rounds:30 () in
+  say "After more rounds: everything collected = %b" collected;
+  say "  live object untouched:   %b"
+    (Heap.mem (Engine.site eng s1).Site.heap live);
+
+  (* What did the back traces do? *)
+  List.iter
+    (fun (id, st) ->
+      match st.Back_trace.ts_outcome with
+      | Some (v, at) ->
+          say "  trace %a from %a: %a at t=%a, %d messages, sites {%s}"
+            Trace_id.pp id Oid.pp st.Back_trace.ts_root Verdict.pp v
+            Sim_time.pp at st.Back_trace.ts_msgs
+            (String.concat ","
+               (List.map
+                  (fun s -> string_of_int (Site_id.to_int s))
+                  (Site_id.Set.elements st.Back_trace.ts_participants)))
+      | None -> say "  trace %a: still running" Trace_id.pp id)
+    (Back_trace.stats (Collector.back sim.Sim.col));
+  say "Note the locality: only the cycle's sites participate.";
+
+  let m = Engine.metrics eng in
+  say "Totals: %d local traces, %d objects freed, %d messages"
+    (Metrics.get m "gc.local_traces")
+    (Metrics.get m "gc.objects_freed")
+    (Metrics.get m "msg.total")

@@ -1,0 +1,1 @@
+lib/baselines/global_trace.ml: Array Dgc_heap Dgc_prelude Dgc_rts Dgc_simcore Engine Hashtbl Heap List Local_gc Metrics Oid Protocol Sim_time Site Site_id

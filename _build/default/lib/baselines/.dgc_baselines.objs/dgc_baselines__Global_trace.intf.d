@@ -1,0 +1,1 @@
+lib/baselines/global_trace.mli: Dgc_prelude Dgc_rts Engine Site_id

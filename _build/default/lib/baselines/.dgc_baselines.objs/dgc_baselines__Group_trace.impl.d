@@ -1,0 +1,1 @@
+lib/baselines/group_trace.ml: Array Collector Config Dgc_core Dgc_heap Dgc_prelude Dgc_rts Dgc_simcore Engine Hashtbl Heap Ioref List Metrics Oid Protocol Sim_time Site Site_id Tables Util

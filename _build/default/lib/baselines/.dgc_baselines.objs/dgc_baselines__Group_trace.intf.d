@@ -1,0 +1,1 @@
+lib/baselines/group_trace.mli: Collector Dgc_core Dgc_prelude Dgc_rts Engine

@@ -1,0 +1,1 @@
+lib/baselines/hughes.ml: Array Dgc_heap Dgc_prelude Dgc_rts Dgc_simcore Engine Float Hashtbl Heap Ioref List Metrics Oid Protocol Sim_time Site Site_id Tables

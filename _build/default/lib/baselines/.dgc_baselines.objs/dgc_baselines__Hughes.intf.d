@@ -1,0 +1,1 @@
+lib/baselines/hughes.mli: Dgc_prelude Dgc_rts Dgc_simcore Engine Sim_time

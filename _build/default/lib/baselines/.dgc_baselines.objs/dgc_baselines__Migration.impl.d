@@ -1,0 +1,1 @@
+lib/baselines/migration.ml: Array Collector Config Dgc_core Dgc_heap Dgc_prelude Dgc_rts Dgc_simcore Engine Heap Ioref List Metrics Oid Protocol Site Site_id Tables

@@ -1,0 +1,1 @@
+lib/baselines/migration.mli: Collector Dgc_core Dgc_rts Engine

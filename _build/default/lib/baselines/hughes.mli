@@ -1,0 +1,42 @@
+(** Baseline: Hughes's timestamp algorithm (§7, [Hug85]).
+
+    Every local trace propagates timestamps instead of mark bits:
+    persistent and application roots carry the current time, inrefs
+    carry the newest timestamp that has reached them, and the trace
+    pushes the maximum onward to outrefs (whose changes travel to the
+    target inrefs in update messages). A garbage object's timestamp
+    stops advancing, so anything timestamped below a global threshold
+    is garbage — including inter-site cycles.
+
+    The threshold is computed centrally: a coordinator collects every
+    site's last-trace time and broadcasts [min - slack]. The [slack]
+    accounts for propagation lag down reference chains (a faithful
+    implementation computes the exact safe bound with a distributed
+    minimum over propagation frontiers; the fixed slack approximates
+    it and must exceed depth × trace interval — see EXPERIMENTS.md).
+
+    The weakness this baseline demonstrates: the threshold is a global
+    minimum, so one slow or crashed site holds back cycle collection
+    everywhere (§7: "a single site can hold down the global
+    threshold"). *)
+
+open Dgc_simcore
+open Dgc_rts
+
+type t
+
+val install : Engine.t -> slack:Sim_time.t -> t
+(** Replace every site's local trace with the timestamp-propagating
+    variant and install the threshold-round handlers. *)
+
+val run_threshold_round :
+  t -> ?coordinator:Dgc_prelude.Site_id.t -> unit -> unit
+(** Collect last-trace times, broadcast the new threshold; sites then
+    flag inrefs below it so their next local traces collect them.
+    Replies from crashed sites never arrive, so the round stalls
+    (demonstrably). *)
+
+val threshold : t -> Sim_time.t
+(** The last threshold broadcast (0 if none yet). *)
+
+val rounds_completed : t -> int

@@ -1,0 +1,156 @@
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_heap
+open Dgc_rts
+open Dgc_core
+
+type Protocol.ext +=
+  | M_migrate of {
+      old_oid : Oid.t;
+      fields : Oid.t list;
+      size : int;
+      from : Site_id.t;
+    }
+  | M_ack of { old_oid : Oid.t }
+
+let () =
+  Protocol.register_ext_kind (function
+    | M_migrate _ | M_ack _ -> Some "migrate"
+    | _ -> None);
+  (* A migrating object's referents must stay live while it flies. *)
+  Protocol.register_ext_refs (function
+    | M_migrate { fields; _ } -> Some fields
+    | M_ack _ -> Some []
+    | _ -> None)
+
+type t = {
+  eng : Engine.t;
+  col : Collector.t;
+  mutable migrations : int;
+  mutable bytes_moved : int;
+  mutable skipped : int;
+  mutable in_flight : int;  (** migrations awaiting ack *)
+}
+
+let collector t = t.col
+let migrations t = t.migrations
+let bytes_moved t = t.bytes_moved
+let skipped_multi_holder t = t.skipped
+
+(* Register a cross-site reference now held at [holder] (the engine's
+   insert protocol in miniature, applied synchronously: migration is a
+   controlled operation and both table updates belong to it). *)
+let register_ref t ~holder r =
+  if not (Site_id.equal (Oid.site r) holder) then begin
+    let holder_site = Engine.site t.eng holder in
+    ignore (Tables.ensure_outref holder_site.Site.tables r);
+    let owner = Engine.site t.eng (Oid.site r) in
+    let ir = Tables.ensure_inref owner.Site.tables r in
+    Ioref.add_source ir holder ~dist:1
+  end
+
+let arrive t site_id ~old_oid ~fields ~size ~from =
+  let site = Engine.site t.eng site_id in
+  let heap = site.Site.heap in
+  (* Materialize the migrated object under a fresh local identity. *)
+  let fresh = Heap.alloc ~size heap in
+  let rewritten =
+    List.map (fun z -> if Oid.equal z old_oid then fresh else z) fields
+  in
+  List.iter (fun z -> Heap.add_field heap ~obj:fresh ~target:z) rewritten;
+  List.iter (fun z -> register_ref t ~holder:site_id z) rewritten;
+  (* Patch every local reference to the old identity. *)
+  Heap.iter heap (fun o ->
+      if not (Oid.equal o.Heap.oid fresh) then
+        o.Heap.fields <-
+          List.map
+            (fun z -> if Oid.equal z old_oid then fresh else z)
+            o.Heap.fields);
+  (* The outref for the old object is dead now. *)
+  Tables.remove_outref site.Site.tables old_oid;
+  Metrics.incr (Engine.metrics t.eng) "migration.arrivals";
+  Engine.send t.eng ~src:site_id ~dst:from (Protocol.Ext (M_ack { old_oid }))
+
+let handle t site_id ~src:_ ext =
+  match ext with
+  | M_migrate { old_oid; fields; size; from } ->
+      arrive t site_id ~old_oid ~fields ~size ~from;
+      true
+  | M_ack { old_oid = _ } ->
+      t.in_flight <- t.in_flight - 1;
+      true
+  | _ -> false
+
+let try_migrate t site_id =
+  let conf = Engine.config t.eng in
+  let site = Engine.site t.eng site_id in
+  let heap = site.Site.heap in
+  let candidates =
+    Tables.inrefs site.Site.tables
+    |> List.filter (fun ir ->
+           (not ir.Ioref.ir_flagged)
+           && (not (Ioref.inref_clean ~delta:conf.Config.delta ir))
+           && Ioref.inref_dist ir > conf.Config.threshold2
+           && Heap.mem heap ir.Ioref.ir_target)
+  in
+  List.iter
+    (fun ir ->
+      match Ioref.source_sites ir with
+      | [ dst ] when Site_id.compare dst site_id < 0 ->
+          (* Monotone destinations (downhill in site order): without a
+             total order, concurrent migrations on a cycle rotate it
+             around the ring forever instead of collapsing it — the
+             "controlled" part of ML95's controlled migration. *)
+          let r = ir.Ioref.ir_target in
+          let obj = Heap.get heap r in
+          let fields = obj.Heap.fields in
+          let size = obj.Heap.size in
+          (* Only migrate if no local object still references it —
+             otherwise local holders would dangle (they keep it live
+             anyway, so it will be reconsidered later). *)
+          let locally_held =
+            Heap.fold heap ~init:false ~f:(fun acc o ->
+                acc
+                || (not (Oid.equal o.Heap.oid r))
+                   && List.exists (Oid.equal r) o.Heap.fields)
+          in
+          if not locally_held then begin
+            t.migrations <- t.migrations + 1;
+            t.bytes_moved <- t.bytes_moved + size + List.length fields;
+            t.in_flight <- t.in_flight + 1;
+            Metrics.incr (Engine.metrics t.eng) "migration.departures";
+            Metrics.add (Engine.metrics t.eng) "migration.bytes"
+              (size + List.length fields);
+            (* Remove locally: the object now lives at [dst]. *)
+            ignore (Heap.free heap [ Oid.index r ]);
+            Tables.remove_inref site.Site.tables r;
+            Engine.send t.eng ~src:site_id ~dst
+              (Protocol.Ext
+                 (M_migrate { old_oid = r; fields; size; from = site_id }))
+          end
+      | [] | [ _ ] -> ()
+      | _ :: _ :: _ -> t.skipped <- t.skipped + 1)
+    candidates
+
+let install eng =
+  let col = Collector.install eng in
+  Collector.set_auto_back_traces col false;
+  let t =
+    {
+      eng;
+      col;
+      migrations = 0;
+      bytes_moved = 0;
+      skipped = 0;
+      in_flight = 0;
+    }
+  in
+  Array.iter
+    (fun s ->
+      let prev = s.Site.hooks.Site.h_ext in
+      s.Site.hooks.Site.h_ext <-
+        (fun ~src ext ->
+          if not (handle t s.Site.id ~src ext) then prev ~src ext))
+    (Engine.sites eng);
+  Collector.set_after_trace col (fun site_id -> try_migrate t site_id);
+  t

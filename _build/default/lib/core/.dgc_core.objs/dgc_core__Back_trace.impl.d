@@ -1,0 +1,1 @@
+lib/core/back_trace.ml: Array Config Dgc_heap Dgc_prelude Dgc_rts Dgc_simcore Engine Hashtbl Int Ioref List Metrics Oid Protocol Set Sim_time Site Site_id Tables Trace_id Verdict

@@ -1,0 +1,1 @@
+lib/core/back_trace.mli: Dgc_heap Dgc_prelude Dgc_rts Dgc_simcore Engine Oid Protocol Sim_time Site_id Trace_id Verdict

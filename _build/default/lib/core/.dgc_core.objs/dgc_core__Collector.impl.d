@@ -1,0 +1,1 @@
+lib/core/collector.ml: Array Back_trace Config Dgc_heap Dgc_prelude Dgc_rts Dgc_simcore Engine Int Ioref List Local_trace Metrics Oid Sim_time Site Site_id Snapshot Tables Trace_id Util Verdict

@@ -1,0 +1,1 @@
+lib/core/collector.mli: Back_trace Dgc_heap Dgc_prelude Dgc_rts Engine Oid Site_id Trace_id

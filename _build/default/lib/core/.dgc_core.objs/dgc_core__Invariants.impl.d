@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Array Config Dgc_heap Dgc_prelude Dgc_rts Engine Format Heap Ioref List Oid Reach Site Site_id Tables Trace_id

@@ -1,0 +1,1 @@
+lib/core/invariants.mli: Dgc_rts Engine

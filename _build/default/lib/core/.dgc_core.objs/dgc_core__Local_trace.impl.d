@@ -1,0 +1,1 @@
+lib/core/local_trace.ml: Config Dgc_heap Dgc_oracle Dgc_prelude Dgc_rts Dgc_simcore Engine Hashtbl Heap Int Ioref List Metrics Oid Option Outset_store Protocol Reach Site Site_id Snapshot Tables Util

@@ -1,0 +1,1 @@
+lib/core/local_trace.mli: Dgc_heap Dgc_prelude Dgc_rts Engine Oid Reach Site Site_id Snapshot

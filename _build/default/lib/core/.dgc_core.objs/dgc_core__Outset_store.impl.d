@@ -1,0 +1,1 @@
+lib/core/outset_store.ml: Array Dgc_heap Hashtbl List Oid

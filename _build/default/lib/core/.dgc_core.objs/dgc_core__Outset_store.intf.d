@@ -1,0 +1,1 @@
+lib/core/outset_store.mli: Dgc_heap Oid

@@ -1,0 +1,1 @@
+lib/core/sim.ml: Collector Config Dgc_oracle Dgc_rts Dgc_simcore Engine Float Mutator Sim_time

@@ -1,0 +1,1 @@
+lib/core/sim.mli: Collector Config Dgc_rts Dgc_simcore Engine Mutator Sim_time

@@ -1,0 +1,1 @@
+lib/core/verdict.ml: Format

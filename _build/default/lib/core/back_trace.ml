@@ -1,0 +1,401 @@
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_heap
+open Dgc_rts
+
+type Protocol.ext +=
+  | Back_call of {
+      trace : Trace_id.t;
+      r : Oid.t;
+      reply_site : Site_id.t;
+      reply_frame : int;
+      call_seq : int;
+    }
+  | Back_reply of {
+      trace : Trace_id.t;
+      reply_frame : int;
+      call_seq : int;
+      verdict : Verdict.t;
+      participants : Site_id.Set.t;
+    }
+  | Back_report of { trace : Trace_id.t; outcome : Verdict.t }
+
+let () =
+  Protocol.register_ext_kind (function
+    | Back_call _ -> Some "back_call"
+    | Back_reply _ -> Some "back_reply"
+    | Back_report _ -> Some "back_report"
+    | _ -> None)
+
+module Int_set = Set.Make (Int)
+
+type parent =
+  | P_initiator
+  | P_local of int
+  | P_remote of { site : Site_id.t; frame : int; call_seq : int }
+
+type frame = {
+  fr_id : int;
+  fr_trace : Trace_id.t;
+  fr_parent : parent;
+  fr_ioref : Oid.t;
+  mutable fr_pending : int;
+  mutable fr_result : Verdict.t;
+  mutable fr_participants : Site_id.Set.t;
+  mutable fr_done : bool;
+  mutable fr_calls : Int_set.t;
+}
+
+type site_state = {
+  ss_site : Site.t;
+  frames : (int, frame) Hashtbl.t;
+  mutable next_frame : int;
+  mutable next_call : int;
+  mutable next_trace : int;
+  (* iorefs this site has marked visited, per trace, for the report
+     phase and the TTL cleanup *)
+  visited_refs : (Trace_id.t, Oid.t list ref) Hashtbl.t;
+}
+
+type trace_stat = {
+  ts_initiator : Site_id.t;
+  ts_root : Oid.t;
+  ts_started : Sim_time.t;
+  mutable ts_msgs : int;
+  mutable ts_calls : int;
+  mutable ts_participants : Site_id.Set.t;
+  mutable ts_outcome : (Verdict.t * Sim_time.t) option;
+}
+
+type shared = {
+  eng : Engine.t;
+  states : site_state array;
+  tstats : (Trace_id.t, trace_stat) Hashtbl.t;
+  mutable observers : (Trace_id.t -> Verdict.t -> Site_id.Set.t -> unit) list;
+}
+
+let create eng =
+  {
+    eng;
+    states =
+      Array.map
+        (fun s ->
+          {
+            ss_site = s;
+            frames = Hashtbl.create 16;
+            next_frame = 0;
+            next_call = 0;
+            next_trace = 0;
+            visited_refs = Hashtbl.create 8;
+          })
+        (Engine.sites eng);
+    tstats = Hashtbl.create 16;
+    observers = [];
+  }
+
+let state sh id = sh.states.(Site_id.to_int id)
+let on_outcome sh f = sh.observers <- f :: sh.observers
+
+let bump_stat sh trace f =
+  match Hashtbl.find_opt sh.tstats trace with Some s -> f s | None -> ()
+
+let send_back sh ~src ~dst trace ext =
+  bump_stat sh trace (fun s -> s.ts_msgs <- s.ts_msgs + 1);
+  Metrics.incr (Engine.metrics sh.eng) "back.msgs";
+  Engine.send sh.eng ~src ~dst (Protocol.Ext ext)
+
+let self_id st = st.ss_site.Site.id
+let tables st = st.ss_site.Site.tables
+let delta sh = (Engine.config sh.eng).Config.delta
+let bump sh = (Engine.config sh.eng).Config.threshold_bump
+
+let new_frame st trace parent ioref =
+  let fr =
+    {
+      fr_id = st.next_frame;
+      fr_trace = trace;
+      fr_parent = parent;
+      fr_ioref = ioref;
+      fr_pending = 0;
+      fr_result = Verdict.Garbage;
+      fr_participants = Site_id.Set.empty;
+      fr_done = false;
+      fr_calls = Int_set.empty;
+    }
+  in
+  st.next_frame <- st.next_frame + 1;
+  Hashtbl.add st.frames fr.fr_id fr;
+  fr
+
+(* The whole message-driven machine is one recursive knot: finishing a
+   frame feeds its parent, which may finish in turn, up to the
+   initiator's report phase. *)
+let rec finish sh st fr v =
+  if not fr.fr_done then begin
+    fr.fr_done <- true;
+    Hashtbl.remove st.frames fr.fr_id;
+    let parts = Site_id.Set.add (self_id st) fr.fr_participants in
+    match fr.fr_parent with
+    | P_local pid -> begin
+        match Hashtbl.find_opt st.frames pid with
+        | Some p -> child_done sh st p v parts
+        | None -> ()
+      end
+    | P_remote { site; frame; call_seq } ->
+        send_back sh ~src:(self_id st) ~dst:site fr.fr_trace
+          (Back_reply
+             {
+               trace = fr.fr_trace;
+               reply_frame = frame;
+               call_seq;
+               verdict = v;
+               participants = parts;
+             })
+    | P_initiator -> conclude sh st fr.fr_trace v parts
+  end
+
+and child_done sh st fr v parts =
+  if not fr.fr_done then begin
+    fr.fr_participants <- Site_id.Set.union fr.fr_participants parts;
+    fr.fr_result <- Verdict.merge fr.fr_result v;
+    fr.fr_pending <- fr.fr_pending - 1;
+    match v with
+    | Verdict.Live ->
+        (* Live short-circuits the frame (§4.4's early return). *)
+        finish sh st fr Verdict.Live
+    | Verdict.Garbage ->
+        if fr.fr_pending <= 0 then finish sh st fr fr.fr_result
+  end
+
+and return_to sh st trace parent v =
+  let parts = Site_id.Set.singleton (self_id st) in
+  match parent with
+  | P_local pid -> begin
+      match Hashtbl.find_opt st.frames pid with
+      | Some p -> child_done sh st p v parts
+      | None -> ()
+    end
+  | P_remote { site; frame; call_seq } ->
+      send_back sh ~src:(self_id st) ~dst:site trace
+        (Back_reply
+           { trace; reply_frame = frame; call_seq; verdict = v; participants = parts })
+  | P_initiator -> conclude sh st trace v parts
+
+and conclude sh st trace outcome parts =
+  Engine.jlog sh.eng ~cat:"back" "%a concluded %a (%d participants)"
+    Trace_id.pp trace Verdict.pp outcome (Site_id.Set.cardinal parts);
+  let metrics = Engine.metrics sh.eng in
+  Metrics.incr metrics
+    (match outcome with
+    | Verdict.Garbage -> "back.outcome_garbage"
+    | Verdict.Live -> "back.outcome_live");
+  bump_stat sh trace (fun s ->
+      s.ts_outcome <- Some (outcome, Engine.now sh.eng);
+      s.ts_participants <- parts);
+  List.iter (fun f -> f trace outcome parts) sh.observers;
+  (* Report phase (§4.5): inform every participant. *)
+  Site_id.Set.iter
+    (fun p ->
+      if not (Site_id.equal p (self_id st)) then
+        send_back sh ~src:(self_id st) ~dst:p trace
+          (Back_report { trace; outcome }))
+    parts;
+  apply_report sh st trace outcome
+
+and apply_report sh st trace outcome =
+  (match Hashtbl.find_opt st.visited_refs trace with
+  | None -> ()
+  | Some l ->
+      Hashtbl.remove st.visited_refs trace;
+      List.iter
+        (fun r ->
+          if Site_id.equal (Oid.site r) (self_id st) then begin
+            match Tables.find_inref (tables st) r with
+            | None -> ()
+            | Some ir ->
+                ir.Ioref.ir_visited <-
+                  Trace_id.Set.remove trace ir.Ioref.ir_visited;
+                if Verdict.equal outcome Verdict.Garbage then begin
+                  ir.Ioref.ir_flagged <- true;
+                  Metrics.incr (Engine.metrics sh.eng) "back.inrefs_flagged";
+                  Engine.jlog sh.eng ~cat:"back" "inref %a flagged garbage"
+                    Oid.pp r
+                end
+          end
+          else
+            match Tables.find_outref (tables st) r with
+            | None -> ()
+            | Some o ->
+                o.Ioref.or_visited <-
+                  Trace_id.Set.remove trace o.Ioref.or_visited)
+        !l);
+  (* Drop any leftover frames of this trace at this site. *)
+  let leftovers =
+    Hashtbl.fold
+      (fun id fr acc -> if Trace_id.equal fr.fr_trace trace then id :: acc else acc)
+      st.frames []
+  in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt st.frames id with
+      | Some fr ->
+          fr.fr_done <- true;
+          Hashtbl.remove st.frames id
+      | None -> ())
+    leftovers
+
+and record_visit sh st trace r =
+  match Hashtbl.find_opt st.visited_refs trace with
+  | Some l -> l := r :: !l
+  | None ->
+      let l = ref [ r ] in
+      Hashtbl.add st.visited_refs trace l;
+      let ttl = (Engine.config sh.eng).Config.visited_ttl in
+      Engine.schedule sh.eng ~delay:ttl (fun () ->
+          if Hashtbl.mem st.visited_refs trace then begin
+            (* Never heard the outcome: assume Live (§4.6). *)
+            Metrics.incr (Engine.metrics sh.eng) "back.visited_ttl_expired";
+            apply_report sh st trace Verdict.Live
+          end)
+
+(* BackStepLocal (§4.4): [r] names an outref of this site. *)
+and step_local sh st trace r parent =
+  match Tables.find_outref (tables st) r with
+  | None ->
+      (* ioref deleted by the collector: garbage. *)
+      return_to sh st trace parent Verdict.Garbage
+  | Some o ->
+      if Ioref.outref_clean o then return_to sh st trace parent Verdict.Live
+      else if Trace_id.Set.mem trace o.Ioref.or_visited then
+        return_to sh st trace parent Verdict.Garbage
+      else begin
+        o.Ioref.or_visited <- Trace_id.Set.add trace o.Ioref.or_visited;
+        o.Ioref.or_back_threshold <- o.Ioref.or_back_threshold + bump sh;
+        record_visit sh st trace r;
+        let fr = new_frame st trace parent r in
+        match o.Ioref.or_inset with
+        | [] -> finish sh st fr Verdict.Garbage
+        | inset ->
+            fr.fr_pending <- List.length inset;
+            List.iter
+              (fun i -> step_remote sh st trace i (P_local fr.fr_id))
+              inset
+      end
+
+(* BackStepRemote (§4.4): [i] names an inref of this site; branch
+   calls go to every source site in parallel. *)
+and step_remote sh st trace i parent =
+  match Tables.find_inref (tables st) i with
+  | None -> return_to sh st trace parent Verdict.Garbage
+  | Some ir ->
+      if ir.Ioref.ir_flagged then
+        (* Already confirmed garbage by an earlier trace. *)
+        return_to sh st trace parent Verdict.Garbage
+      else if Ioref.inref_clean ~delta:(delta sh) ir then
+        return_to sh st trace parent Verdict.Live
+      else if Trace_id.Set.mem trace ir.Ioref.ir_visited then
+        return_to sh st trace parent Verdict.Garbage
+      else begin
+        ir.Ioref.ir_visited <- Trace_id.Set.add trace ir.Ioref.ir_visited;
+        ir.Ioref.ir_back_threshold <- ir.Ioref.ir_back_threshold + bump sh;
+        record_visit sh st trace i;
+        let fr = new_frame st trace parent i in
+        match Ioref.source_sites ir with
+        | [] -> finish sh st fr Verdict.Garbage
+        | sources ->
+            fr.fr_pending <- List.length sources;
+            List.iter
+              (fun q ->
+                let seq = st.next_call in
+                st.next_call <- seq + 1;
+                fr.fr_calls <- Int_set.add seq fr.fr_calls;
+                bump_stat sh trace (fun s -> s.ts_calls <- s.ts_calls + 1);
+                send_back sh ~src:(self_id st) ~dst:q trace
+                  (Back_call
+                     {
+                       trace;
+                       r = i;
+                       reply_site = self_id st;
+                       reply_frame = fr.fr_id;
+                       call_seq = seq;
+                     });
+                let timeout = (Engine.config sh.eng).Config.back_call_timeout in
+                Engine.schedule sh.eng ~delay:timeout (fun () ->
+                    match Hashtbl.find_opt st.frames fr.fr_id with
+                    | Some fr'
+                      when (not fr'.fr_done) && Int_set.mem seq fr'.fr_calls ->
+                        fr'.fr_calls <- Int_set.remove seq fr'.fr_calls;
+                        (* No reply: assume Live (§4.6). *)
+                        Metrics.incr (Engine.metrics sh.eng)
+                          "back.call_timeout";
+                        child_done sh st fr' Verdict.Live Site_id.Set.empty
+                    | _ -> ()))
+              sources
+      end
+
+let start sh site_id outref =
+  let st = state sh site_id in
+  match Tables.find_outref (tables st) outref with
+  | Some o when not (Ioref.outref_clean o) ->
+      let trace = Trace_id.make ~initiator:site_id ~seq:st.next_trace in
+      st.next_trace <- st.next_trace + 1;
+      Hashtbl.replace sh.tstats trace
+        {
+          ts_initiator = site_id;
+          ts_root = outref;
+          ts_started = Engine.now sh.eng;
+          ts_msgs = 0;
+          ts_calls = 0;
+          ts_participants = Site_id.Set.empty;
+          ts_outcome = None;
+        };
+      Metrics.incr (Engine.metrics sh.eng) "back.traces_started";
+      Engine.jlog sh.eng ~cat:"back" "%a started from outref %a" Trace_id.pp
+        trace Oid.pp outref;
+      step_local sh st trace outref P_initiator;
+      Some trace
+  | Some _ | None -> None
+
+let handle_ext sh site_id ~src ext =
+  ignore src;
+  let st = state sh site_id in
+  match ext with
+  | Back_call { trace; r; reply_site; reply_frame; call_seq } ->
+      step_local sh st trace r (P_remote { site = reply_site; frame = reply_frame; call_seq });
+      true
+  | Back_reply { trace = _; reply_frame; call_seq; verdict; participants } ->
+      (match Hashtbl.find_opt st.frames reply_frame with
+      | Some fr when Int_set.mem call_seq fr.fr_calls ->
+          fr.fr_calls <- Int_set.remove call_seq fr.fr_calls;
+          child_done sh st fr verdict participants
+      | Some _ | None -> ());
+      true
+  | Back_report { trace; outcome } ->
+      apply_report sh st trace outcome;
+      true
+  | _ -> false
+
+let on_cleaned sh site_id r =
+  if (Engine.config sh.eng).Config.enable_clean_rule then begin
+    let st = state sh site_id in
+    let hits =
+      Hashtbl.fold
+        (fun _ fr acc ->
+          if (not fr.fr_done) && Oid.equal fr.fr_ioref r then fr :: acc
+          else acc)
+        st.frames []
+    in
+    List.iter
+      (fun fr ->
+        Metrics.incr (Engine.metrics sh.eng) "back.clean_rule_fired";
+        finish sh st fr Verdict.Live)
+      hits
+  end
+
+let active_frames sh site_id = Hashtbl.length (state sh site_id).frames
+
+let stats sh =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) sh.tstats []
+  |> List.sort (fun (a, _) (b, _) -> Trace_id.compare a b)
+
+let find_stat sh trace = Hashtbl.find_opt sh.tstats trace

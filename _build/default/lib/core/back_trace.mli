@@ -1,0 +1,85 @@
+(** Distributed back tracing (§4).
+
+    A back trace starts from a suspected outref and searches backwards
+    over ioref-level reachability: local steps go from an outref to the
+    inrefs in its inset, remote steps go from an inref to the outrefs
+    at its source sites. The trace returns Live as soon as it reaches a
+    clean ioref; if every branch bottoms out, the visited inrefs are
+    garbage, and the initiator reports that outcome to every
+    participant site (§4.5), which flags them.
+
+    Implementation notes, mirroring §4.4–§4.7:
+    - an activation frame per call, with a pending-count and a
+      Live-dominates result; branch calls are issued in parallel and a
+      Live child completes the frame early;
+    - visited marks are per-trace sets in the iorefs, cleared by the
+      report phase or by a TTL (a participant that never hears the
+      outcome assumes Live, §4.6);
+    - a caller that waits too long for a reply assumes Live (§4.6);
+    - when an ioref is cleaned while a trace is active on it, the
+      frame is forced Live — the §6.4 clean rule;
+    - multiple concurrent traces are distinguished by trace ids; an
+      ioref deleted under one trace makes calls from others return
+      Garbage, which is safe (§4.7). *)
+
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_heap
+open Dgc_rts
+
+type Protocol.ext +=
+  | Back_call of {
+      trace : Trace_id.t;
+      r : Oid.t;
+      reply_site : Site_id.t;
+      reply_frame : int;
+      call_seq : int;
+    }  (** "perform BackStepLocal(you, r)" — sent along an inref's
+           source list *)
+  | Back_reply of {
+      trace : Trace_id.t;
+      reply_frame : int;
+      call_seq : int;
+      verdict : Verdict.t;
+      participants : Site_id.Set.t;
+    }
+  | Back_report of { trace : Trace_id.t; outcome : Verdict.t }
+
+type shared
+(** State shared across all sites of one engine (per-site frame tables
+    plus a per-trace statistics registry). *)
+
+type trace_stat = {
+  ts_initiator : Site_id.t;
+  ts_root : Oid.t;  (** the outref the trace started from *)
+  ts_started : Sim_time.t;
+  mutable ts_msgs : int;  (** back-trace messages sent on its behalf *)
+  mutable ts_calls : int;  (** remote back calls (≈ inter-site refs walked) *)
+  mutable ts_participants : Site_id.Set.t;
+  mutable ts_outcome : (Verdict.t * Sim_time.t) option;
+}
+
+val create : Engine.t -> shared
+
+val start : shared -> Site_id.t -> Oid.t -> Trace_id.t option
+(** Start a back trace at the given site from the given suspected
+    outref (§4.1 mandates an outref start). None if the outref is
+    missing or clean. *)
+
+val handle_ext : shared -> Site_id.t -> src:Site_id.t -> Protocol.ext -> bool
+(** Process one of this module's messages; false if it is not ours. *)
+
+val on_cleaned : shared -> Site_id.t -> Oid.t -> unit
+(** The §6.4 clean rule: the ioref named by this reference was just
+    cleaned at the site; any trace active there returns Live. No-op
+    when [enable_clean_rule] is off (ablation). *)
+
+val active_frames : shared -> Site_id.t -> int
+val stats : shared -> (Trace_id.t * trace_stat) list
+(** Sorted by trace id. *)
+
+val find_stat : shared -> Trace_id.t -> trace_stat option
+
+val on_outcome : shared -> (Trace_id.t -> Verdict.t -> Site_id.Set.t -> unit) -> unit
+(** Register an observer called at the initiator when a trace
+    completes (before reports are delivered). *)

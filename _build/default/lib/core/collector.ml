@@ -1,0 +1,223 @@
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_heap
+open Dgc_rts
+
+type window = {
+  w_input : Local_trace.input;
+  mutable w_cleans : Oid.t list;
+}
+
+type site_ctl = { ctl_site : Site.t; mutable ctl_window : window option }
+
+type t = {
+  eng : Engine.t;
+  back : Back_trace.shared;
+  ctls : site_ctl array;
+  mutable auto_back_traces : bool;
+  mutable after_trace : Site_id.t -> unit;
+  (* §3's tuning suggestion: when abortive (Live) verdicts dominate,
+     raise the effective back threshold for newly suspected outrefs. *)
+  mutable eff_threshold2 : int;
+  mutable recent_live : int;
+  mutable recent_garbage : int;
+}
+
+let engine t = t.eng
+let back t = t.back
+let ctl t id = t.ctls.(Site_id.to_int id)
+let in_window t id = (ctl t id).ctl_window <> None
+
+let cfg t = Engine.config t.eng
+
+(* ---- the transfer barrier (§6.1) ------------------------------------ *)
+
+(* Clean a suspected outref; notify the clean rule. *)
+let clean_outref t site_id tables r =
+  match Tables.find_outref tables r with
+  | None -> ()
+  | Some o ->
+      if not (Ioref.outref_clean o) then begin
+        o.Ioref.or_forced_clean <- true;
+        Metrics.incr (Engine.metrics t.eng) "barrier.outref_cleaned";
+        Back_trace.on_cleaned t.back site_id r
+      end
+
+let barrier_ref_arrived t site_id r =
+  if (cfg t).Config.enable_transfer_barrier then begin
+    let c = ctl t site_id in
+    let tables = c.ctl_site.Site.tables in
+    let record_window_clean () =
+      match c.ctl_window with
+      | Some w -> w.w_cleans <- r :: w.w_cleans
+      | None -> ()
+    in
+    if Site_id.equal (Oid.site r) site_id then begin
+      (* An inref of ours: clean it and its outset. *)
+      match Tables.find_inref tables r with
+      | None -> ()
+      | Some ir ->
+          if not (Ioref.inref_clean ~delta:(cfg t).Config.delta ir) then begin
+            ir.Ioref.ir_forced_clean <- true;
+            Metrics.incr (Engine.metrics t.eng) "barrier.inref_cleaned";
+            Engine.jlog t.eng ~cat:"barrier" "%a cleaned inref %a (+outset)"
+              Site_id.pp site_id Oid.pp r;
+            Back_trace.on_cleaned t.back site_id r;
+            List.iter (clean_outref t site_id tables) ir.Ioref.ir_outset;
+            record_window_clean ()
+          end
+    end
+    else begin
+      (* §6.1.2 case 3: a suspected outref for an arriving reference. *)
+      match Tables.find_outref tables r with
+      | None -> ()
+      | Some o ->
+          if not (Ioref.outref_clean o) then begin
+            clean_outref t site_id tables r;
+            record_window_clean ()
+          end
+    end
+  end
+
+(* ---- back-trace triggering (§4.3) ----------------------------------- *)
+
+let trigger_back_traces t site_id =
+  let c = ctl t site_id in
+  let conf = cfg t in
+  let candidates =
+    List.filter_map
+      (fun o ->
+        if not o.Ioref.or_suspected then None
+        else begin
+          (* Initialize the back threshold lazily to Δ2. *)
+          if o.Ioref.or_back_threshold >= Ioref.infinity_dist then
+            o.Ioref.or_back_threshold <- t.eff_threshold2;
+          if
+            o.Ioref.or_dist > o.Ioref.or_back_threshold
+            && Ioref.outref_clean o = false
+            && Trace_id.Set.is_empty o.Ioref.or_visited
+          then Some o
+          else None
+        end)
+      (Tables.outrefs c.ctl_site.Site.tables)
+  in
+  (* Deepest first: they are the most likely to be fully suspected. *)
+  let sorted =
+    List.stable_sort
+      (fun a b -> Int.compare b.Ioref.or_dist a.Ioref.or_dist)
+      candidates
+  in
+  let picked = Util.list_take conf.Config.max_trace_starts sorted in
+  List.filter_map
+    (fun o -> Back_trace.start t.back site_id o.Ioref.or_target)
+    picked
+
+let start_back_trace t site_id r = Back_trace.start t.back site_id r
+let set_auto_back_traces t b = t.auto_back_traces <- b
+let set_after_trace t f = t.after_trace <- f
+let effective_threshold2 t = t.eff_threshold2
+
+(* ---- local traces (§5, §6.2) ----------------------------------------- *)
+
+let finish_window t site_id =
+  let c = ctl t site_id in
+  match c.ctl_window with
+  | None -> ()
+  | Some w ->
+      c.ctl_window <- None;
+      if not c.ctl_site.Site.crashed then begin
+        let outcome = Local_trace.compute w.w_input in
+        Local_trace.apply t.eng c.ctl_site outcome
+          ~window_cleans:(List.rev w.w_cleans)
+          ~on_cleaned:(Back_trace.on_cleaned t.back site_id)
+          ~oracle_check:(cfg t).Config.oracle_checks;
+        if t.auto_back_traces then ignore (trigger_back_traces t site_id);
+        t.after_trace site_id
+      end
+
+let run_scheduled_trace t site_id =
+  let c = ctl t site_id in
+  if c.ctl_window = None then begin
+    let conf = cfg t in
+    if Sim_time.compare conf.Config.trace_duration Sim_time.zero <= 0 then begin
+      (* Atomic trace. *)
+      let input = Local_trace.input_of_site t.eng c.ctl_site in
+      let outcome = Local_trace.compute input in
+      Local_trace.apply t.eng c.ctl_site outcome ~window_cleans:[]
+        ~on_cleaned:(Back_trace.on_cleaned t.back site_id)
+        ~oracle_check:conf.Config.oracle_checks;
+      if t.auto_back_traces then ignore (trigger_back_traces t site_id);
+      t.after_trace site_id
+    end
+    else begin
+      (* Open a snapshot-at-beginning window (§6.2); back traces keep
+         reading the old tables until the swap. *)
+      let snap = Snapshot.take c.ctl_site.Site.heap in
+      let input = Local_trace.input_of_snapshot t.eng c.ctl_site snap in
+      c.ctl_window <- Some { w_input = input; w_cleans = [] };
+      Engine.schedule t.eng ~delay:conf.Config.trace_duration (fun () ->
+          finish_window t site_id)
+    end
+  end
+
+let force_local_trace t site_id =
+  let c = ctl t site_id in
+  (* Discard any open window: the atomic trace supersedes it. *)
+  c.ctl_window <- None;
+  let input = Local_trace.input_of_site t.eng c.ctl_site in
+  let outcome = Local_trace.compute input in
+  Local_trace.apply t.eng c.ctl_site outcome ~window_cleans:[]
+    ~on_cleaned:(Back_trace.on_cleaned t.back site_id)
+    ~oracle_check:(cfg t).Config.oracle_checks
+
+let force_local_trace_all t =
+  Array.iter
+    (fun c ->
+      if not c.ctl_site.Site.crashed then force_local_trace t c.ctl_site.Site.id)
+    t.ctls
+
+let install eng =
+  let t =
+    {
+      eng;
+      back = Back_trace.create eng;
+      ctls =
+        Array.map
+          (fun s -> { ctl_site = s; ctl_window = None })
+          (Engine.sites eng);
+      auto_back_traces = true;
+      after_trace = (fun _ -> ());
+      eff_threshold2 = (Engine.config eng).Config.threshold2;
+      recent_live = 0;
+      recent_garbage = 0;
+    }
+  in
+  if (Engine.config eng).Config.adaptive_threshold then
+    Back_trace.on_outcome t.back (fun _ outcome _ ->
+        (match outcome with
+        | Verdict.Live -> t.recent_live <- t.recent_live + 1
+        | Verdict.Garbage -> t.recent_garbage <- t.recent_garbage + 1);
+        (* Every four outcomes: if Live dominates, raise the threshold
+           and restart the window. *)
+        if t.recent_live + t.recent_garbage >= 4 then begin
+          if t.recent_live > 2 * t.recent_garbage then begin
+            t.eff_threshold2 <-
+              t.eff_threshold2 + (Engine.config eng).Config.threshold_bump;
+            Metrics.incr (Engine.metrics eng) "adaptive.threshold_raised"
+          end;
+          t.recent_live <- 0;
+          t.recent_garbage <- 0
+        end);
+  Array.iter
+    (fun c ->
+      let s = c.ctl_site in
+      let id = s.Site.id in
+      s.Site.hooks.Site.h_run_local_trace <-
+        (fun () -> run_scheduled_trace t id);
+      s.Site.hooks.Site.h_ref_arrived <- (fun r -> barrier_ref_arrived t id r);
+      s.Site.hooks.Site.h_ioref_cleaned <-
+        (fun r -> Back_trace.on_cleaned t.back id r);
+      s.Site.hooks.Site.h_ext <-
+        (fun ~src ext -> ignore (Back_trace.handle_ext t.back id ~src ext)))
+    t.ctls;
+  t

@@ -1,0 +1,233 @@
+open Dgc_prelude
+open Dgc_heap
+open Dgc_rts
+
+let delta eng = (Engine.config eng).Config.delta
+
+let note acc fmt = Format.kasprintf (fun s -> acc := s :: !acc) fmt
+
+(* Inrefs (non-flagged) from which a given site-local closure starts. *)
+let each_site eng f = Array.iter f (Engine.sites eng)
+
+(* --- local safety (§6.1) ------------------------------------------------- *)
+
+let local_safety eng =
+  let acc = ref [] in
+  each_site eng (fun s ->
+      let graph = Reach.of_heap s.Site.heap in
+      (* Ground truth: for every non-flagged inref, the set of remote
+         references locally reachable from it. *)
+      let reach_of_inref =
+        List.filter_map
+          (fun ir ->
+            if ir.Ioref.ir_flagged then None
+            else begin
+              let _, remotes =
+                Reach.closure graph ~from:[ ir.Ioref.ir_target ]
+              in
+              Some (ir, remotes)
+            end)
+          (Tables.inrefs s.Site.tables)
+      in
+      Tables.iter_outrefs s.Site.tables (fun o ->
+          if not (Ioref.outref_clean o) then
+            List.iter
+              (fun (ir, remotes) ->
+                if
+                  Oid.Set.mem o.Ioref.or_target remotes
+                  && not
+                       (List.exists
+                          (Oid.equal ir.Ioref.ir_target)
+                          o.Ioref.or_inset)
+                then
+                  note acc
+                    "%a: suspected outref %a is reachable from inref %a but \
+                     its inset omits it"
+                    Site_id.pp s.Site.id Oid.pp o.Ioref.or_target Oid.pp
+                    ir.Ioref.ir_target)
+              reach_of_inref))
+  [@warning "-26"];
+  List.rev !acc
+
+(* --- auxiliary invariant (§6.1) ------------------------------------------- *)
+
+let auxiliary eng =
+  let acc = ref [] in
+  each_site eng (fun s ->
+      Tables.iter_outrefs s.Site.tables (fun o ->
+          if not (Ioref.outref_clean o) then
+            List.iter
+              (fun i ->
+                match Tables.find_inref s.Site.tables i with
+                | Some ir when Ioref.inref_clean ~delta:(delta eng) ir ->
+                    note acc
+                      "%a: inset of suspected outref %a names the clean inref \
+                       %a"
+                      Site_id.pp s.Site.id Oid.pp o.Ioref.or_target Oid.pp i
+                | Some _ | None -> ())
+              o.Ioref.or_inset));
+  List.rev !acc
+
+(* --- remote safety (§6.1.2) ------------------------------------------------ *)
+
+let remote_safety eng =
+  let acc = ref [] in
+  each_site eng (fun s ->
+      Tables.iter_inrefs s.Site.tables (fun ir ->
+          if
+            (not ir.Ioref.ir_flagged)
+            && not (Ioref.inref_clean ~delta:(delta eng) ir)
+          then begin
+            let i = ir.Ioref.ir_target in
+            each_site eng (fun p ->
+                if not (Site_id.equal p.Site.id s.Site.id) then begin
+                  let holds_in_heap =
+                    Heap.fold p.Site.heap ~init:false ~f:(fun found o ->
+                        found || List.exists (Oid.equal i) o.Heap.fields)
+                  in
+                  let holds_in_roots =
+                    List.exists (Oid.equal i) (Engine.app_roots eng p.Site.id)
+                  in
+                  if holds_in_heap || holds_in_roots then begin
+                    let listed = Ioref.find_source ir p.Site.id <> None in
+                    let clean_outref =
+                      match Tables.find_outref p.Site.tables i with
+                      | Some o -> Ioref.outref_clean o
+                      | None -> false
+                    in
+                    if (not listed) && not clean_outref then
+                      note acc
+                        "%a: suspected inref %a misses holder %a (and %a has \
+                         no clean outref for it)"
+                        Site_id.pp s.Site.id Oid.pp i Site_id.pp p.Site.id
+                        Site_id.pp p.Site.id
+                  end
+                end)
+          end));
+  List.rev !acc
+
+(* --- visited-mark hygiene --------------------------------------------------- *)
+
+let visited_hygiene eng =
+  let acc = ref [] in
+  each_site eng (fun s ->
+      Tables.iter_inrefs s.Site.tables (fun ir ->
+          if
+            (not (Trace_id.Set.is_empty ir.Ioref.ir_visited))
+            && (not ir.Ioref.ir_suspected)
+            && (not ir.Ioref.ir_forced_clean)
+            && not ir.Ioref.ir_flagged
+          then
+            note acc "%a: visited marks on never-suspected inref %a" Site_id.pp
+              s.Site.id Oid.pp ir.Ioref.ir_target);
+      Tables.iter_outrefs s.Site.tables (fun o ->
+          if
+            (not (Trace_id.Set.is_empty o.Ioref.or_visited))
+            && (not o.Ioref.or_suspected)
+            && not o.Ioref.or_forced_clean
+          then
+            note acc "%a: visited marks on never-suspected outref %a"
+              Site_id.pp s.Site.id Oid.pp o.Ioref.or_target));
+  List.rev !acc
+
+(* --- distance sanity ---------------------------------------------------------- *)
+
+(* True inter-site distances from the roots: 0-1 BFS over the global
+   graph (cross-site edges cost 1, local edges cost 0). *)
+let true_distances eng =
+  let dist : int Oid.Tbl.t = Oid.Tbl.create 256 in
+  let deque = ref [] and back = ref [] in
+  let push_front x = deque := x :: !deque in
+  let push_back x = back := x :: !back in
+  let pop () =
+    match !deque with
+    | x :: tl ->
+        deque := tl;
+        Some x
+    | [] -> (
+        match List.rev !back with
+        | [] -> None
+        | x :: tl ->
+            deque := tl;
+            back := [];
+            Some x)
+  in
+  let heap_of r = (Engine.site eng (Oid.site r)).Site.heap in
+  let relax r d =
+    if Heap.mem (heap_of r) r then begin
+      match Oid.Tbl.find_opt dist r with
+      | Some d' when d' <= d -> ()
+      | _ ->
+          Oid.Tbl.replace dist r d;
+          if d = 0 then push_front (r, d) else push_back (r, d)
+    end
+  in
+  each_site eng (fun s ->
+      List.iter
+        (fun r -> relax r 0)
+        (Heap.persistent_roots s.Site.heap @ Engine.app_roots eng s.Site.id));
+  let rec drain () =
+    match pop () with
+    | None -> ()
+    | Some (r, d) ->
+        if Oid.Tbl.find_opt dist r = Some d then
+          List.iter
+            (fun z ->
+              let w = if Site_id.equal (Oid.site z) (Oid.site r) then 0 else 1 in
+              relax z (d + w))
+            (Heap.fields (heap_of r) r);
+        drain ()
+  in
+  drain ();
+  dist
+
+(* An inref's per-source distance estimates the shortest root path
+   that ends with that inter-site reference: at most one more than the
+   true distance of some holder of the reference at the source site.
+   Estimates are conservative (start at 1, grow toward the truth), so
+   in a settled system: recorded <= 1 + min holder distance. *)
+let distance_sanity eng =
+  let acc = ref [] in
+  let truth = true_distances eng in
+  each_site eng (fun s ->
+      Tables.iter_inrefs s.Site.tables (fun ir ->
+          let i = ir.Ioref.ir_target in
+          List.iter
+            (fun src ->
+              let p = Engine.site eng src.Ioref.src_site in
+              let holder_truth =
+                Heap.fold p.Site.heap ~init:None ~f:(fun best o ->
+                    if List.exists (Oid.equal i) o.Heap.fields then
+                      match Oid.Tbl.find_opt truth o.Heap.oid with
+                      | Some d ->
+                          Some
+                            (match best with
+                            | Some b -> min b d
+                            | None -> d)
+                      | None -> best
+                    else best)
+              in
+              match holder_truth with
+              | Some h ->
+                  if
+                    src.Ioref.src_dist > h + 1
+                    && src.Ioref.src_dist < Ioref.infinity_dist
+                  then
+                    note acc
+                      "%a: inref %a source %a records %d but a live holder \
+                       sits at true distance %d"
+                      Site_id.pp s.Site.id Oid.pp i Site_id.pp
+                      src.Ioref.src_site src.Ioref.src_dist h
+              | None -> (* garbage or stale holder: any estimate *) ())
+            ir.Ioref.ir_sources));
+  List.rev !acc
+
+let check_all eng =
+  List.concat
+    [
+      List.map (fun v -> "local-safety: " ^ v) (local_safety eng);
+      List.map (fun v -> "auxiliary: " ^ v) (auxiliary eng);
+      List.map (fun v -> "remote-safety: " ^ v) (remote_safety eng);
+      List.map (fun v -> "visited-hygiene: " ^ v) (visited_hygiene eng);
+      List.map (fun v -> "distance-sanity: " ^ v) (distance_sanity eng);
+    ]

@@ -1,0 +1,44 @@
+(** The paper's stated invariants as runtime-checkable predicates.
+
+    §6.1 proves safety from three named invariants; this module checks
+    them against live system state so tests and fuzzers can assert
+    them at any point (they are exact in a quiesced system; during a
+    trace window the old copy is in the tables, so check between
+    windows):
+
+    - {b Local safety} ("For any suspected outref o, o.inset includes
+      all inrefs o is locally reachable from"): every suspected
+      outref's recorded inset covers the local-reachability ground
+      truth recomputed from the heap.
+    - {b Auxiliary} ("o.inset does not include any clean inref"):
+      insets never name clean inrefs.
+    - {b Remote safety} ("for any suspected inref i, either i.sources
+      includes all remote sites containing i, or at least one of its
+      corresponding outrefs is clean"): checked against every site's
+      heaps and tables.
+
+    Additionally:
+    - {b Visited hygiene}: visited marks only on suspected iorefs
+      belonging to live traces (approximated as: flagged inrefs aside,
+      no marks on clean iorefs).
+    - {b Distance sanity}: a recorded per-source distance estimates
+      the shortest root path ending with that inter-site reference, so
+      in a settled system it is at most one more than the true
+      distance of some live holder of the reference at the source site
+      (estimates are conservative and converge from below; garbage has
+      no live holders, so any estimate is fine).
+
+    Each check returns human-readable violation strings; empty lists
+    mean the invariant holds. *)
+
+open Dgc_rts
+
+val local_safety : Engine.t -> string list
+val auxiliary : Engine.t -> string list
+val remote_safety : Engine.t -> string list
+val visited_hygiene : Engine.t -> string list
+val distance_sanity : Engine.t -> string list
+
+val check_all : Engine.t -> string list
+(** Concatenation of every check, each violation prefixed with its
+    invariant's name. *)

@@ -1,0 +1,569 @@
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_heap
+open Dgc_rts
+
+type mode = Bottom_up | Independent | Naive_bottom_up
+
+type input = {
+  in_site : Site_id.t;
+  in_graph : Reach.graph;
+  in_indices : int list;
+  in_roots : Oid.t list;
+  in_inrefs : (Oid.t * int * bool) list;
+  in_outrefs : Oid.t list;
+  in_delta : int;
+}
+
+let sample_tables site =
+  let inrefs =
+    List.map
+      (fun ir ->
+        (ir.Ioref.ir_target, Ioref.inref_dist ir, ir.Ioref.ir_flagged))
+      (Tables.inrefs site.Site.tables)
+  in
+  let outrefs =
+    List.map (fun o -> o.Ioref.or_target) (Tables.outrefs site.Site.tables)
+  in
+  (inrefs, outrefs)
+
+let input_of_site eng site =
+  let heap = site.Site.heap in
+  let inrefs, outrefs = sample_tables site in
+  {
+    in_site = site.Site.id;
+    in_graph = Reach.of_heap heap;
+    in_indices = Heap.indices heap;
+    in_roots = Heap.persistent_roots heap @ Engine.app_roots eng site.Site.id;
+    in_inrefs = inrefs;
+    in_outrefs = outrefs;
+    in_delta = (Engine.config eng).Config.delta;
+  }
+
+let input_of_snapshot eng site snap =
+  let inrefs, outrefs = sample_tables site in
+  {
+    in_site = site.Site.id;
+    in_graph = Reach.of_snapshot snap;
+    in_indices = Snapshot.indices snap;
+    in_roots =
+      Snapshot.persistent_roots snap @ Engine.app_roots eng site.Site.id;
+    in_inrefs = inrefs;
+    in_outrefs = outrefs;
+    in_delta = (Engine.config eng).Config.delta;
+  }
+
+type out_result = {
+  o_ref : Oid.t;
+  o_dist : int;
+  o_suspected : bool;
+  o_removed : bool;
+  o_inset : Oid.t list;
+}
+
+type in_result = { i_ref : Oid.t; i_suspected : bool; i_outset : Oid.t list }
+
+type stats = {
+  clean_visits : int;
+  suspect_visits : int;
+  distinct_outsets : int;
+  union_calls : int;
+  memo_hits : int;
+  inset_entries : int;
+  suspected_inrefs : int;
+  suspected_outrefs : int;
+}
+
+type outcome = {
+  out_site : Site_id.t;
+  dead : int list;
+  out_results : out_result list;
+  in_results : in_result list;
+  ot_stats : stats;
+}
+
+(* Per-outref accumulator during a trace. *)
+type outinfo = { mutable oi_dist : int; mutable oi_clean : bool }
+
+type mark = Clean | Suspect
+
+let compute ?(mode = Bottom_up) inp =
+  let graph = inp.in_graph in
+  let is_local r = Site_id.equal (Oid.site r) inp.in_site in
+  let marks : mark Oid.Tbl.t = Oid.Tbl.create 256 in
+  let outinfo : outinfo Oid.Tbl.t = Oid.Tbl.create 64 in
+  let clean_visits = ref 0 in
+  let suspect_visits = ref 0 in
+
+  (* ---- clean phase: trace distance-ordered clean roots (§3) ---- *)
+  let clean_groups =
+    (0, inp.in_roots)
+    :: List.filter_map
+         (fun (r, d, flagged) ->
+           if flagged || d > inp.in_delta then None else Some (d, [ r ]))
+         inp.in_inrefs
+    |> List.stable_sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let trace_clean_group (d, roots) =
+    let stack = ref [] in
+    let visit r =
+      if is_local r then begin
+        if graph.Reach.g_mem r && not (Oid.Tbl.mem marks r) then begin
+          Oid.Tbl.add marks r Clean;
+          incr clean_visits;
+          stack := r :: !stack
+        end
+      end
+      else begin
+        (* First reach sets the distance (ascending root order makes it
+           the minimum); any reach from a clean root makes it clean. *)
+        match Oid.Tbl.find_opt outinfo r with
+        | Some oi -> oi.oi_clean <- true
+        | None -> Oid.Tbl.add outinfo r { oi_dist = d + 1; oi_clean = true }
+      end
+    in
+    List.iter visit roots;
+    let rec drain () =
+      match !stack with
+      | [] -> ()
+      | r :: tl ->
+          stack := tl;
+          List.iter visit (graph.Reach.g_fields r);
+          drain ()
+    in
+    drain ()
+  in
+  List.iter trace_clean_group clean_groups;
+
+  (* ---- suspect phase ---- *)
+  let suspects =
+    List.filter_map
+      (fun (r, d, flagged) ->
+        if flagged || d <= inp.in_delta then None else Some (r, d))
+      inp.in_inrefs
+    |> List.stable_sort (fun (_, a) (_, b) -> Int.compare a b)
+  in
+  let store = Outset_store.create () in
+  (* Encountering a remote reference from a suspected trace rooted at
+     distance [d]: returns the outset contribution (None if the outref
+     is clean). *)
+  let reach_out_suspect d r =
+    match Oid.Tbl.find_opt outinfo r with
+    | Some oi ->
+        if oi.oi_clean then None else Some (Outset_store.singleton store r)
+    | None ->
+        Oid.Tbl.add outinfo r { oi_dist = d + 1; oi_clean = false };
+        Some (Outset_store.singleton store r)
+  in
+
+  (* Outset of every traced suspected object, by outset-store id. *)
+  let obj_outset : Outset_store.id Oid.Tbl.t = Oid.Tbl.create 256 in
+
+  let inref_outsets : (Oid.t, Oid.t list) Hashtbl.t = Hashtbl.create 64 in
+
+  (match mode with
+  | Bottom_up ->
+      (* §5.2: fused trace + Tarjan SCC + bottom-up outsets. The state
+         mirrors the paper's pseudocode: Mark (visit numbers), Leader,
+         Outset, and an auxiliary component stack. *)
+      let mark_num : int Oid.Tbl.t = Oid.Tbl.create 256 in
+      let lead : int Oid.Tbl.t = Oid.Tbl.create 256 in
+      let comp_stack = ref [] in
+      let counter = ref 0 in
+      let inf = max_int in
+      let get tbl x = Oid.Tbl.find tbl x in
+      let set tbl x v = Oid.Tbl.replace tbl x v in
+      let trace_suspected d root =
+        if
+          graph.Reach.g_mem root
+          && (not (Oid.Tbl.mem marks root))
+          && not (Oid.Tbl.mem mark_num root)
+        then begin
+          let start x =
+            set mark_num x !counter;
+            set lead x !counter;
+            incr counter;
+            comp_stack := x :: !comp_stack;
+            Oid.Tbl.replace marks x Suspect;
+            incr suspect_visits;
+            set obj_outset x (Outset_store.empty store)
+          in
+          start root;
+          let frames = ref [ (root, ref (graph.Reach.g_fields root)) ] in
+          let merge_into parent child_outset child_leader =
+            set obj_outset parent
+              (Outset_store.union store (get obj_outset parent) child_outset);
+            set lead parent (min (get lead parent) child_leader)
+          in
+          let finish x =
+            if get lead x = get mark_num x then begin
+              (* x leads its component: give every member x's outset. *)
+              let ox = get obj_outset x in
+              let rec pop () =
+                match !comp_stack with
+                | [] -> assert false
+                | z :: tl ->
+                    comp_stack := tl;
+                    set obj_outset z ox;
+                    set lead z inf;
+                    if not (Oid.equal z x) then pop ()
+              in
+              pop ()
+            end
+          in
+          let rec step () =
+            match !frames with
+            | [] -> ()
+            | (x, pending) :: rest -> begin
+                match !pending with
+                | [] ->
+                    finish x;
+                    frames := rest;
+                    (match rest with
+                    | (p, _) :: _ ->
+                        merge_into p (get obj_outset x) (get lead x)
+                    | [] -> ());
+                    step ()
+                | z :: ztl ->
+                    pending := ztl;
+                    if is_local z then begin
+                      if
+                        graph.Reach.g_mem z
+                        && not (Oid.Tbl.mem marks z && get_mark marks z = Clean)
+                      then begin
+                        if Oid.Tbl.mem mark_num z then
+                          (* already traced (possibly on the stack):
+                             merge its current outset and leader *)
+                          merge_into x (get obj_outset z) (get lead z)
+                        else begin
+                          start z;
+                          frames := (z, ref (graph.Reach.g_fields z)) :: !frames
+                        end
+                      end
+                    end
+                    else begin
+                      match reach_out_suspect d z with
+                      | None -> ()
+                      | Some contrib ->
+                          set obj_outset x
+                            (Outset_store.union store (get obj_outset x)
+                               contrib)
+                    end;
+                    step ()
+              end
+          and get_mark tbl z = Oid.Tbl.find tbl z in
+          step ()
+        end
+      in
+      List.iter
+        (fun (r, d) ->
+          trace_suspected d r;
+          let outset =
+            match Oid.Tbl.find_opt obj_outset r with
+            | Some id -> Outset_store.elements store id
+            | None -> []  (* object clean or absent *)
+          in
+          Hashtbl.replace inref_outsets r outset)
+        suspects
+  | Naive_bottom_up ->
+      (* §5.2's first cut: single scan, outsets unioned bottom-up, but
+         no SCC handling — back edges read incomplete outsets. Kept
+         only to demonstrate the failure (Figure 4). *)
+      let visited : unit Oid.Tbl.t = Oid.Tbl.create 256 in
+      let trace_naive d root =
+        if
+          graph.Reach.g_mem root
+          && Oid.Tbl.find_opt marks root <> Some Clean
+          && not (Oid.Tbl.mem visited root)
+        then begin
+          let start x =
+            Oid.Tbl.add visited x ();
+            Oid.Tbl.replace marks x Suspect;
+            incr suspect_visits;
+            Oid.Tbl.replace obj_outset x (Outset_store.empty store)
+          in
+          start root;
+          let frames = ref [ (root, ref (graph.Reach.g_fields root)) ] in
+          let merge_into p contrib =
+            Oid.Tbl.replace obj_outset p
+              (Outset_store.union store (Oid.Tbl.find obj_outset p) contrib)
+          in
+          let rec step () =
+            match !frames with
+            | [] -> ()
+            | (x, pending) :: rest -> begin
+                match !pending with
+                | [] ->
+                    frames := rest;
+                    (match rest with
+                    | (p, _) :: _ -> merge_into p (Oid.Tbl.find obj_outset x)
+                    | [] -> ());
+                    step ()
+                | z :: ztl ->
+                    pending := ztl;
+                    if is_local z then begin
+                      if
+                        graph.Reach.g_mem z
+                        && Oid.Tbl.find_opt marks z <> Some Clean
+                      then begin
+                        if Oid.Tbl.mem visited z then
+                          (* possibly incomplete: the bug *)
+                          merge_into x (Oid.Tbl.find obj_outset z)
+                        else begin
+                          start z;
+                          frames :=
+                            (z, ref (graph.Reach.g_fields z)) :: !frames
+                        end
+                      end
+                    end
+                    else begin
+                      match reach_out_suspect d z with
+                      | None -> ()
+                      | Some contrib -> merge_into x contrib
+                    end;
+                    step ()
+              end
+          in
+          step ()
+        end
+      in
+      List.iter
+        (fun (r, d) ->
+          trace_naive d r;
+          let outset =
+            match Oid.Tbl.find_opt obj_outset r with
+            | Some id -> Outset_store.elements store id
+            | None -> []
+          in
+          Hashtbl.replace inref_outsets r outset)
+        suspects
+  | Independent ->
+      (* §5.1: a full, separate trace per suspected inref; objects
+         reached by several suspected inrefs are scanned once per
+         inref. *)
+      List.iter
+        (fun (r, d) ->
+          let visited = Oid.Tbl.create 64 in
+          let acc = ref Oid.Set.empty in
+          let stack = ref [] in
+          let visit z =
+            if is_local z then begin
+              if
+                graph.Reach.g_mem z
+                && (not (Oid.Tbl.mem visited z))
+                && Oid.Tbl.find_opt marks z <> Some Clean
+              then begin
+                Oid.Tbl.add visited z ();
+                Oid.Tbl.replace marks z Suspect;
+                incr suspect_visits;
+                stack := z :: !stack
+              end
+            end
+            else
+              match reach_out_suspect d z with
+              | None -> ()
+              | Some _ -> acc := Oid.Set.add z !acc
+          in
+          visit r;
+          let rec drain () =
+            match !stack with
+            | [] -> ()
+            | z :: tl ->
+                stack := tl;
+                List.iter visit (graph.Reach.g_fields z);
+                drain ()
+          in
+          drain ();
+          Hashtbl.replace inref_outsets r (Oid.Set.elements !acc))
+        suspects);
+
+  (* ---- assemble results ---- *)
+  let in_results =
+    List.map
+      (fun (r, d, flagged) ->
+        let suspected = (not flagged) && d > inp.in_delta in
+        let outset =
+          if suspected then
+            Option.value ~default:[] (Hashtbl.find_opt inref_outsets r)
+          else []
+        in
+        { i_ref = r; i_suspected = suspected; i_outset = outset })
+      inp.in_inrefs
+  in
+  (* Insets are the inverse view of the suspected inrefs' outsets. *)
+  let insets : (Oid.t, Oid.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun res ->
+      if res.i_suspected then
+        List.iter
+          (fun o ->
+            match Hashtbl.find_opt insets o with
+            | Some l -> l := res.i_ref :: !l
+            | None -> Hashtbl.add insets o (ref [ res.i_ref ]))
+          res.i_outset)
+    in_results;
+  let out_results =
+    List.map
+      (fun r ->
+        match Oid.Tbl.find_opt outinfo r with
+        | None ->
+            {
+              o_ref = r;
+              o_dist = Ioref.infinity_dist;
+              o_suspected = false;
+              o_removed = true;
+              o_inset = [];
+            }
+        | Some oi ->
+            let inset =
+              if oi.oi_clean then []
+              else
+                match Hashtbl.find_opt insets r with
+                | Some l -> List.sort Oid.compare !l
+                | None -> []
+            in
+            {
+              o_ref = r;
+              o_dist = oi.oi_dist;
+              o_suspected = not oi.oi_clean;
+              o_removed = false;
+              o_inset = inset;
+            })
+      inp.in_outrefs
+  in
+  let dead =
+    List.filter
+      (fun i ->
+        not (Oid.Tbl.mem marks (Oid.make ~site:inp.in_site ~index:i)))
+      inp.in_indices
+  in
+  let st = Outset_store.stats store in
+  let ot_stats =
+    {
+      clean_visits = !clean_visits;
+      suspect_visits = !suspect_visits;
+      distinct_outsets = st.Outset_store.distinct;
+      union_calls = st.Outset_store.union_calls;
+      memo_hits = st.Outset_store.memo_hits;
+      inset_entries =
+        Util.list_sum (fun o -> List.length o.o_inset) out_results;
+      suspected_inrefs = List.length suspects;
+      suspected_outrefs =
+        List.length (List.filter (fun o -> o.o_suspected) out_results);
+    }
+  in
+  { out_site = inp.in_site; dead; out_results; in_results; ot_stats }
+
+(* ---- the atomic swap (§6.2) ---- *)
+
+let apply eng site outcome ~window_cleans ~on_cleaned ~oracle_check =
+  let tables = site.Site.tables in
+  let metrics = Engine.metrics eng in
+  let delta = (Engine.config eng).Config.delta in
+  if oracle_check then
+    Dgc_oracle.Oracle.check_would_free eng site.Site.id outcome.dead;
+  let freed = Heap.free site.Site.heap outcome.dead in
+  Metrics.add metrics "gc.objects_freed" freed;
+  Metrics.incr metrics "gc.local_traces";
+  if freed > 0 then
+    Engine.jlog eng ~cat:"gc" "%a freed %d (suspects: %d inrefs, %d outrefs)"
+      Site_id.pp site.Site.id freed outcome.ot_stats.suspected_inrefs
+      outcome.ot_stats.suspected_outrefs;
+  (* Inrefs: install new suspicion status and outsets. *)
+  List.iter
+    (fun res ->
+      match Tables.find_inref tables res.i_ref with
+      | None -> ()
+      | Some ir ->
+          let was_clean = Ioref.inref_clean ~delta ir in
+          ir.Ioref.ir_suspected <- res.i_suspected;
+          ir.Ioref.ir_outset <- res.i_outset;
+          ir.Ioref.ir_forced_clean <- false;
+          ir.Ioref.ir_fresh <- false;
+          if Ioref.inref_clean ~delta ir && not was_clean then
+            on_cleaned res.i_ref)
+    outcome.in_results;
+  (* Outrefs: install distances, suspicion and insets; trim. *)
+  let removals = ref [] in
+  let dist_updates = ref [] in
+  List.iter
+    (fun res ->
+      match Tables.find_outref tables res.o_ref with
+      | None -> ()
+      | Some o ->
+          if res.o_removed then begin
+            if o.Ioref.or_pins > 0 then begin
+              (* Pinned during the window (insert barrier): keep it,
+                 conservatively clean. *)
+              let was_clean = Ioref.outref_clean o in
+              o.Ioref.or_suspected <- false;
+              o.Ioref.or_inset <- [];
+              o.Ioref.or_forced_clean <- false;
+              if not was_clean then on_cleaned res.o_ref
+            end
+            else begin
+              Tables.remove_outref tables res.o_ref;
+              removals := res.o_ref :: !removals
+            end
+          end
+          else begin
+            let was_clean = Ioref.outref_clean o in
+            if o.Ioref.or_dist <> res.o_dist then
+              dist_updates := (res.o_ref, res.o_dist) :: !dist_updates;
+            o.Ioref.or_dist <- res.o_dist;
+            o.Ioref.or_suspected <- res.o_suspected;
+            o.Ioref.or_inset <- res.o_inset;
+            o.Ioref.or_forced_clean <- false;
+            o.Ioref.or_fresh <- false;
+            if Ioref.outref_clean o && not was_clean then on_cleaned res.o_ref
+          end)
+    outcome.out_results;
+  (* Replay barrier cleans that raced the trace window onto the new
+     copy (§6.2). *)
+  let clean_outref r =
+    match Tables.find_outref tables r with
+    | None -> ()
+    | Some o ->
+        let was_clean = Ioref.outref_clean o in
+        o.Ioref.or_forced_clean <- true;
+        if not was_clean then on_cleaned r
+  in
+  List.iter
+    (fun r ->
+      if Site_id.equal (Oid.site r) site.Site.id then begin
+        match Tables.find_inref tables r with
+        | None -> ()
+        | Some ir ->
+            let was_clean = Ioref.inref_clean ~delta ir in
+            ir.Ioref.ir_forced_clean <- true;
+            if not was_clean then on_cleaned r;
+            List.iter clean_outref ir.Ioref.ir_outset
+      end
+      else clean_outref r)
+    window_cleans;
+  (* Report removals and distance changes to the target sites. *)
+  let by_site = Hashtbl.create 8 in
+  let bucket dst =
+    match Hashtbl.find_opt by_site dst with
+    | Some b -> b
+    | None ->
+        let b = (ref [], ref []) in
+        Hashtbl.add by_site dst b;
+        b
+  in
+  List.iter
+    (fun r ->
+      let rem, _ = bucket (Oid.site r) in
+      rem := r :: !rem)
+    !removals;
+  List.iter
+    (fun (r, d) ->
+      let _, ds = bucket (Oid.site r) in
+      ds := (r, d) :: !ds)
+    !dist_updates;
+  Hashtbl.iter
+    (fun dst (rem, ds) ->
+      Engine.send eng ~src:site.Site.id ~dst
+        (Protocol.Update { removals = !rem; dists = !ds }))
+    by_site;
+  site.Site.trace_epoch <- site.Site.trace_epoch + 1

@@ -1,0 +1,99 @@
+(** The local forward trace, extended per §3 and §5.
+
+    One pass does four jobs:
+    - mark live local objects (roots: persistent roots, application
+      roots, non-flagged inrefs);
+    - propagate distances from inrefs to outrefs, tracing inrefs in
+      increasing distance order (§3);
+    - classify iorefs as clean or suspected against the threshold Δ;
+    - compute the outsets of suspected inrefs — equivalently the insets
+      of suspected outrefs — by the §5.2 bottom-up algorithm (fused
+      Tarjan SCC + memoized outset unions), or by §5.1 independent
+      tracing for comparison.
+
+    [compute] is pure with respect to the site: it reads a sampled
+    {!input} and returns an {!outcome}. [apply] installs an outcome
+    into the site's tables atomically — the §6.2 "new copy replaces the
+    old" step — sweeps the heap, emits update messages, and replays the
+    transfer-barrier cleans that happened during the trace window. *)
+
+open Dgc_prelude
+open Dgc_heap
+open Dgc_rts
+
+type mode =
+  | Bottom_up  (** §5.2: every object scanned once, SCC-aware *)
+  | Independent  (** §5.1: one full trace per suspected inref *)
+  | Naive_bottom_up
+      (** §5.2's rejected "first cut": single-scan bottom-up without
+          strongly-connected-component handling. Deliberately incorrect
+          in the presence of back edges (Figure 4) — kept to
+          demonstrate why the SCC machinery is needed. Never use it in
+          a real collector. *)
+
+type input = {
+  in_site : Site_id.t;
+  in_graph : Reach.graph;
+  in_indices : int list;  (** local objects existing at sample time *)
+  in_roots : Oid.t list;  (** persistent + application roots (distance 0) *)
+  in_inrefs : (Oid.t * int * bool) list;  (** target, distance, flagged *)
+  in_outrefs : Oid.t list;
+  in_delta : int;
+}
+
+val input_of_site : Engine.t -> Site.t -> input
+(** Sample the site's current state (atomic trace). *)
+
+val input_of_snapshot : Engine.t -> Site.t -> Snapshot.t -> input
+(** Graph and object set from the snapshot (taken at window start);
+    roots and tables sampled now — call this at window start too. *)
+
+type out_result = {
+  o_ref : Oid.t;
+  o_dist : int;
+  o_suspected : bool;
+  o_removed : bool;  (** untraced: drop and notify the target site *)
+  o_inset : Oid.t list;
+}
+
+type in_result = {
+  i_ref : Oid.t;
+  i_suspected : bool;
+  i_outset : Oid.t list;
+}
+
+type stats = {
+  clean_visits : int;
+  suspect_visits : int;  (** object scans; exceeds the object count in
+                             [Independent] mode — that is §5.1's cost *)
+  distinct_outsets : int;
+  union_calls : int;
+  memo_hits : int;
+  inset_entries : int;  (** Σ |inset| over suspected outrefs *)
+  suspected_inrefs : int;
+  suspected_outrefs : int;
+}
+
+type outcome = {
+  out_site : Site_id.t;
+  dead : int list;  (** local indices to free *)
+  out_results : out_result list;
+  in_results : in_result list;
+  ot_stats : stats;
+}
+
+val compute : ?mode:mode -> input -> outcome
+
+val apply :
+  Engine.t ->
+  Site.t ->
+  outcome ->
+  window_cleans:Oid.t list ->
+  on_cleaned:(Oid.t -> unit) ->
+  oracle_check:bool ->
+  unit
+(** Atomic swap (§6.2). [window_cleans] are the references barrier-
+    cleaned during the trace window, replayed onto the new copy.
+    [on_cleaned] fires for every ioref that transitions suspected →
+    clean (the §6.4 clean-rule notification). With [oracle_check], the
+    sweep is verified against {!Dgc_oracle.Oracle} first. *)

@@ -1,0 +1,120 @@
+open Dgc_heap
+
+type id = int
+
+type t = {
+  mutable sets : Oid.t array array;  (** id -> sorted elements *)
+  mutable count : int;
+  interned : (Oid.t list, id) Hashtbl.t;  (** canonical form -> id *)
+  memo : (int * int, id) Hashtbl.t;
+  memoize : bool;
+  mutable u_calls : int;
+  mutable u_hits : int;
+}
+
+type stats = {
+  distinct : int;
+  union_calls : int;
+  memo_hits : int;
+  elements_stored : int;
+}
+
+let create ?(memoize = true) () =
+  let t =
+    {
+      sets = Array.make 16 [||];
+      count = 0;
+      interned = Hashtbl.create 64;
+      memo = Hashtbl.create 64;
+      memoize;
+      u_calls = 0;
+      u_hits = 0;
+    }
+  in
+  (* id 0 is the empty set *)
+  Hashtbl.add t.interned [] 0;
+  t.count <- 1;
+  t
+
+let intern t sorted_list =
+  match Hashtbl.find_opt t.interned sorted_list with
+  | Some id -> id
+  | None ->
+      let id = t.count in
+      if id >= Array.length t.sets then begin
+        let fresh = Array.make (2 * Array.length t.sets) [||] in
+        Array.blit t.sets 0 fresh 0 t.count;
+        t.sets <- fresh
+      end;
+      t.sets.(id) <- Array.of_list sorted_list;
+      t.count <- id + 1;
+      Hashtbl.add t.interned sorted_list id;
+      id
+
+let empty _t = 0
+let singleton t r = intern t [ r ]
+
+let merge_sorted a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < la && !j < lb do
+    let c = Oid.compare a.(!i) b.(!j) in
+    if c < 0 then begin
+      out := a.(!i) :: !out;
+      incr i
+    end
+    else if c > 0 then begin
+      out := b.(!j) :: !out;
+      incr j
+    end
+    else begin
+      out := a.(!i) :: !out;
+      incr i;
+      incr j
+    end
+  done;
+  while !i < la do
+    out := a.(!i) :: !out;
+    incr i
+  done;
+  while !j < lb do
+    out := b.(!j) :: !out;
+    incr j
+  done;
+  List.rev !out
+
+let union t x y =
+  if x = y then x
+  else if x = 0 then y
+  else if y = 0 then x
+  else begin
+    t.u_calls <- t.u_calls + 1;
+    let key = if x < y then (x, y) else (y, x) in
+    match if t.memoize then Hashtbl.find_opt t.memo key else None with
+    | Some id ->
+        t.u_hits <- t.u_hits + 1;
+        id
+    | None ->
+        let merged = merge_sorted t.sets.(x) t.sets.(y) in
+        let id = intern t merged in
+        if t.memoize then Hashtbl.add t.memo key id;
+        id
+  end
+
+let add t x r = union t x (singleton t r)
+let elements t id = Array.to_list t.sets.(id)
+let cardinal t id = Array.length t.sets.(id)
+let is_empty_id _t id = id = 0
+
+let stats t =
+  let elements_stored = ref 0 in
+  for i = 0 to t.count - 1 do
+    elements_stored := !elements_stored + Array.length t.sets.(i)
+  done;
+  {
+    distinct = t.count;
+    union_calls = t.u_calls;
+    memo_hits = t.u_hits;
+    elements_stored = !elements_stored;
+  }

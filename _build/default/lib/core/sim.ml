@@ -1,0 +1,38 @@
+open Dgc_simcore
+open Dgc_rts
+
+type t = { eng : Engine.t; col : Collector.t; muts : Mutator.manager }
+
+let make ?(cfg = Config.default) () =
+  let eng = Engine.create cfg in
+  let col = Collector.install eng in
+  let muts = Mutator.manager eng in
+  { eng; col; muts }
+
+let start t = Engine.start_gc_schedule t.eng
+let run_for t d = Engine.run_for t.eng d
+
+let run_rounds t n =
+  let target = Engine.trace_rounds_completed t.eng + n in
+  let interval = (Engine.config t.eng).Config.trace_interval in
+  (* Step in quarter-intervals so we stop close to the target round
+     rather than overshooting by several trace rounds. *)
+  let chunk =
+    Sim_time.of_seconds (Float.max 0.5 (Sim_time.to_seconds interval /. 4.))
+  in
+  let guard = ref ((16 * n) + 64) in
+  while Engine.trace_rounds_completed t.eng < target && !guard > 0 do
+    decr guard;
+    run_for t chunk
+  done
+
+let collect_all t ?(max_rounds = 40) () =
+  let rec loop n =
+    if Dgc_oracle.Oracle.garbage_count t.eng = 0 then true
+    else if n >= max_rounds then false
+    else begin
+      run_rounds t 1;
+      loop (n + 1)
+    end
+  in
+  loop 0

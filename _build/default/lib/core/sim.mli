@@ -1,0 +1,33 @@
+(** Top-level assembly: engine + back-tracing collector + mutators.
+
+    The usual lifecycle is
+    {[
+      let sim = Sim.make ~cfg () in
+      (* build an object graph: Dgc_rts.Builder or mutator agents *)
+      Sim.start sim;
+      Sim.run_rounds sim 12;
+      (* inspect: Dgc_oracle.Oracle, Engine.metrics, Back_trace.stats *)
+    ]} *)
+
+open Dgc_simcore
+open Dgc_rts
+
+type t = {
+  eng : Engine.t;
+  col : Collector.t;
+  muts : Mutator.manager;
+}
+
+val make : ?cfg:Config.t -> unit -> t
+val start : t -> unit
+(** Begin the periodic local-trace schedule. *)
+
+val run_for : t -> Sim_time.t -> unit
+val run_rounds : t -> int -> unit
+(** Run until every site has completed that many more local traces
+    (bounded internally to avoid spinning if sites are crashed). *)
+
+val collect_all : t -> ?max_rounds:int -> unit -> bool
+(** Run rounds until the oracle reports zero garbage, up to
+    [max_rounds] (default 40). True on success. Requires {!start} to
+    have been called. *)

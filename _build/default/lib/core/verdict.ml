@@ -1,0 +1,9 @@
+type t = Live | Garbage
+
+let merge a b = match (a, b) with Garbage, Garbage -> Garbage | _ -> Live
+let equal a b = match (a, b) with
+  | Live, Live | Garbage, Garbage -> true
+  | Live, Garbage | Garbage, Live -> false
+
+let to_string = function Live -> "Live" | Garbage -> "Garbage"
+let pp ppf t = Format.pp_print_string ppf (to_string t)

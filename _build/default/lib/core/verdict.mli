@@ -1,0 +1,10 @@
+(** Back-trace verdicts (§4.4). *)
+
+type t = Live | Garbage
+
+val merge : t -> t -> t
+(** [Live] dominates: a trace is garbage only if every branch is. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

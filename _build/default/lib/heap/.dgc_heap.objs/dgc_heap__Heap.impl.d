@@ -1,0 +1,1 @@
+lib/heap/heap.ml: Dgc_prelude Format Hashtbl Int List Oid Option Site_id

@@ -1,0 +1,1 @@
+lib/heap/heap.mli: Dgc_prelude Format Oid Site_id

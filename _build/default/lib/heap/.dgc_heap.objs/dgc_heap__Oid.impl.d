@@ -1,0 +1,1 @@
+lib/heap/oid.ml: Dgc_prelude Format Hashtbl Int Map Set Site_id

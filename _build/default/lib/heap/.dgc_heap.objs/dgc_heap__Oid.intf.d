@@ -1,0 +1,1 @@
+lib/heap/oid.mli: Dgc_prelude Format Hashtbl Map Set Site_id

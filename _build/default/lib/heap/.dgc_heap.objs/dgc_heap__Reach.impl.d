@@ -1,0 +1,1 @@
+lib/heap/reach.ml: Dgc_prelude Heap List Oid Site_id Snapshot

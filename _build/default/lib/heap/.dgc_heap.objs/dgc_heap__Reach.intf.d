@@ -1,0 +1,1 @@
+lib/heap/reach.mli: Dgc_prelude Heap Oid Site_id Snapshot

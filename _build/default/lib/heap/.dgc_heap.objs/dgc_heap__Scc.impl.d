@@ -1,0 +1,1 @@
+lib/heap/scc.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/heap/snapshot.ml: Dgc_prelude Hashtbl Heap Int List Oid Option Site_id

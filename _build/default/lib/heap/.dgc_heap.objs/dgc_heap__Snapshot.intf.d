@@ -1,0 +1,1 @@
+lib/heap/snapshot.mli: Dgc_prelude Heap Oid Site_id

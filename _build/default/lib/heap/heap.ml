@@ -1,0 +1,107 @@
+open Dgc_prelude
+
+type obj = {
+  oid : Oid.t;
+  mutable fields : Oid.t list;
+  mutable birth : int;
+  mutable size : int;
+}
+
+type t = {
+  site : Site_id.t;
+  objects : (int, obj) Hashtbl.t;
+  mutable next_index : int;
+  mutable roots : Oid.t list;
+}
+
+let create site =
+  { site; objects = Hashtbl.create 64; next_index = 0; roots = [] }
+
+let site t = t.site
+
+let alloc ?(size = 1) t =
+  let index = t.next_index in
+  t.next_index <- index + 1;
+  let oid = Oid.make ~site:t.site ~index in
+  Hashtbl.add t.objects index { oid; fields = []; birth = index; size };
+  oid
+
+let alloc_clock t = t.next_index
+
+let find t oid =
+  if not (Site_id.equal (Oid.site oid) t.site) then None
+  else Hashtbl.find_opt t.objects (Oid.index oid)
+
+let mem t oid = Option.is_some (find t oid)
+
+let get t oid =
+  match find t oid with Some o -> o | None -> raise Not_found
+
+let fields t oid = match find t oid with Some o -> o.fields | None -> []
+
+let add_field t ~obj ~target =
+  let o = get t obj in
+  o.fields <- target :: o.fields
+
+let remove_field t ~obj ~target =
+  match find t obj with
+  | None -> false
+  | Some o ->
+      let removed = ref false in
+      let rec drop_one = function
+        | [] -> []
+        | x :: tl ->
+            if (not !removed) && Oid.equal x target then begin
+              removed := true;
+              tl
+            end
+            else x :: drop_one tl
+      in
+      o.fields <- drop_one o.fields;
+      !removed
+
+let clear_fields t oid =
+  match find t oid with None -> () | Some o -> o.fields <- []
+
+let add_persistent_root t oid =
+  if not (mem t oid) then
+    invalid_arg "Heap.add_persistent_root: not a live local object";
+  if not (List.exists (Oid.equal oid) t.roots) then
+    t.roots <- oid :: t.roots
+
+let persistent_roots t = t.roots
+let iter t f = Hashtbl.iter (fun _ o -> f o) t.objects
+let fold t ~init ~f = Hashtbl.fold (fun _ o acc -> f acc o) t.objects init
+let object_count t = Hashtbl.length t.objects
+
+let indices t =
+  Hashtbl.fold (fun i _ acc -> i :: acc) t.objects [] |> List.sort Int.compare
+
+let free t idxs =
+  let is_root i =
+    List.exists (fun r -> Oid.index r = i) t.roots
+  in
+  List.fold_left
+    (fun n i ->
+      if Hashtbl.mem t.objects i && not (is_root i) then begin
+        Hashtbl.remove t.objects i;
+        n + 1
+      end
+      else n)
+    0 idxs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>heap %a: %d objects, roots [%a]@," Site_id.pp
+    t.site (object_count t)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Oid.pp)
+    t.roots;
+  List.iter
+    (fun i ->
+      let o = Hashtbl.find t.objects i in
+      Format.fprintf ppf "  %a -> [%a]@," Oid.pp o.oid
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+           Oid.pp)
+        o.fields)
+    (indices t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,66 @@
+(** Per-site object store.
+
+    Objects hold unordered multisets of references ("fields"); a
+    reference may point to a local or a remote object. Persistent roots
+    (§2) are designated local objects that serve as entry points. The
+    store itself performs no collection — the collectors (local
+    mark-sweep in {!Dgc_rts}, the combined trace in the core library)
+    decide which objects to {!free}. *)
+
+open Dgc_prelude
+
+type obj = {
+  oid : Oid.t;
+  mutable fields : Oid.t list;  (** outgoing references, duplicates allowed *)
+  mutable birth : int;  (** allocation sequence number, for allocate-live *)
+  mutable size : int;  (** abstract payload size, for migration-cost accounting *)
+}
+
+type t
+
+val create : Site_id.t -> t
+val site : t -> Site_id.t
+
+val alloc : ?size:int -> t -> Oid.t
+(** Allocate a fresh object with no fields. [size] defaults to 1. *)
+
+val alloc_clock : t -> int
+(** Current allocation sequence number; objects with
+    [birth >= alloc_clock] taken at trace start are treated as live by
+    snapshot-at-beginning sweeps. *)
+
+val mem : t -> Oid.t -> bool
+(** True iff the object is local to this site and not freed. *)
+
+val find : t -> Oid.t -> obj option
+val get : t -> Oid.t -> obj
+(** Raises [Not_found] if absent. *)
+
+val fields : t -> Oid.t -> Oid.t list
+(** [] for absent objects. *)
+
+val add_field : t -> obj:Oid.t -> target:Oid.t -> unit
+(** Raises [Not_found] if [obj] is absent. *)
+
+val remove_field : t -> obj:Oid.t -> target:Oid.t -> bool
+(** Remove one occurrence; false if none was present. *)
+
+val clear_fields : t -> Oid.t -> unit
+
+val add_persistent_root : t -> Oid.t -> unit
+(** Raises [Invalid_argument] if the oid is not a live local object. *)
+
+val persistent_roots : t -> Oid.t list
+
+val iter : t -> (obj -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> obj -> 'a) -> 'a
+val object_count : t -> int
+val indices : t -> int list
+(** Local indices of live objects, ascending. *)
+
+val free : t -> int list -> int
+(** Free the objects with the given local indices; absent indices are
+    ignored; persistent roots are never freed. Returns the number
+    actually freed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+open Dgc_prelude
+
+type t = { site : Site_id.t; index : int }
+
+let make ~site ~index = { site; index }
+let site t = t.site
+let index t = t.index
+let equal a b = Site_id.equal a.site b.site && Int.equal a.index b.index
+
+let compare a b =
+  match Site_id.compare a.site b.site with
+  | 0 -> Int.compare a.index b.index
+  | c -> c
+
+let hash t = (Site_id.hash t.site * 1_000_003) + t.index
+let pp ppf t = Format.fprintf ppf "%a/o%d" Site_id.pp t.site t.index
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,25 @@
+(** Object identifiers.
+
+    An object lives at exactly one site for its whole life (no
+    migration in the core scheme; the migration baseline models moved
+    objects as fresh copies). An [Oid.t] therefore both names an object
+    and identifies its owner site. An {e inref} is identified by the
+    reference it contains (§2), i.e. by the target's [Oid.t]; likewise
+    an outref. *)
+
+open Dgc_prelude
+
+type t = { site : Site_id.t; index : int }
+
+val make : site:Site_id.t -> index:int -> t
+val site : t -> Site_id.t
+val index : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,60 @@
+open Dgc_prelude
+
+type graph = {
+  g_site : Site_id.t;
+  g_mem : Oid.t -> bool;
+  g_fields : Oid.t -> Oid.t list;
+}
+
+let of_heap heap =
+  {
+    g_site = Heap.site heap;
+    g_mem = (fun oid -> Heap.mem heap oid);
+    g_fields = (fun oid -> Heap.fields heap oid);
+  }
+
+let of_snapshot snap =
+  {
+    g_site = Snapshot.site snap;
+    g_mem = (fun oid -> Snapshot.mem snap oid);
+    g_fields = (fun oid -> Snapshot.fields snap oid);
+  }
+
+let is_local g oid = Site_id.equal (Oid.site oid) g.g_site
+
+let closure g ~from =
+  let locals = ref Oid.Set.empty in
+  let remotes = ref Oid.Set.empty in
+  let stack = ref [] in
+  let visit r =
+    if is_local g r then begin
+      if g.g_mem r && not (Oid.Set.mem r !locals) then begin
+        locals := Oid.Set.add r !locals;
+        stack := r :: !stack
+      end
+    end
+    else remotes := Oid.Set.add r !remotes
+  in
+  List.iter visit from;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | r :: tl ->
+        stack := tl;
+        List.iter visit (g.g_fields r);
+        drain ()
+  in
+  drain ();
+  (!locals, !remotes)
+
+let reaches g ~src ~dst =
+  if Oid.equal src dst then true
+  else begin
+    let locals, remotes = closure g ~from:[ src ] in
+    if is_local g dst then
+      Oid.Set.mem dst locals
+      || List.exists
+           (fun o -> List.exists (Oid.equal dst) (g.g_fields o))
+           (Oid.Set.elements locals)
+    else Oid.Set.mem dst remotes
+  end

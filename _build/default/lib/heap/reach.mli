@@ -1,0 +1,28 @@
+(** Local reachability over one site's object graph.
+
+    "Locally reachable" follows §4.1, footnote 1: a reference [b] is
+    locally reachable from reference [a] if there is a path of zero or
+    more local references from the object [a] names to an object
+    containing [b]. *)
+
+open Dgc_prelude
+
+type graph = {
+  g_site : Site_id.t;
+  g_mem : Oid.t -> bool;  (** object is present locally *)
+  g_fields : Oid.t -> Oid.t list;
+}
+
+val of_heap : Heap.t -> graph
+val of_snapshot : Snapshot.t -> graph
+
+val closure : graph -> from:Oid.t list -> Oid.Set.t * Oid.Set.t
+(** [closure g ~from] is [(locals, remotes)]: the set of local objects
+    reachable from the starting references by local paths, and the set
+    of remote references contained in those objects (plus any starting
+    references that are themselves remote). Starting references naming
+    absent local objects are ignored. *)
+
+val reaches : graph -> src:Oid.t -> dst:Oid.t -> bool
+(** [reaches g ~src ~dst]: [dst] is locally reachable from [src]
+    (including [src = dst]). *)

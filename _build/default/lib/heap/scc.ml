@@ -1,0 +1,90 @@
+type result = { component : int array; count : int; order : int list }
+
+(* Iterative Tarjan. The classic recursive formulation keeps, per
+   visited node, its position in the enclosing DFS; we reify that with
+   an explicit stack of (node, remaining successors). *)
+let tarjan ~n ~succ =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let scc_stack = ref [] in
+  let component = Array.make n (-1) in
+  let next_index = ref 0 in
+  let count = ref 0 in
+  let order = ref [] in
+  let valid j = j >= 0 && j < n in
+  let start v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    scc_stack := v :: !scc_stack;
+    on_stack.(v) <- true
+  in
+  let finish v =
+    if lowlink.(v) = index.(v) then begin
+      let id = !count in
+      incr count;
+      order := id :: !order;
+      let rec pop () =
+        match !scc_stack with
+        | [] -> assert false
+        | w :: tl ->
+            scc_stack := tl;
+            on_stack.(w) <- false;
+            component.(w) <- id;
+            if w <> v then pop ()
+      in
+      pop ()
+    end
+  in
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      start root;
+      let work = ref [ (root, List.filter valid (succ root)) ] in
+      let rec step () =
+        match !work with
+        | [] -> ()
+        | (v, remaining) :: rest -> begin
+            match remaining with
+            | [] ->
+                finish v;
+                work := rest;
+                (match rest with
+                | (parent, _) :: _ ->
+                    lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+                | [] -> ());
+                step ()
+            | w :: tl ->
+                work := (v, tl) :: rest;
+                if index.(w) = -1 then begin
+                  start w;
+                  work := (w, List.filter valid (succ w)) :: !work
+                end
+                else if on_stack.(w) then
+                  lowlink.(v) <- min lowlink.(v) index.(w);
+                step ()
+          end
+      in
+      step ()
+    end
+  done;
+  { component; count = !count; order = List.rev !order }
+
+let condensation ~n ~succ =
+  let res = tarjan ~n ~succ in
+  let dag = Array.make res.count [] in
+  let seen = Hashtbl.create 64 in
+  for v = 0 to n - 1 do
+    let cv = res.component.(v) in
+    List.iter
+      (fun w ->
+        if w >= 0 && w < n then begin
+          let cw = res.component.(w) in
+          if cv <> cw && not (Hashtbl.mem seen (cv, cw)) then begin
+            Hashtbl.add seen (cv, cw) ();
+            dag.(cv) <- cw :: dag.(cv)
+          end
+        end)
+      (succ v)
+  done;
+  (res, dag)

@@ -1,0 +1,22 @@
+(** Strongly connected components (Tarjan, iterative).
+
+    Used as the reference implementation against which the combined
+    trace of §5.2 (which fuses tracing, SCC detection and outset
+    computation) is property-tested, and by the heap-analysis examples. *)
+
+type result = {
+  component : int array;  (** node -> component id, in [0, count) *)
+  count : int;
+  order : int list;
+  (** component ids in reverse topological order: if an edge goes from
+      component [a] to component [b] (a <> b), then [b] appears before
+      [a] in [order]. *)
+}
+
+val tarjan : n:int -> succ:(int -> int list) -> result
+(** Nodes are [0..n-1]; [succ i] lists the successors of [i] (values
+    outside [0,n) are ignored). O(n + e), constant stack. *)
+
+val condensation : n:int -> succ:(int -> int list) -> result * int list array
+(** The SCC result plus the condensed DAG: successors (without
+    duplicates) of each component. *)

@@ -1,0 +1,27 @@
+(** Frozen copies of a heap's reference structure.
+
+    The non-atomic local trace of §6.2 computes over the object graph
+    as it stood when the trace began (snapshot-at-beginning): mutations
+    during the trace window do not affect the computation, and objects
+    allocated during the window are treated as live by the sweep. *)
+
+open Dgc_prelude
+
+type t
+
+val take : Heap.t -> t
+(** Capture the current adjacency, object set, persistent roots and
+    allocation clock of [heap]. O(objects + references). *)
+
+val site : t -> Site_id.t
+val mem : t -> Oid.t -> bool
+val fields : t -> Oid.t -> Oid.t list
+(** [] for objects absent from the snapshot. *)
+
+val indices : t -> int list
+val persistent_roots : t -> Oid.t list
+val alloc_clock : t -> int
+(** Allocation clock at capture time: objects of the underlying heap
+    with [birth >= alloc_clock t] were created after the snapshot. *)
+
+val object_count : t -> int

@@ -1,0 +1,1 @@
+lib/oracle/oracle.ml: Array Dgc_heap Dgc_prelude Dgc_rts Engine Format Heap Ioref List Oid Queue Site Site_id Tables

@@ -1,0 +1,1 @@
+lib/oracle/oracle.mli: Dgc_heap Dgc_prelude Dgc_rts Engine Oid Site_id

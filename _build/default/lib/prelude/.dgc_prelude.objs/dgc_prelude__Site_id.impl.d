@@ -1,0 +1,1 @@
+lib/prelude/site_id.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/prelude/site_id.mli: Format Map Set

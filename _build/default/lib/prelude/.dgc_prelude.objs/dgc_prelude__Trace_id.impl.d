@@ -1,0 +1,1 @@
+lib/prelude/trace_id.ml: Format Int Map Set Site_id

@@ -1,0 +1,1 @@
+lib/prelude/trace_id.mli: Format Map Set Site_id

@@ -1,0 +1,1 @@
+lib/rts/builder.ml: Dgc_heap Dgc_prelude Engine Heap Ioref List Oid Site Site_id Tables

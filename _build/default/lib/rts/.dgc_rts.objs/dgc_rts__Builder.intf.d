@@ -1,0 +1,1 @@
+lib/rts/builder.mli: Dgc_heap Dgc_prelude Engine Oid Site_id

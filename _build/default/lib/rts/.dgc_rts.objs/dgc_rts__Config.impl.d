@@ -1,0 +1,1 @@
+lib/rts/config.ml: Dgc_simcore Format Latency Sim_time

@@ -1,0 +1,1 @@
+lib/rts/config.mli: Dgc_simcore Format Latency Sim_time

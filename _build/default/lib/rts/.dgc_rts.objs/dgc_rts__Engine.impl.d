@@ -1,0 +1,1 @@
+lib/rts/engine.ml: Array Config Dgc_heap Dgc_prelude Dgc_simcore Event_queue Format Hashtbl Ioref Journal Latency List Metrics Oid Protocol Rng Sim_time Site Site_id Tables

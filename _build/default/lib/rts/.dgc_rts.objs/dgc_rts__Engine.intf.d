@@ -1,0 +1,1 @@
+lib/rts/engine.mli: Config Dgc_heap Dgc_prelude Dgc_simcore Format Journal Metrics Oid Protocol Rng Sim_time Site Site_id

@@ -1,0 +1,1 @@
+lib/rts/ioref.ml: Dgc_heap Dgc_prelude Format List Oid Site_id Trace_id

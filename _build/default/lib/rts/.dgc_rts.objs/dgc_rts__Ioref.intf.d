@@ -1,0 +1,1 @@
+lib/rts/ioref.mli: Dgc_heap Dgc_prelude Format Oid Site_id Trace_id

@@ -1,0 +1,1 @@
+lib/rts/local_gc.ml: Array Dgc_heap Dgc_simcore Engine Hashtbl Heap Ioref List Metrics Oid Protocol Reach Site Tables

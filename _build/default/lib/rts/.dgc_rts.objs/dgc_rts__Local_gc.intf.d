@@ -1,0 +1,1 @@
+lib/rts/local_gc.mli: Engine Site

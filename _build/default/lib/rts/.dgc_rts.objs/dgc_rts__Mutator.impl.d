@@ -1,0 +1,1 @@
+lib/rts/mutator.ml: Dgc_heap Dgc_prelude Dgc_simcore Engine Hashtbl Heap List Metrics Oid Sim_time Site Site_id String Util

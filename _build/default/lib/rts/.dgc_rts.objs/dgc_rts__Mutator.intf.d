@@ -1,0 +1,1 @@
+lib/rts/mutator.mli: Dgc_heap Dgc_prelude Dgc_simcore Engine Oid Site_id

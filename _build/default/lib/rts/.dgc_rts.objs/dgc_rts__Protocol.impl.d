@@ -1,0 +1,1 @@
+lib/rts/protocol.ml: Dgc_heap Dgc_prelude List Oid Site_id

@@ -1,0 +1,1 @@
+lib/rts/protocol.mli: Dgc_heap Dgc_prelude Oid Site_id

@@ -1,0 +1,1 @@
+lib/rts/site.ml: Dgc_heap Dgc_prelude Hashtbl Heap Ioref List Oid Protocol Site_id Tables Util

@@ -1,0 +1,1 @@
+lib/rts/site.mli: Dgc_heap Dgc_prelude Hashtbl Heap Oid Protocol Site_id Tables

@@ -1,0 +1,1 @@
+lib/rts/tables.ml: Dgc_heap Dgc_prelude Format Ioref List Oid Site_id

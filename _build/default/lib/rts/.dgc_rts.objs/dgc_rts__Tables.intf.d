@@ -1,0 +1,1 @@
+lib/rts/tables.mli: Dgc_heap Dgc_prelude Format Ioref Oid Site_id

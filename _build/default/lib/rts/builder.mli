@@ -1,0 +1,39 @@
+(** Direct construction of consistent multi-site object graphs.
+
+    Tests, scenarios and benches need to start from a known
+    configuration (e.g. the exact graphs of the paper's figures)
+    without scripting dozens of mutator steps. [Builder] allocates
+    objects and wires references while keeping the inref/outref tables
+    exactly as the runtime protocols would have left them in a
+    quiesced system. New inref sources get the conservative distance 1
+    (§3); run local traces afterwards to converge distances. *)
+
+open Dgc_prelude
+open Dgc_heap
+
+val obj : Engine.t -> Site_id.t -> Oid.t
+(** Allocate an object at the site. *)
+
+val root_obj : Engine.t -> Site_id.t -> Oid.t
+(** Allocate an object and make it a persistent root. *)
+
+val make_root : Engine.t -> Oid.t -> unit
+
+val link : Engine.t -> src:Oid.t -> dst:Oid.t -> unit
+(** Add a field [src -> dst]. For a cross-site reference this creates
+    the outref at the source site and registers the source in the
+    target's inref, as a completed insert protocol would have. *)
+
+val unlink : Engine.t -> src:Oid.t -> dst:Oid.t -> unit
+(** Remove one occurrence; tables are left for the next local traces
+    to reconcile, as in the real system. *)
+
+val chain : Engine.t -> Oid.t list -> unit
+(** [chain eng [a; b; c]] links a->b and b->c. *)
+
+val cycle : Engine.t -> Oid.t list -> unit
+(** Like {!chain}, plus a closing link from the last to the first. *)
+
+val set_source_distance : Engine.t -> inref:Oid.t -> src:Site_id.t -> int -> unit
+(** Override a recorded source distance (for unit tests that need a
+    converged or artificial distance state). *)

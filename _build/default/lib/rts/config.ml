@@ -1,0 +1,55 @@
+open Dgc_simcore
+
+type t = {
+  n_sites : int;
+  seed : int;
+  trace_interval : Sim_time.t;
+  trace_jitter : Sim_time.t;
+  trace_duration : Sim_time.t;
+  latency : Latency.t;
+  ext_drop : float;
+  defer_interval : Sim_time.t;
+  delta : int;
+  threshold2 : int;
+  threshold_bump : int;
+  back_call_timeout : Sim_time.t;
+  visited_ttl : Sim_time.t;
+  max_trace_starts : int;
+  adaptive_threshold : bool;
+  enable_transfer_barrier : bool;
+  enable_clean_rule : bool;
+  enable_insert_barrier : bool;
+  oracle_checks : bool;
+}
+
+let default =
+  {
+    n_sites = 4;
+    seed = 42;
+    trace_interval = Sim_time.of_minutes 1.;
+    trace_jitter = Sim_time.of_seconds 5.;
+    trace_duration = Sim_time.of_seconds 2.;
+    latency = Latency.Uniform (Sim_time.of_millis 1., Sim_time.of_millis 10.);
+    ext_drop = 0.;
+    defer_interval = Sim_time.zero;
+    delta = 3;
+    threshold2 = 8;
+    threshold_bump = 6;
+    back_call_timeout = Sim_time.of_seconds 10.;
+    visited_ttl = Sim_time.of_seconds 30.;
+    max_trace_starts = 4;
+    adaptive_threshold = false;
+    enable_transfer_barrier = true;
+    enable_clean_rule = true;
+    enable_insert_barrier = true;
+    oracle_checks = true;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>sites=%d seed=%d Δ=%d Δ2=%d bump=%d interval=%a window=%a \
+     latency=%a drop=%.2f barriers(t=%b,c=%b,i=%b)@]"
+    t.n_sites t.seed t.delta t.threshold2 t.threshold_bump Sim_time.pp
+    t.trace_interval Sim_time.pp t.trace_duration Latency.pp t.latency
+    t.ext_drop t.enable_transfer_barrier t.enable_clean_rule
+    t.enable_insert_barrier

@@ -1,0 +1,55 @@
+(** Simulation and collector parameters.
+
+    One record covers the runtime, the core collector and the
+    baselines; baseline-only fields are ignored by the core collector
+    and vice versa. The ablation toggles exist so the benches can show
+    that each §6 mechanism is load-bearing. *)
+
+open Dgc_simcore
+
+type t = {
+  n_sites : int;
+  seed : int;
+  (* local GC schedule *)
+  trace_interval : Sim_time.t;  (** time between local traces per site *)
+  trace_jitter : Sim_time.t;  (** uniform jitter applied to each interval *)
+  trace_duration : Sim_time.t;
+      (** length of the non-atomic trace window (§6.2); [0] makes local
+          traces atomic *)
+  (* network *)
+  latency : Latency.t;
+  ext_drop : float;
+      (** drop probability for collector (Ext) messages only; the base
+          protocol (moves, inserts, updates) is reliable, back-trace
+          traffic tolerates loss via timeouts (§4.6) *)
+  defer_interval : Dgc_simcore.Sim_time.t;
+      (** batch collector messages per destination and flush them on
+          this period, modeling §4.7's "deferred and piggybacked"
+          messages (one wire message per flush). Zero sends eagerly. *)
+  (* distance heuristic (§3) and back tracing (§4) *)
+  delta : int;  (** suspicion threshold Δ *)
+  threshold2 : int;  (** back threshold Δ2 ≈ Δ + estimated cycle length *)
+  threshold_bump : int;  (** δ added to an ioref's threshold per visit *)
+  back_call_timeout : Sim_time.t;  (** caller assumes Live after this *)
+  visited_ttl : Sim_time.t;
+      (** participant clears visited marks (assuming Live) if no outcome
+          report arrives in this long *)
+  max_trace_starts : int;  (** back traces a site may initiate per trace *)
+  adaptive_threshold : bool;
+      (** §3: "if too many suspects are found live, the threshold
+          should be increased". When on, the collector raises its
+          effective Δ2 for newly suspected outrefs whenever abortive
+          (Live) traces dominate recent outcomes. *)
+  (* ablation toggles *)
+  enable_transfer_barrier : bool;
+  enable_clean_rule : bool;
+  enable_insert_barrier : bool;
+  (* verification *)
+  oracle_checks : bool;  (** assert oracle safety at every sweep *)
+}
+
+val default : t
+(** 4 sites, Δ=3, Δ2=8, millisecond latencies, minute-scale trace
+    intervals, all barriers on, oracle checks on. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,411 @@
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_heap
+
+type move_wait = { mutable remaining : int; reply_to : Site_id.t }
+
+type t = {
+  cfg : Config.t;
+  rng : Rng.t;
+  metrics : Metrics.t;
+  queue : (unit -> unit) Event_queue.t;
+  mutable now : Sim_time.t;
+  sites : Site.t array;
+  mutable next_token : int;
+  mutable next_msg_id : int;
+  in_flight : (int, Oid.t list) Hashtbl.t;
+  parked : (Site_id.t, (Site_id.t * Protocol.payload) list ref) Hashtbl.t;
+  (* per destination site: (ref being inserted -> waiting move token) *)
+  awaiting_insert : (Site_id.t * Oid.t, int) Hashtbl.t;
+  move_waits : (int, move_wait) Hashtbl.t;
+  mutable agent_arrival : agent:int -> dst:Site_id.t -> unit;
+  mutable extra_roots : Site_id.t -> Oid.t list;
+  mutable gc_running : bool;
+  mutable partition_of : int array;  (** site -> partition group *)
+  mutable part_parked : (Site_id.t * Site_id.t * Protocol.payload) list;
+  (* §4.7 deferral: queued collector messages per (src, dst) pair *)
+  defer_queues : (Site_id.t * Site_id.t, Protocol.payload list ref) Hashtbl.t;
+  mutable journal : Journal.t option;
+}
+
+let create cfg =
+  {
+    cfg;
+    rng = Rng.create ~seed:cfg.Config.seed;
+    metrics = Metrics.create ();
+    queue = Event_queue.create ();
+    now = Sim_time.zero;
+    sites = Array.init cfg.Config.n_sites (fun i -> Site.create (Site_id.of_int i));
+    next_token = 0;
+    next_msg_id = 0;
+    in_flight = Hashtbl.create 64;
+    parked = Hashtbl.create 8;
+    awaiting_insert = Hashtbl.create 16;
+    move_waits = Hashtbl.create 16;
+    agent_arrival = (fun ~agent:_ ~dst:_ -> ());
+    extra_roots = (fun _ -> []);
+    gc_running = false;
+    partition_of = Array.make cfg.Config.n_sites 0;
+    part_parked = [];
+    defer_queues = Hashtbl.create 16;
+    journal = None;
+  }
+
+let attach_journal t j = t.journal <- Some j
+let journal t = t.journal
+
+let jlog t ~cat fmt =
+  match t.journal with
+  | Some j -> Journal.recordf j ~at:t.now ~cat fmt
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let config t = t.cfg
+let sites t = t.sites
+let site t id = t.sites.(Site_id.to_int id)
+let now t = t.now
+let rng t = t.rng
+let metrics t = t.metrics
+
+let schedule t ~delay f =
+  Event_queue.push t.queue ~at:(Sim_time.add t.now delay) f
+
+let fresh_token t =
+  let tok = t.next_token in
+  t.next_token <- tok + 1;
+  tok
+
+let set_agent_arrival t f = t.agent_arrival <- f
+let set_extra_roots t f = t.extra_roots <- f
+
+let reachable t a b =
+  t.partition_of.(Site_id.to_int a) = t.partition_of.(Site_id.to_int b)
+
+let app_roots t id =
+  t.extra_roots id @ Site.pinned_local_roots (site t id)
+
+let in_flight_refs t =
+  let flying = Hashtbl.fold (fun _ refs acc -> refs @ acc) t.in_flight [] in
+  let part =
+    List.concat_map (fun (_, _, p) -> Protocol.refs_carried p) t.part_parked
+  in
+  Hashtbl.fold
+    (fun _ msgs acc ->
+      List.fold_left
+        (fun acc (_, p) -> Protocol.refs_carried p @ acc)
+        acc !msgs)
+    t.parked (part @ flying)
+
+(* --- delivery ------------------------------------------------------- *)
+
+let rec deliver t ~src ~dst payload =
+  let s = site t dst in
+  match payload with
+  | Protocol.Move { agent; refs; token } -> begin
+      let needed = ref 0 in
+      List.iter
+        (fun r ->
+          (match Site.fresh_outref_of_arrival s r with
+          | `Local | `Known -> ()
+          | `Created ->
+              incr needed;
+              Hashtbl.replace t.awaiting_insert (dst, r) token;
+              send t ~src:dst ~dst:(Oid.site r)
+                (Protocol.Insert { r; by = dst }));
+          (* §6.1 barrier point: the reference arrived at this site. *)
+          s.Site.hooks.h_ref_arrived r)
+        refs;
+      t.agent_arrival ~agent ~dst;
+      if !needed = 0 then send t ~src:dst ~dst:src (Protocol.Move_ack { token })
+      else
+        Hashtbl.replace t.move_waits token
+          { remaining = !needed; reply_to = src }
+    end
+  | Protocol.Move_ack { token } -> Site.unpin s ~token
+  | Protocol.Insert { r; by } ->
+      let ir = Tables.ensure_inref s.Site.tables r in
+      (* A brand-new source is conservatively at distance 1 (§3); a
+         brand-new inref is stamped with its creation time (used by the
+         Hughes baseline's timestamps). *)
+      if ir.Ioref.ir_sources = [] then
+        ir.Ioref.ir_ts <- Sim_time.to_seconds t.now;
+      Ioref.add_source ir by ~dist:1;
+      (* §6.1.2 case 4: the transfer barrier applies to inref z. *)
+      s.Site.hooks.h_ref_arrived r;
+      send t ~src:dst ~dst:by (Protocol.Insert_done { r })
+  | Protocol.Insert_done { r } -> begin
+      (* Release the insert pin taken when the outref was created. *)
+      (match Tables.find_outref s.Site.tables r with
+      | Some o -> o.Ioref.or_pins <- max 0 (o.Ioref.or_pins - 1)
+      | None -> ());
+      match Hashtbl.find_opt t.awaiting_insert (dst, r) with
+      | None -> ()
+      | Some token -> begin
+          Hashtbl.remove t.awaiting_insert (dst, r);
+          match Hashtbl.find_opt t.move_waits token with
+          | None -> ()
+          | Some w ->
+              w.remaining <- w.remaining - 1;
+              if w.remaining = 0 then begin
+                Hashtbl.remove t.move_waits token;
+                send t ~src:dst ~dst:w.reply_to (Protocol.Move_ack { token })
+              end
+        end
+    end
+  | Protocol.Update { removals; dists } ->
+      let on_inref r f =
+        match Tables.find_inref s.Site.tables r with
+        | Some ir -> f ir
+        | None -> ()
+      in
+      List.iter
+        (fun r ->
+          on_inref r (fun ir ->
+              Ioref.remove_source ir src;
+              if ir.Ioref.ir_sources = [] then
+                Tables.remove_inref s.Site.tables r))
+        removals;
+      List.iter
+        (fun (r, d) -> on_inref r (fun ir -> Ioref.set_source_dist ir src ~dist:d))
+        dists
+  | Protocol.Ext e -> s.Site.hooks.h_ext ~src e
+
+(* --- sending -------------------------------------------------------- *)
+
+and send_now t ~src ~dst payload =
+  let kind = Protocol.kind payload in
+  Metrics.incr t.metrics ("msg." ^ kind);
+  Metrics.incr t.metrics "msg.total";
+  Metrics.add t.metrics "msg.bytes" (Protocol.approx_bytes payload);
+  let dst_site = site t dst in
+  let is_ext = Protocol.is_ext payload in
+  if is_ext && dst_site.Site.crashed then
+    Metrics.incr t.metrics "msg.dropped.crashed"
+  else if is_ext && not (reachable t src dst) then
+    Metrics.incr t.metrics "msg.dropped.partition"
+  else if is_ext && Rng.chance t.rng t.cfg.Config.ext_drop then
+    Metrics.incr t.metrics "msg.dropped.lossy"
+  else if not (reachable t src dst) then
+    t.part_parked <- (src, dst, payload) :: t.part_parked
+  else if dst_site.Site.crashed then begin
+    let q =
+      match Hashtbl.find_opt t.parked dst with
+      | Some q -> q
+      | None ->
+          let q = ref [] in
+          Hashtbl.add t.parked dst q;
+          q
+    in
+    q := (src, payload) :: !q
+  end
+  else begin
+    let id = t.next_msg_id in
+    t.next_msg_id <- id + 1;
+    (match Protocol.refs_carried payload with
+    | [] -> ()
+    | refs -> Hashtbl.replace t.in_flight id refs);
+    let delay = Latency.sample t.rng t.cfg.Config.latency in
+    schedule t ~delay (fun () ->
+        Hashtbl.remove t.in_flight id;
+        if not (reachable t src dst) then begin
+          (* Partitioned while the message was in flight. *)
+          if is_ext then Metrics.incr t.metrics "msg.dropped.partition"
+          else t.part_parked <- (src, dst, payload) :: t.part_parked
+        end
+        else if (site t dst).Site.crashed then begin
+          (* Crashed while the message was in flight. *)
+          if is_ext then Metrics.incr t.metrics "msg.dropped.crashed"
+          else begin
+            let q =
+              match Hashtbl.find_opt t.parked dst with
+              | Some q -> q
+              | None ->
+                  let q = ref [] in
+                  Hashtbl.add t.parked dst q;
+                  q
+            in
+            q := (src, payload) :: !q
+          end
+        end
+        else deliver t ~src ~dst payload)
+  end
+
+(* One wire message carrying a whole batch of deferred collector
+   messages (§4.7: "deferred and piggybacked"). Per-kind counters still
+   see every payload; [msg.total] counts wire messages. *)
+and flush_batch t ~src ~dst payloads =
+  Metrics.incr t.metrics "msg.total";
+  Metrics.incr t.metrics "msg.batches";
+  Metrics.add t.metrics "msg.bytes"
+    (Dgc_prelude.Util.list_sum Protocol.approx_bytes payloads);
+  List.iter
+    (fun p -> Metrics.incr t.metrics ("msg." ^ Protocol.kind p))
+    payloads;
+  if (site t dst).Site.crashed || not (reachable t src dst) then
+    Metrics.add t.metrics "msg.dropped.crashed" (List.length payloads)
+  else if Rng.chance t.rng t.cfg.Config.ext_drop then
+    Metrics.add t.metrics "msg.dropped.lossy" (List.length payloads)
+  else begin
+    let delay = Latency.sample t.rng t.cfg.Config.latency in
+    schedule t ~delay (fun () ->
+        if reachable t src dst && not (site t dst).Site.crashed then
+          List.iter (fun p -> deliver t ~src ~dst p) payloads
+        else
+          Metrics.add t.metrics "msg.dropped.crashed" (List.length payloads))
+  end
+
+and send t ~src ~dst payload =
+  let defer = t.cfg.Config.defer_interval in
+  if Protocol.is_ext payload && Sim_time.compare defer Sim_time.zero > 0 then begin
+    let key = (src, dst) in
+    match Hashtbl.find_opt t.defer_queues key with
+    | Some q -> q := payload :: !q
+    | None ->
+        let q = ref [ payload ] in
+        Hashtbl.add t.defer_queues key q;
+        schedule t ~delay:defer (fun () ->
+            match Hashtbl.find_opt t.defer_queues key with
+            | None -> ()
+            | Some q ->
+                Hashtbl.remove t.defer_queues key;
+                flush_batch t ~src ~dst (List.rev !q))
+  end
+  else send_now t ~src ~dst payload
+
+(* --- mutator moves --------------------------------------------------- *)
+
+let move_agent t ~agent ~src ~dst ~refs =
+  if Site_id.equal src dst then t.agent_arrival ~agent ~dst
+  else begin
+    let token = fresh_token t in
+    (* Retain everything we carry until the destination has registered
+       it (move-ack): the insert barrier, §6.1.2. *)
+    Site.pin (site t src) ~token refs;
+    send t ~src ~dst (Protocol.Move { agent; refs; token })
+  end
+
+(* --- fault injection -------------------------------------------------- *)
+
+let partition t groups =
+  jlog t ~cat:"fault" "partition into %d groups" (List.length groups);
+  let parts = Array.make (Array.length t.sites) (List.length groups) in
+  List.iteri
+    (fun g members ->
+      List.iter (fun s -> parts.(Site_id.to_int s) <- g) members)
+    groups;
+  t.partition_of <- parts;
+  Metrics.incr t.metrics "fault.partition"
+
+(* Deliver a previously parked base message; if the destination is
+   unavailable again when it lands, re-park it rather than lose it —
+   the base protocol must be reliable. *)
+let redeliver_parked t ~src ~dst payload =
+  let delay = Latency.sample t.rng t.cfg.Config.latency in
+  schedule t ~delay (fun () ->
+      if not (reachable t src dst) then
+        t.part_parked <- (src, dst, payload) :: t.part_parked
+      else if (site t dst).Site.crashed then begin
+        let q =
+          match Hashtbl.find_opt t.parked dst with
+          | Some q -> q
+          | None ->
+              let q = ref [] in
+              Hashtbl.add t.parked dst q;
+              q
+        in
+        q := (src, payload) :: !q
+      end
+      else deliver t ~src ~dst payload)
+
+let heal t =
+  jlog t ~cat:"fault" "heal";
+  t.partition_of <- Array.make (Array.length t.sites) 0;
+  Metrics.incr t.metrics "fault.heal";
+  let parked = List.rev t.part_parked in
+  t.part_parked <- [];
+  List.iter (fun (src, dst, payload) -> redeliver_parked t ~src ~dst payload)
+    parked
+
+let crash t id =
+  jlog t ~cat:"fault" "crash %a" Site_id.pp id;
+  (site t id).Site.crashed <- true;
+  Metrics.incr t.metrics "fault.crash"
+
+let recover t id =
+  jlog t ~cat:"fault" "recover %a" Site_id.pp id;
+  let s = site t id in
+  if s.Site.crashed then begin
+    s.Site.crashed <- false;
+    Metrics.incr t.metrics "fault.recover";
+    match Hashtbl.find_opt t.parked id with
+    | None -> ()
+    | Some q ->
+        let msgs = List.rev !q in
+        Hashtbl.remove t.parked id;
+        List.iter
+          (fun (src, payload) -> redeliver_parked t ~src ~dst:id payload)
+          msgs
+  end
+
+(* --- GC schedule ------------------------------------------------------ *)
+
+let rec schedule_site_trace t id =
+  let cfg = t.cfg in
+  let jitter =
+    if Sim_time.compare cfg.Config.trace_jitter Sim_time.zero <= 0 then
+      Sim_time.zero
+    else Rng.float t.rng (Sim_time.to_seconds cfg.Config.trace_jitter)
+  in
+  let delay = Sim_time.add cfg.Config.trace_interval jitter in
+  schedule t ~delay (fun () ->
+      if t.gc_running then begin
+        let s = site t id in
+        if not s.Site.crashed then s.Site.hooks.h_run_local_trace ();
+        schedule_site_trace t id
+      end)
+
+let start_gc_schedule t =
+  if not t.gc_running then begin
+    t.gc_running <- true;
+    Array.iteri
+      (fun i _ ->
+        let id = Site_id.of_int i in
+        (* Stagger the first trace of each site across one interval. *)
+        let frac =
+          Sim_time.to_seconds t.cfg.Config.trace_interval
+          *. (float_of_int (i + 1) /. float_of_int (Array.length t.sites + 1))
+        in
+        schedule t ~delay:(Sim_time.of_seconds frac) (fun () ->
+            if t.gc_running then begin
+              let s = site t id in
+              if not s.Site.crashed then s.Site.hooks.h_run_local_trace ();
+              schedule_site_trace t id
+            end))
+      t.sites
+  end
+
+let stop_gc_schedule t = t.gc_running <- false
+
+(* --- run loop --------------------------------------------------------- *)
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (at, f) ->
+      t.now <- at;
+      f ();
+      true
+
+let run_until t limit =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some at when Sim_time.(at <= limit) ->
+        ignore (step t);
+        loop ()
+    | _ -> t.now <- limit
+  in
+  loop ()
+
+let run_for t d = run_until t (Sim_time.add t.now d)
+
+let trace_rounds_completed t =
+  Array.fold_left (fun acc s -> min acc s.Site.trace_epoch) max_int t.sites

@@ -1,0 +1,112 @@
+(** The discrete-event simulation engine.
+
+    Owns the sites, the event queue, the network model and the metrics
+    registry; implements the base reference-listing protocol of §2
+    (inserts with the §6.1.2 insert barrier, updates, reference
+    transfer via mutator moves). Collector schemes and mutator agents
+    plug in through {!Site.hooks} and the callbacks below.
+
+    Determinism: all randomness comes from the engine's seeded
+    generator, and simultaneous events fire in scheduling order, so a
+    run is a pure function of the configuration and the installed
+    behaviours. *)
+
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_heap
+
+type t
+
+val create : Config.t -> t
+val config : t -> Config.t
+val sites : t -> Site.t array
+val site : t -> Site_id.t -> Site.t
+val now : t -> Sim_time.t
+val rng : t -> Rng.t
+val metrics : t -> Metrics.t
+
+val attach_journal : t -> Journal.t -> unit
+(** Attach a bounded event journal; the runtime and collectors record
+    faults, traces, sweeps and verdicts into it. *)
+
+val journal : t -> Journal.t option
+
+val jlog : t -> cat:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Record into the attached journal (cheap no-op when none). *)
+
+(** {1 Scheduling and messaging} *)
+
+val schedule : t -> delay:Sim_time.t -> (unit -> unit) -> unit
+
+val send : t -> src:Site_id.t -> dst:Site_id.t -> Protocol.payload -> unit
+(** Sample a latency and schedule delivery. Base-protocol messages to a
+    crashed destination are parked and delivered on recovery; [Ext]
+    messages to a crashed destination, and [Ext] messages unlucky under
+    [cfg.ext_drop], are dropped (and counted). *)
+
+val fresh_token : t -> int
+
+(** {1 Mutator support} *)
+
+val move_agent :
+  t -> agent:int -> src:Site_id.t -> dst:Site_id.t -> refs:Oid.t list -> unit
+(** Relocate an agent: pins [refs] at [src] (releasing on the eventual
+    move-ack, which arrives only after every needed insert was
+    acknowledged — the insert barrier), then ships a [Move]. A move to
+    the current site completes synchronously. *)
+
+val set_agent_arrival : t -> (agent:int -> dst:Site_id.t -> unit) -> unit
+(** Called when a [Move] is delivered, after table bookkeeping and the
+    arrival barrier, before the insert round-trips complete. *)
+
+val set_extra_roots : t -> (Site_id.t -> Oid.t list) -> unit
+(** Contribute application roots (mutator variables) per site. *)
+
+val app_roots : t -> Site_id.t -> Oid.t list
+(** Application roots of a site: contributed variables plus pinned
+    local references. May include remote references (variables holding
+    remote objects); local traces treat those as outrefs to clean. *)
+
+(** {1 Fault injection} *)
+
+val crash : t -> Site_id.t -> unit
+val recover : t -> Site_id.t -> unit
+
+val partition : t -> Site_id.t list list -> unit
+(** Split the network into the given groups (sites not listed form one
+    implicit extra group). Base-protocol messages across a partition
+    boundary are parked and delivered on {!heal}; collector ([Ext])
+    messages across the boundary are dropped — back tracing reads the
+    silence as Live via its timeouts (§4.6). *)
+
+val heal : t -> unit
+(** Remove all partitions; parked cross-partition messages flow. *)
+
+val reachable : t -> Site_id.t -> Site_id.t -> bool
+
+(** {1 Oracle support} *)
+
+val in_flight_refs : t -> Oid.t list
+(** References carried by undelivered (or parked) messages. *)
+
+(** {1 Running} *)
+
+val start_gc_schedule : t -> unit
+(** Begin periodic local traces at every site: each site's
+    [h_run_local_trace] fires every [trace_interval] (±jitter),
+    staggered across sites. Call once. *)
+
+val stop_gc_schedule : t -> unit
+(** No further periodic traces are scheduled (pending other events
+    still run). *)
+
+val step : t -> bool
+(** Execute the next event; false if the queue is empty. *)
+
+val run_until : t -> Sim_time.t -> unit
+(** Process events with timestamps up to the given absolute time;
+    [now] afterwards equals that time. *)
+
+val run_for : t -> Sim_time.t -> unit
+val trace_rounds_completed : t -> int
+(** Minimum over sites of completed local traces. *)

@@ -1,0 +1,71 @@
+open Dgc_simcore
+open Dgc_heap
+
+let run eng site =
+  let heap = site.Site.heap in
+  let tables = site.Site.tables in
+  let metrics = Engine.metrics eng in
+  Metrics.incr metrics "gc.local_traces";
+  let inref_roots =
+    List.filter_map
+      (fun ir ->
+        if ir.Ioref.ir_flagged then None else Some ir.Ioref.ir_target)
+      (Tables.inrefs tables)
+  in
+  let roots =
+    Heap.persistent_roots heap
+    @ Engine.app_roots eng site.Site.id
+    @ inref_roots
+  in
+  let locals, remotes = Reach.closure (Reach.of_heap heap) ~from:roots in
+  (* Sweep local objects. *)
+  let dead =
+    Heap.fold heap ~init:[] ~f:(fun acc o ->
+        if Oid.Set.mem o.Heap.oid locals then acc
+        else Oid.index o.Heap.oid :: acc)
+  in
+  let freed = Heap.free heap dead in
+  Metrics.add metrics "gc.objects_freed" freed;
+  (* Trim outrefs: keep traced, pinned or fresh ones. *)
+  let removals = ref [] in
+  List.iter
+    (fun o ->
+      let r = o.Ioref.or_target in
+      if Oid.Set.mem r remotes then o.Ioref.or_fresh <- false
+      else if o.Ioref.or_pins > 0 then ()
+      else if o.Ioref.or_fresh then
+        (* Keep a just-created outref for one round; if still untraced
+           next time it is removed with a proper update message. *)
+        o.Ioref.or_fresh <- false
+      else begin
+        Tables.remove_outref tables r;
+        removals := r :: !removals
+      end)
+    (Tables.outrefs tables);
+  (* Group removal notices by target site. *)
+  let by_site = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let dst = Oid.site r in
+      let q =
+        match Hashtbl.find_opt by_site dst with
+        | Some q -> q
+        | None ->
+            let q = ref [] in
+            Hashtbl.add by_site dst q;
+            q
+      in
+      q := r :: !q)
+    !removals;
+  Hashtbl.iter
+    (fun dst q ->
+      Engine.send eng ~src:site.Site.id ~dst
+        (Protocol.Update { removals = !q; dists = [] }))
+    by_site;
+  List.iter (fun ir -> ir.Ioref.ir_fresh <- false) (Tables.inrefs tables);
+  site.Site.trace_epoch <- site.Site.trace_epoch + 1
+
+let install eng =
+  Array.iter
+    (fun s -> s.Site.hooks.Site.h_run_local_trace <- (fun () -> run eng s))
+    (Engine.sites eng)

@@ -1,0 +1,87 @@
+(** Mutator agents (§2, §6.3).
+
+    An agent models one application thread: it sits at a site, holds
+    references in named variables (the application roots), and mutates
+    the object graph. All acquisition is legal in the paper's sense —
+    an agent can only obtain a reference by loading a persistent root,
+    reading a field of an object at its site, or allocating; to touch a
+    remote object it must {!travel} there, which transfers its
+    variables and raises the §6.1 barrier events.
+
+    Variables pin what they hold (local refs become extra trace roots,
+    remote refs pin their outrefs), so a reference sitting in a
+    variable is never collected — matching §6.3's treatment of
+    application roots as persistent roots. *)
+
+open Dgc_prelude
+open Dgc_heap
+
+type manager
+type t
+
+val manager : Engine.t -> manager
+(** Create the agent manager and install its engine callbacks. Call
+    once per engine. *)
+
+val spawn : manager -> at:Site_id.t -> t
+val agent_site : t -> Site_id.t
+val traveling : t -> bool
+val vars : t -> (string * Oid.t) list
+val var : t -> string -> Oid.t option
+
+(** {1 Synchronous operations}
+
+    These require the agent to be at the relevant site and not
+    traveling; they return false (and count a metric) when the
+    operation is impossible (missing variable, dead object, bad
+    index), which keeps randomized workloads total. *)
+
+val load_root : t -> dst:string -> bool
+(** First persistent root of the current site into [dst]. *)
+
+val load_root_named : t -> root:Oid.t -> dst:string -> bool
+val new_obj : t -> dst:string -> bool
+(** Allocate at the current site. The fresh object is reachable only
+    from [dst] until linked. *)
+
+val read_field : t -> obj:string -> idx:int -> dst:string -> bool
+(** [idx]'th field (0-based) of the local object named by variable
+    [obj]. *)
+
+val write : t -> obj:string -> value:string -> bool
+(** Append the reference in [value] to the fields of the local object
+    named by [obj] — the §6.1 "copy" of a reference into an object. *)
+
+val unlink : t -> obj:string -> target:string -> bool
+(** Remove one occurrence of the reference in variable [target] from
+    the local object named by [obj]. *)
+
+val drop : t -> string -> bool
+val copy_var : t -> src:string -> dst:string -> bool
+
+(** {1 Travel} *)
+
+val travel : t -> via:string -> k:(unit -> unit) -> bool
+(** Move to the site of the object named by variable [via], carrying
+    all variables (each is thereby transferred, with barriers and
+    insert protocol); [k] runs on arrival. False if already traveling
+    or the variable is missing. *)
+
+(** {1 Scripted programs} *)
+
+type instr =
+  | Load_root of string
+  | Load_root_named of Oid.t * string
+  | New of string
+  | Read of { obj : string; idx : int; dst : string }
+  | Write of { obj : string; value : string }
+  | Unlink of { obj : string; target : string }
+  | Copy of { src : string; dst : string }
+  | Travel of string
+  | Drop of string
+  | Wait of Dgc_simcore.Sim_time.t
+
+val run_program : t -> ?on_done:(unit -> unit) -> instr list -> unit
+(** Execute instructions in order; [Travel] and [Wait] yield to the
+    simulation. Failed instructions are skipped (counted in metrics as
+    [mutator.op_failed]). *)

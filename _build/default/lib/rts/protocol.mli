@@ -1,0 +1,60 @@
+(** Inter-site messages.
+
+    The base payloads implement §2's reference-listing machinery (plus
+    the mutator-movement message that models reference transfer and
+    traversal). Collector schemes extend [ext] with their own messages:
+    the core library adds back-trace calls/replies/reports, the
+    baselines add marking, timestamp-threshold and migration messages. *)
+
+open Dgc_prelude
+open Dgc_heap
+
+type ext = ..
+
+type payload =
+  | Move of { agent : int; refs : Oid.t list; token : int }
+      (** A mutator agent relocates to the destination site, carrying
+          the references held in its variables. Each carried reference
+          is thereby "transferred" in the §6.1 sense. [token] matches
+          the eventual {!Move_ack}. *)
+  | Move_ack of { token : int }
+      (** Destination has registered every carried reference (all
+          insert messages acknowledged); the sender may release its
+          retention pins. *)
+  | Insert of { r : Oid.t; by : Site_id.t }
+      (** To the owner of [r]: site [by] now holds an outref for [r]. *)
+  | Insert_done of { r : Oid.t }
+      (** Owner of [r] has registered the insert. *)
+  | Update of { removals : Oid.t list; dists : (Oid.t * int) list }
+      (** After a local trace at the sender: the sender no longer holds
+          outrefs for [removals]; its outref distances for [dists]
+          changed (§2, §3). *)
+  | Ext of ext
+
+val kind : payload -> string
+(** Short label for metrics ("move", "insert", "update", ...). For
+    [Ext] payloads, the label registered via {!register_ext_kind},
+    falling back to ["ext"]. *)
+
+val refs_carried : payload -> Oid.t list
+(** Application references carried by the message — the ones a
+    reachability oracle must treat as roots while the message is in
+    flight. Control messages (updates, back-trace traffic) carry
+    ioref names but confer no reachability, so they report []. *)
+
+val register_ext_kind : (ext -> string option) -> unit
+(** Collectors register a labeler for their [ext] constructors. *)
+
+val register_ext_refs : (ext -> Oid.t list option) -> unit
+(** Collectors whose [ext] messages carry application references that
+    must stay live while in flight (e.g. migration payloads) register
+    an extractor here; back-trace traffic carries only ioref names and
+    needs none. *)
+
+val is_ext : payload -> bool
+
+val approx_bytes : payload -> int
+(** Rough wire size: a fixed per-message header plus per-reference and
+    per-entry costs; [Ext] payloads report header + the registered
+    refs. Used for byte-level cost comparisons (e.g. against the
+    migration baseline, whose payloads carry whole objects). *)

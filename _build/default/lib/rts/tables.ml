@@ -1,0 +1,61 @@
+open Dgc_prelude
+open Dgc_heap
+
+type t = {
+  site : Site_id.t;
+  in_tbl : Ioref.inref Oid.Tbl.t;
+  out_tbl : Ioref.outref Oid.Tbl.t;
+}
+
+let create site =
+  { site; in_tbl = Oid.Tbl.create 32; out_tbl = Oid.Tbl.create 32 }
+
+let site t = t.site
+let find_inref t r = Oid.Tbl.find_opt t.in_tbl r
+
+let ensure_inref t r =
+  if not (Site_id.equal (Oid.site r) t.site) then
+    invalid_arg "Tables.ensure_inref: reference not local to this site";
+  match Oid.Tbl.find_opt t.in_tbl r with
+  | Some ir -> ir
+  | None ->
+      let ir = Ioref.make_inref r in
+      Oid.Tbl.add t.in_tbl r ir;
+      ir
+
+let remove_inref t r = Oid.Tbl.remove t.in_tbl r
+let iter_inrefs t f = Oid.Tbl.iter (fun _ ir -> f ir) t.in_tbl
+
+let inrefs t =
+  Oid.Tbl.fold (fun _ ir acc -> ir :: acc) t.in_tbl []
+  |> List.sort (fun a b -> Oid.compare a.Ioref.ir_target b.Ioref.ir_target)
+
+let inref_count t = Oid.Tbl.length t.in_tbl
+let find_outref t r = Oid.Tbl.find_opt t.out_tbl r
+
+let ensure_outref t ?(dist = 1) r =
+  if Site_id.equal (Oid.site r) t.site then
+    invalid_arg "Tables.ensure_outref: reference is local to this site";
+  match Oid.Tbl.find_opt t.out_tbl r with
+  | Some o -> (o, false)
+  | None ->
+      let o = Ioref.make_outref ~dist r in
+      Oid.Tbl.add t.out_tbl r o;
+      (o, true)
+
+let remove_outref t r = Oid.Tbl.remove t.out_tbl r
+let iter_outrefs t f = Oid.Tbl.iter (fun _ o -> f o) t.out_tbl
+
+let outrefs t =
+  Oid.Tbl.fold (fun _ o acc -> o :: acc) t.out_tbl []
+  |> List.sort (fun a b -> Oid.compare a.Ioref.or_target b.Ioref.or_target)
+
+let outref_count t = Oid.Tbl.length t.out_tbl
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>tables %a:@," Site_id.pp t.site;
+  List.iter (fun ir -> Format.fprintf ppf "  %a@," Ioref.pp_inref ir) (inrefs t);
+  List.iter
+    (fun o -> Format.fprintf ppf "  %a@," Ioref.pp_outref o)
+    (outrefs t);
+  Format.fprintf ppf "@]"

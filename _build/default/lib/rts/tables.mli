@@ -1,0 +1,36 @@
+(** Per-site inref and outref tables (§2). *)
+
+open Dgc_prelude
+open Dgc_heap
+
+type t
+
+val create : Site_id.t -> t
+val site : t -> Site_id.t
+
+(** {1 Inrefs} *)
+
+val find_inref : t -> Oid.t -> Ioref.inref option
+val ensure_inref : t -> Oid.t -> Ioref.inref
+(** Find or create (fresh, no sources). Raises [Invalid_argument] if
+    the oid is not local to this site. *)
+
+val remove_inref : t -> Oid.t -> unit
+val iter_inrefs : t -> (Ioref.inref -> unit) -> unit
+val inrefs : t -> Ioref.inref list
+val inref_count : t -> int
+
+(** {1 Outrefs} *)
+
+val find_outref : t -> Oid.t -> Ioref.outref option
+val ensure_outref : t -> ?dist:int -> Oid.t -> Ioref.outref * bool
+(** Find or create; the boolean is true when the outref was created
+    (the caller must then run the insert protocol). Raises
+    [Invalid_argument] if the oid is local to this site. *)
+
+val remove_outref : t -> Oid.t -> unit
+val iter_outrefs : t -> (Ioref.outref -> unit) -> unit
+val outrefs : t -> Ioref.outref list
+val outref_count : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/simcore/journal.ml: Array Format List Sim_time

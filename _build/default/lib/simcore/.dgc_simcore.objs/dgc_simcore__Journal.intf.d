@@ -1,0 +1,1 @@
+lib/simcore/journal.mli: Format Sim_time

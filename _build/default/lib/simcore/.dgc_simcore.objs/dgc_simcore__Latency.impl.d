@@ -1,0 +1,1 @@
+lib/simcore/latency.ml: Dgc_prelude Float Format Sim_time

@@ -1,0 +1,1 @@
+lib/simcore/latency.mli: Dgc_prelude Format Sim_time

@@ -1,0 +1,1 @@
+lib/simcore/metrics.ml: Dgc_prelude Float Format Hashtbl List String

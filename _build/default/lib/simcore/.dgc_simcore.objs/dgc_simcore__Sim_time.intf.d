@@ -1,0 +1,1 @@
+lib/simcore/sim_time.mli: Format

@@ -1,0 +1,20 @@
+(** Priority queue of timed events.
+
+    Events with equal timestamps are delivered in insertion order (a
+    strictly increasing sequence number breaks ties), which keeps
+    simulation runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> at:Sim_time.t -> 'a -> unit
+(** Schedule an event at absolute time [at]. *)
+
+val pop : 'a t -> (Sim_time.t * 'a) option
+(** Remove and return the earliest event, or [None] if empty. *)
+
+val peek_time : 'a t -> Sim_time.t option
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val clear : 'a t -> unit

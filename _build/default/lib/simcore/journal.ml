@@ -1,0 +1,67 @@
+type entry = { at : Sim_time.t; cat : string; text : string }
+
+type t = {
+  buf : entry option array;
+  mutable next : int;  (** write cursor *)
+  mutable total : int;
+}
+
+let create ?(capacity = 2048) () =
+  if capacity <= 0 then invalid_arg "Journal.create: capacity";
+  { buf = Array.make capacity None; next = 0; total = 0 }
+
+let record t ~at ~cat text =
+  t.buf.(t.next) <- Some { at; cat; text };
+  t.next <- (t.next + 1) mod Array.length t.buf;
+  t.total <- t.total + 1
+
+let recordf t ~at ~cat fmt =
+  Format.kasprintf (fun s -> record t ~at ~cat s) fmt
+
+let fold_oldest_first t f acc =
+  let cap = Array.length t.buf in
+  let start = if t.total >= cap then t.next else 0 in
+  let n = min t.total cap in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      match t.buf.((start + i) mod cap) with
+      | Some e -> go (i + 1) (f acc e)
+      | None -> go (i + 1) acc
+  in
+  go 0 acc
+
+let events ?cat ?last t =
+  let all =
+    fold_oldest_first t
+      (fun acc e ->
+        match cat with
+        | Some c when c <> e.cat -> acc
+        | _ -> (e.at, e.cat, e.text) :: acc)
+      []
+    |> List.rev
+  in
+  match last with
+  | None -> all
+  | Some n ->
+      let len = List.length all in
+      if len <= n then all
+      else
+        (* drop the oldest len - n *)
+        List.filteri (fun i _ -> i >= len - n) all
+
+let length t = min t.total (Array.length t.buf)
+let total t = t.total
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.next <- 0;
+  t.total <- 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (at, cat, text) ->
+      Format.fprintf ppf "%a [%s] %s@," Sim_time.pp at cat text)
+    (events t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,32 @@
+(** A bounded journal of simulation events.
+
+    A ring buffer of timestamped, categorized one-line events. The
+    engine and collectors write into it when one is attached; the CLI
+    and debugging sessions read it back. Writing is O(1) and the
+    buffer never grows beyond its capacity, so it can stay attached
+    during long runs. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 2048 events. *)
+
+val record : t -> at:Sim_time.t -> cat:string -> string -> unit
+(** [cat] is a short label ("back", "gc", "barrier", "fault", ...). *)
+
+val recordf :
+  t -> at:Sim_time.t -> cat:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted {!record}. *)
+
+val events : ?cat:string -> ?last:int -> t -> (Sim_time.t * string * string) list
+(** Oldest first; [cat] filters by category, [last] keeps only the
+    most recent n (after filtering). *)
+
+val length : t -> int
+(** Events currently retained (≤ capacity). *)
+
+val total : t -> int
+(** Events ever recorded (including overwritten ones). *)
+
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

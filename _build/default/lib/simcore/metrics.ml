@@ -1,0 +1,62 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  samples : (string, float list ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; samples = Hashtbl.create 16 }
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.samples
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr t name = incr (counter_ref t name)
+let add t name n = counter_ref t name := !(counter_ref t name) + n
+
+let get t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let sample_ref t name =
+  match Hashtbl.find_opt t.samples name with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add t.samples name r;
+      r
+
+let observe t name x =
+  let r = sample_ref t name in
+  r := x :: !r
+
+let samples t name =
+  match Hashtbl.find_opt t.samples name with
+  | Some r -> List.rev !r
+  | None -> []
+
+let mean t name = Dgc_prelude.Util.list_mean (samples t name)
+
+let max_sample t name =
+  List.fold_left Float.max neg_infinity (samples t name)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-40s %d@," name v)
+    (counters t);
+  Hashtbl.iter
+    (fun name r ->
+      Format.fprintf ppf "%-40s n=%d mean=%.2f@," name (List.length !r)
+        (Dgc_prelude.Util.list_mean !r))
+    t.samples;
+  Format.fprintf ppf "@]"

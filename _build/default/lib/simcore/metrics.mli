@@ -1,0 +1,31 @@
+(** Named counters and sample collections for experiments.
+
+    A [t] is a registry of integer counters and float samples. The
+    simulator and collectors record into one registry per run; benches
+    read it back to print experiment tables. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+(** {1 Counters} *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+(** 0 if never incremented. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+(** {1 Samples} *)
+
+val observe : t -> string -> float -> unit
+val samples : t -> string -> float list
+(** In observation order; [] if none. *)
+
+val mean : t -> string -> float
+val max_sample : t -> string -> float
+
+val pp : Format.formatter -> t -> unit

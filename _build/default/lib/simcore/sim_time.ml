@@ -1,0 +1,16 @@
+type t = float
+
+let zero = 0.
+let of_seconds s = s
+let of_millis ms = ms /. 1000.
+let of_minutes m = m *. 60.
+let to_seconds t = t
+let add = ( +. )
+let sub a b = Float.max 0. (a -. b)
+let compare = Float.compare
+let ( <= ) a b = Float.compare a b <= 0
+let ( < ) a b = Float.compare a b < 0
+
+let pp ppf t =
+  if t < 1. then Format.fprintf ppf "%.1fms" (t *. 1000.)
+  else Format.fprintf ppf "%.3fs" t

@@ -1,0 +1,21 @@
+(** Simulated time.
+
+    Time is a non-negative number of simulated seconds. The paper's
+    regimes are: local traces minutes apart, message latencies of
+    milliseconds (§4.7); the default configurations follow that ratio. *)
+
+type t = float
+
+val zero : t
+val of_seconds : float -> t
+val of_millis : float -> t
+val of_minutes : float -> t
+val to_seconds : t -> float
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Saturating at zero. *)
+
+val compare : t -> t -> int
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val pp : Format.formatter -> t -> unit

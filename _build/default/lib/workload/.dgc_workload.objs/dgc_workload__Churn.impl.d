@@ -1,0 +1,1 @@
+lib/workload/churn.ml: Array Dgc_core Dgc_heap Dgc_prelude Dgc_rts Dgc_simcore Engine Heap Latency List Mutator Rng Sim Sim_time Site Site_id

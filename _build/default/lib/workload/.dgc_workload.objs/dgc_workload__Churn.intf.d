@@ -1,0 +1,1 @@
+lib/workload/churn.mli: Dgc_core Dgc_prelude Dgc_simcore Rng Sim

@@ -1,0 +1,1 @@
+lib/workload/graph_gen.ml: Array Builder Dgc_heap Dgc_oracle Dgc_prelude Dgc_rts Engine List Oid Rng Site Site_id

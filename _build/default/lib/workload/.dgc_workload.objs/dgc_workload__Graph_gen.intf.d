@@ -1,0 +1,1 @@
+lib/workload/graph_gen.mli: Dgc_heap Dgc_prelude Dgc_rts Engine Oid Rng Site_id

@@ -1,0 +1,1 @@
+lib/workload/report.ml: Array Buffer Dgc_heap Dgc_oracle Dgc_prelude Dgc_rts Engine Format Hashtbl Heap Ioref List Oid Option Printf Site Site_id String Tables Util

@@ -1,0 +1,1 @@
+lib/workload/report.mli: Dgc_prelude Dgc_rts Engine Format Site_id

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Back_trace Builder Collector Config Dgc_core Dgc_heap Dgc_oracle Dgc_prelude Dgc_rts Dgc_simcore Engine Format Heap Latency List Mutator Oid Option Sim Sim_time Site Site_id

@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Config Dgc_core Dgc_heap Dgc_prelude Dgc_rts Mutator Oid Sim Site_id Verdict

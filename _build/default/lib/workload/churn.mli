@@ -1,0 +1,26 @@
+(** Randomized mutator workload.
+
+    Spawns agents that continuously perform random {e legal} operations
+    — loading roots, reading fields, allocating, writing and unlinking
+    references, and traveling between sites with their variables. Over
+    time this creates and severs inter-site structure, including
+    distributed cycles, while every acquisition goes through the
+    runtime's transfer machinery (so all §6 barrier paths get
+    exercised). Drive it under a running {!Dgc_core.Sim} with oracle
+    checks on and safety violations surface as exceptions. *)
+
+open Dgc_prelude
+open Dgc_core
+
+type t
+
+val start :
+  Sim.t -> rng:Rng.t -> agents:int -> mean_op_gap:Dgc_simcore.Sim_time.t -> t
+(** Spawn [agents] at round-robin sites; each performs one random
+    operation roughly every [mean_op_gap] (exponential gaps). *)
+
+val stop : t -> unit
+(** Agents drop their variables and stop scheduling operations (their
+    in-flight travels still land). *)
+
+val ops_done : t -> int

@@ -1,0 +1,126 @@
+open Dgc_prelude
+open Dgc_heap
+open Dgc_rts
+
+let strand eng ~sites ~per_site ~rooted ~close =
+  let objs =
+    List.concat_map
+      (fun s -> List.init per_site (fun _ -> Builder.obj eng s))
+      sites
+  in
+  Builder.chain eng objs;
+  (match (close, objs, List.rev objs) with
+  | true, first :: _, last :: _ when not (Oid.equal first last) ->
+      Builder.link eng ~src:last ~dst:first
+  | _ -> ());
+  (match (rooted, objs) with
+  | true, first :: _ ->
+      let root = Builder.root_obj eng (Oid.site first) in
+      Builder.link eng ~src:root ~dst:first
+  | _ -> ());
+  objs
+
+let ring eng ~sites ~per_site ~rooted =
+  strand eng ~sites ~per_site ~rooted ~close:true
+
+let chain eng ~sites ~per_site ~rooted =
+  strand eng ~sites ~per_site ~rooted ~close:false
+
+let clique eng ~sites ~rooted =
+  let objs = List.map (fun s -> Builder.obj eng s) sites in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if not (Oid.equal src dst) then Builder.link eng ~src ~dst)
+        objs)
+    objs;
+  (match (rooted, objs) with
+  | true, first :: _ ->
+      let root = Builder.root_obj eng (Oid.site first) in
+      Builder.link eng ~src:root ~dst:first
+  | _ -> ());
+  objs
+
+let random_graph eng ~rng ~objects_per_site ~out_degree ~remote_frac
+    ~root_frac =
+  let sites = Engine.sites eng in
+  let n_sites = Array.length sites in
+  let objs =
+    Array.to_list sites
+    |> List.concat_map (fun s ->
+           List.init objects_per_site (fun _ -> Builder.obj eng s.Site.id))
+  in
+  let arr = Array.of_list objs in
+  let pick_local site =
+    (* Rejection-sample an object of the given site. *)
+    let candidates = Array.of_list (List.filter (fun o -> Site_id.equal (Oid.site o) site) objs) in
+    Rng.choose_arr rng candidates
+  in
+  List.iter
+    (fun src ->
+      let degree =
+        let base = int_of_float out_degree in
+        let frac = out_degree -. float_of_int base in
+        base + if Rng.chance rng frac then 1 else 0
+      in
+      for _ = 1 to degree do
+        let dst =
+          if Rng.chance rng remote_frac && n_sites > 1 then begin
+            let other =
+              let rec pick () =
+                let s = sites.(Rng.int rng n_sites).Site.id in
+                if Site_id.equal s (Oid.site src) then pick () else s
+              in
+              pick ()
+            in
+            pick_local other
+          end
+          else pick_local (Oid.site src)
+        in
+        Builder.link eng ~src ~dst
+      done;
+      if Rng.chance rng root_frac then Builder.make_root eng src)
+    objs;
+  ignore arr;
+  objs
+
+let hypertext eng ~rng ~docs_per_site ~pages_per_doc ~cross_links ~rooted_frac
+    =
+  let sites = Engine.sites eng in
+  let n_sites = Array.length sites in
+  let all_pages = ref [] in
+  let garbage_pages = ref [] in
+  let docs = ref [] in
+  Array.iteri
+    (fun home s ->
+      let directory = Builder.root_obj eng s.Site.id in
+      for _ = 1 to docs_per_site do
+        (* Pages are spread round-robin over the sites, so the
+           prev/next ring of every document is an inter-site cycle —
+           the situation that motivates the paper. *)
+        let pages =
+          List.init pages_per_doc (fun i ->
+              Builder.obj eng (Site_id.of_int ((home + i) mod n_sites)))
+        in
+        Builder.cycle eng pages;
+        let rooted = Rng.chance rng rooted_frac in
+        (match pages with
+        | first :: _ when rooted ->
+            Builder.link eng ~src:directory ~dst:first
+        | _ -> ());
+        if not rooted then garbage_pages := pages @ !garbage_pages;
+        all_pages := pages @ !all_pages;
+        docs := (pages, rooted) :: !docs
+      done)
+    sites;
+  let pages_arr = Array.of_list !all_pages in
+  for _ = 1 to cross_links do
+    let src = Rng.choose_arr rng pages_arr in
+    let dst = Rng.choose_arr rng pages_arr in
+    if not (Oid.equal src dst) then Builder.link eng ~src ~dst
+  done;
+  (* Cross links may have made "garbage" documents reachable from
+     rooted ones; report the truly unreachable ones. *)
+  let live = Dgc_oracle.Oracle.live_set eng in
+  List.filter (fun p -> not (Oid.Set.mem p live)) !garbage_pages

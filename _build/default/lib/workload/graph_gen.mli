@@ -1,0 +1,51 @@
+(** Synthetic object-graph generators.
+
+    All generators build through {!Dgc_rts.Builder}, so ioref tables
+    are consistent from the start; distances converge once local
+    traces run. *)
+
+open Dgc_prelude
+open Dgc_heap
+open Dgc_rts
+
+val ring :
+  Engine.t -> sites:Site_id.t list -> per_site:int -> rooted:bool -> Oid.t list
+(** A cycle that visits the given sites in order, [per_site] chained
+    objects on each, with a cross-site link between consecutive sites
+    and from the last back to the first. With [rooted], the first
+    object also hangs off a fresh persistent root on the first site.
+    Returns all objects in creation order (head = entry object). *)
+
+val chain :
+  Engine.t -> sites:Site_id.t list -> per_site:int -> rooted:bool -> Oid.t list
+(** Like {!ring} without the closing link. *)
+
+val clique : Engine.t -> sites:Site_id.t list -> rooted:bool -> Oid.t list
+(** One object per site, each referencing all the others. *)
+
+val random_graph :
+  Engine.t ->
+  rng:Rng.t ->
+  objects_per_site:int ->
+  out_degree:float ->
+  remote_frac:float ->
+  root_frac:float ->
+  Oid.t list
+(** A random graph over all of the engine's sites: each object draws
+    ~[out_degree] references, remote with probability [remote_frac];
+    a [root_frac] fraction of objects become persistent roots. *)
+
+val hypertext :
+  Engine.t ->
+  rng:Rng.t ->
+  docs_per_site:int ->
+  pages_per_doc:int ->
+  cross_links:int ->
+  rooted_frac:float ->
+  Oid.t list
+(** The intro's motivating workload: each document is a prev/next ring
+    of pages spread round-robin over the sites (an inter-site cycle),
+    and [cross_links] random page-to-page links weave documents
+    together. A [rooted_frac] fraction of documents is reachable from
+    site directories (persistent roots); the rest is unreferenced —
+    distributed cyclic garbage. Returns the garbage pages. *)

@@ -1,0 +1,133 @@
+open Dgc_prelude
+open Dgc_heap
+open Dgc_rts
+
+type site_summary = {
+  ss_id : Site_id.t;
+  ss_objects : int;
+  ss_roots : int;
+  ss_inrefs : int;
+  ss_outrefs : int;
+  ss_suspected_inrefs : int;
+  ss_suspected_outrefs : int;
+  ss_flagged_inrefs : int;
+  ss_traces_done : int;
+}
+
+let site_summary eng id =
+  let s = Engine.site eng id in
+  let suspected_in = ref 0 and flagged = ref 0 in
+  Tables.iter_inrefs s.Site.tables (fun ir ->
+      if ir.Ioref.ir_suspected then incr suspected_in;
+      if ir.Ioref.ir_flagged then incr flagged);
+  let suspected_out = ref 0 in
+  Tables.iter_outrefs s.Site.tables (fun o ->
+      if o.Ioref.or_suspected then incr suspected_out);
+  {
+    ss_id = id;
+    ss_objects = Heap.object_count s.Site.heap;
+    ss_roots = List.length (Heap.persistent_roots s.Site.heap);
+    ss_inrefs = Tables.inref_count s.Site.tables;
+    ss_outrefs = Tables.outref_count s.Site.tables;
+    ss_suspected_inrefs = !suspected_in;
+    ss_suspected_outrefs = !suspected_out;
+    ss_flagged_inrefs = !flagged;
+    ss_traces_done = s.Site.trace_epoch;
+  }
+
+let summarize eng =
+  Array.to_list (Engine.sites eng)
+  |> List.map (fun s -> site_summary eng s.Site.id)
+
+let pp_summary ppf eng =
+  let rows = summarize eng in
+  Format.fprintf ppf
+    "@[<v>%-6s %8s %6s %7s %8s %9s %9s %8s %7s@,"
+    "site" "objects" "roots" "inrefs" "outrefs" "susp.in" "susp.out"
+    "flagged" "traces";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-6s %8d %6d %7d %8d %9d %9d %8d %7d@,"
+        (Format.asprintf "%a" Site_id.pp r.ss_id)
+        r.ss_objects r.ss_roots r.ss_inrefs r.ss_outrefs
+        r.ss_suspected_inrefs r.ss_suspected_outrefs r.ss_flagged_inrefs
+        r.ss_traces_done)
+    rows;
+  let tot f = Util.list_sum f rows in
+  Format.fprintf ppf "%-6s %8d %6d %7d %8d %9d %9d %8d@]" "total"
+    (tot (fun r -> r.ss_objects))
+    (tot (fun r -> r.ss_roots))
+    (tot (fun r -> r.ss_inrefs))
+    (tot (fun r -> r.ss_outrefs))
+    (tot (fun r -> r.ss_suspected_inrefs))
+    (tot (fun r -> r.ss_suspected_outrefs))
+    (tot (fun r -> r.ss_flagged_inrefs))
+
+let pp_site_detail ppf eng id =
+  let s = Engine.site eng id in
+  Format.fprintf ppf "@[<v>%a@,%a@]" Heap.pp s.Site.heap Tables.pp
+    s.Site.tables
+
+let dot_id r = Printf.sprintf "\"%s\"" (Oid.to_string r)
+
+let to_dot eng =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph dgc {\n  rankdir=LR;\n  node [shape=circle, fontsize=10];\n";
+  Array.iter
+    (fun s ->
+      let id = Site_id.to_int s.Site.id in
+      out "  subgraph cluster_%d {\n    label=\"site %d\";\n" id id;
+      let roots = Heap.persistent_roots s.Site.heap in
+      Heap.iter s.Site.heap (fun o ->
+          let r = o.Heap.oid in
+          let is_root = List.exists (Oid.equal r) roots in
+          let style =
+            match Tables.find_inref s.Site.tables r with
+            | Some ir when ir.Ioref.ir_flagged ->
+                "style=filled, fillcolor=black, fontcolor=white"
+            | Some ir when ir.Ioref.ir_suspected ->
+                "style=filled, fillcolor=gray80"
+            | Some _ | None -> ""
+          in
+          out "    %s [%s%s];\n" (dot_id r)
+            (if is_root then "shape=doublecircle" else "")
+            (if style = "" then "" else (if is_root then ", " else "") ^ style));
+      out "  }\n")
+    (Engine.sites eng);
+  Array.iter
+    (fun s ->
+      Heap.iter s.Site.heap (fun o ->
+          List.iter
+            (fun dst ->
+              let cross = not (Site_id.equal (Oid.site dst) s.Site.id) in
+              (* dangling edges (freed targets) would confuse dot *)
+              let target_exists =
+                Heap.mem (Engine.site eng (Oid.site dst)).Site.heap dst
+              in
+              if target_exists then
+                out "  %s -> %s%s;\n" (dot_id o.Heap.oid) (dot_id dst)
+                  (if cross then " [penwidth=2]" else " [style=dashed]"))
+            o.Heap.fields))
+    (Engine.sites eng);
+  out "}\n";
+  Buffer.contents buf
+
+let garbage_overview eng =
+  let g = Dgc_oracle.Oracle.garbage_set eng in
+  if Oid.Set.is_empty g then "no garbage"
+  else begin
+    let by_site = Hashtbl.create 8 in
+    Oid.Set.iter
+      (fun r ->
+        let k = Site_id.to_int (Oid.site r) in
+        Hashtbl.replace by_site k (1 + Option.value ~default:0 (Hashtbl.find_opt by_site k)))
+      g;
+    let parts =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_site []
+      |> List.sort compare
+      |> List.map (fun (k, v) -> Printf.sprintf "S%d:%d" k v)
+    in
+    Printf.sprintf "%d garbage objects (%s)" (Oid.Set.cardinal g)
+      (String.concat " " parts)
+  end

@@ -1,0 +1,38 @@
+(** Human-readable reports over a running system.
+
+    Summaries for operators and experiment logs, plus a Graphviz
+    export of the distributed object graph (sites as clusters,
+    cross-site references highlighted, suspicion states colored) for
+    debugging scenarios visually. *)
+
+open Dgc_prelude
+open Dgc_rts
+
+type site_summary = {
+  ss_id : Site_id.t;
+  ss_objects : int;
+  ss_roots : int;
+  ss_inrefs : int;
+  ss_outrefs : int;
+  ss_suspected_inrefs : int;
+  ss_suspected_outrefs : int;
+  ss_flagged_inrefs : int;
+  ss_traces_done : int;  (** completed local traces *)
+}
+
+val site_summary : Engine.t -> Site_id.t -> site_summary
+val summarize : Engine.t -> site_summary list
+
+val pp_summary : Format.formatter -> Engine.t -> unit
+(** One table row per site plus a totals row. *)
+
+val pp_site_detail : Format.formatter -> Engine.t -> Site_id.t -> unit
+(** Heap and full ioref tables of one site. *)
+
+val to_dot : Engine.t -> string
+(** The whole object graph in Graphviz dot syntax: one cluster per
+    site, persistent roots as double circles, suspected inref targets
+    shaded, flagged ones marked, cross-site edges bold. *)
+
+val garbage_overview : Engine.t -> string
+(** One line: how much garbage the oracle sees and where. *)

@@ -1,0 +1,331 @@
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_heap
+open Dgc_rts
+open Dgc_core
+
+let site_id i = Site_id.of_int i
+
+let make_sim ?cfg n_sites =
+  let base = Option.value cfg ~default:Config.default in
+  Sim.make ~cfg:{ base with Config.n_sites } ()
+
+(* ---- Figure 1 -------------------------------------------------------- *)
+
+type fig1 = {
+  f1_sim : Sim.t;
+  f1_p : Site_id.t;
+  f1_q : Site_id.t;
+  f1_r : Site_id.t;
+  f1_a : Oid.t;
+  f1_b : Oid.t;
+  f1_c : Oid.t;
+  f1_d : Oid.t;
+  f1_e : Oid.t;
+  f1_f : Oid.t;
+  f1_g : Oid.t;
+}
+
+let fig1 ?cfg () =
+  let sim = make_sim ?cfg 3 in
+  let eng = sim.Sim.eng in
+  let p = site_id 0 and q = site_id 1 and r = site_id 2 in
+  let a = Builder.root_obj eng p in
+  let e = Builder.obj eng p in
+  let b = Builder.obj eng q in
+  let d = Builder.obj eng q in
+  let f = Builder.obj eng q in
+  let c = Builder.obj eng r in
+  let g = Builder.obj eng r in
+  Builder.link eng ~src:a ~dst:b;
+  Builder.link eng ~src:a ~dst:c;
+  Builder.link eng ~src:b ~dst:c;
+  Builder.link eng ~src:d ~dst:e;
+  Builder.link eng ~src:f ~dst:g;
+  Builder.link eng ~src:g ~dst:f;
+  {
+    f1_sim = sim;
+    f1_p = p;
+    f1_q = q;
+    f1_r = r;
+    f1_a = a;
+    f1_b = b;
+    f1_c = c;
+    f1_d = d;
+    f1_e = e;
+    f1_f = f;
+    f1_g = g;
+  }
+
+(* ---- Figure 2 -------------------------------------------------------- *)
+
+type fig2 = {
+  f2_sim : Sim.t;
+  f2_a : Oid.t;
+  f2_b : Oid.t;
+  f2_c : Oid.t;
+  f2_d : Oid.t;
+}
+
+let fig2 ?cfg () =
+  let sim = make_sim ?cfg 3 in
+  let eng = sim.Sim.eng in
+  let p = site_id 0 and q = site_id 1 and r = site_id 2 in
+  let a = Builder.obj eng q in
+  let b = Builder.obj eng q in
+  let c = Builder.obj eng p in
+  let d = Builder.obj eng r in
+  Builder.link eng ~src:a ~dst:c;
+  Builder.link eng ~src:b ~dst:a;
+  Builder.link eng ~src:b ~dst:d;
+  Builder.link eng ~src:c ~dst:a;
+  Builder.link eng ~src:d ~dst:b;
+  { f2_sim = sim; f2_a = a; f2_b = b; f2_c = c; f2_d = d }
+
+(* ---- Figure 3 -------------------------------------------------------- *)
+
+type fig3 = {
+  f3_sim : Sim.t;
+  f3_root : Oid.t;
+  f3_a : Oid.t;
+  f3_b : Oid.t;
+  f3_c : Oid.t;
+  f3_d : Oid.t;
+}
+
+let fig3 ?cfg () =
+  let sim = make_sim ?cfg 4 in
+  let eng = sim.Sim.eng in
+  let p = site_id 0 and q = site_id 1 and r = site_id 2 and s = site_id 3 in
+  let root = Builder.root_obj eng s in
+  let a = Builder.obj eng p in
+  let b = Builder.obj eng q in
+  let c = Builder.obj eng r in
+  let d = Builder.obj eng s in
+  (* "long path from root" to a: keep it a single inter-site link; the
+     distance settles to 1, i.e. clean. *)
+  Builder.link eng ~src:root ~dst:a;
+  Builder.link eng ~src:a ~dst:b;
+  Builder.link eng ~src:a ~dst:c;
+  Builder.link eng ~src:b ~dst:c;
+  Builder.link eng ~src:c ~dst:d;
+  { f3_sim = sim; f3_root = root; f3_a = a; f3_b = b; f3_c = c; f3_d = d }
+
+(* ---- Figure 4 -------------------------------------------------------- *)
+
+type fig4 = {
+  f4_sim : Sim.t;
+  f4_a : Oid.t;
+  f4_b : Oid.t;
+  f4_x : Oid.t;
+  f4_y : Oid.t;
+  f4_z : Oid.t;
+  f4_c : Oid.t;
+  f4_d : Oid.t;
+}
+
+let fig4 ?cfg () =
+  let sim = make_sim ?cfg 3 in
+  let eng = sim.Sim.eng in
+  let p = site_id 0 and q = site_id 1 and r = site_id 2 in
+  let a = Builder.obj eng q in
+  let b = Builder.obj eng q in
+  let x = Builder.obj eng q in
+  let y = Builder.obj eng q in
+  let z = Builder.obj eng q in
+  let c = Builder.obj eng p in
+  let d = Builder.obj eng r in
+  (* Sources for the two suspected inrefs. *)
+  let pa = Builder.obj eng p in
+  let rb = Builder.obj eng r in
+  Builder.link eng ~src:pa ~dst:a;
+  Builder.link eng ~src:rb ~dst:b;
+  Builder.link eng ~src:a ~dst:x;
+  (* Order matters for reproducing §5.2's first-cut failure: x scans z
+     before c (fields are kept most-recently-added first). *)
+  Builder.link eng ~src:x ~dst:c;
+  Builder.link eng ~src:x ~dst:z;
+  Builder.link eng ~src:z ~dst:x;
+  Builder.link eng ~src:b ~dst:y;
+  Builder.link eng ~src:b ~dst:z;
+  Builder.link eng ~src:y ~dst:d;
+  { f4_sim = sim; f4_a = a; f4_b = b; f4_x = x; f4_y = y; f4_z = z;
+    f4_c = c; f4_d = d }
+
+(* ---- Figures 5 and 6 -------------------------------------------------- *)
+
+type fig5 = {
+  f5_sim : Sim.t;
+  f5_p : Site_id.t;
+  f5_q : Site_id.t;
+  f5_r : Site_id.t;
+  f5_s : Site_id.t;
+  f5_a : Oid.t;
+  f5_b : Oid.t;
+  f5_c : Oid.t;
+  f5_d : Oid.t;
+  f5_e : Oid.t;
+  f5_f : Oid.t;
+  f5_x : Oid.t;
+  f5_y : Oid.t;
+  f5_z : Oid.t;
+  f5_g : Oid.t;
+  f5_h : Oid.t;
+}
+
+let fig5 ?cfg () =
+  let sim = make_sim ?cfg 4 in
+  let eng = sim.Sim.eng in
+  let p = site_id 0 and q = site_id 1 and r = site_id 2 and s = site_id 3 in
+  let a = Builder.root_obj eng p in
+  let g = Builder.obj eng p in
+  let b = Builder.obj eng q in
+  let f = Builder.obj eng q in
+  let x = Builder.obj eng q in
+  let y = Builder.obj eng q in
+  let z = Builder.obj eng q in
+  let c = Builder.obj eng r in
+  let e = Builder.obj eng r in
+  let d = Builder.obj eng s in
+  let h = Builder.obj eng s in
+  Builder.link eng ~src:a ~dst:b;
+  Builder.link eng ~src:g ~dst:h;
+  Builder.link eng ~src:b ~dst:y;
+  Builder.link eng ~src:b ~dst:c;
+  Builder.link eng ~src:c ~dst:d;
+  Builder.link eng ~src:d ~dst:e;
+  Builder.link eng ~src:e ~dst:f;
+  Builder.link eng ~src:f ~dst:x;
+  Builder.link eng ~src:x ~dst:z;
+  Builder.link eng ~src:z ~dst:g;
+  {
+    f5_sim = sim;
+    f5_p = p;
+    f5_q = q;
+    f5_r = r;
+    f5_s = s;
+    f5_a = a;
+    f5_b = b;
+    f5_c = c;
+    f5_d = d;
+    f5_e = e;
+    f5_f = f;
+    f5_x = x;
+    f5_y = y;
+    f5_z = z;
+    f5_g = g;
+    f5_h = h;
+  }
+
+let fig6 ?cfg () =
+  let f = fig5 ?cfg () in
+  let eng = f.f5_sim.Sim.eng in
+  let w = Builder.obj eng f.f5_r in
+  Builder.link eng ~src:f.f5_e ~dst:w;
+  Builder.link eng ~src:w ~dst:f.f5_g;
+  (f, w)
+
+(* ---- drivers ---------------------------------------------------------- *)
+
+let settle sim ~rounds =
+  for _ = 1 to rounds do
+    Collector.force_local_trace_all sim.Sim.col;
+    (* Let update and insert messages land before the next round. *)
+    Sim.run_for sim (Sim_time.of_seconds 1.)
+  done
+
+let walk sim agent ~start_root ~path ?(captures = []) ~k () =
+  let eng = sim.Sim.eng in
+  if not (Mutator.load_root_named agent ~root:start_root ~dst:"cur") then
+    invalid_arg "Scenario.walk: start_root is not a root at the agent's site";
+  let capture o =
+    List.iter
+      (fun (target, name) ->
+        if Oid.equal o target then
+          ignore (Mutator.copy_var agent ~src:"cur" ~dst:name))
+      captures
+  in
+  capture start_root;
+  let rec go = function
+    | [] -> k ()
+    | next :: rest ->
+        let cur =
+          match Mutator.var agent "cur" with
+          | Some c -> c
+          | None -> invalid_arg "Scenario.walk: lost the cursor"
+        in
+        let heap = (Engine.site eng (Oid.site cur)).Site.heap in
+        let fields = Heap.fields heap cur in
+        let idx =
+          let rec find i = function
+            | [] ->
+                invalid_arg
+                  (Format.asprintf "Scenario.walk: no field %a in %a" Oid.pp
+                     next Oid.pp cur)
+            | fld :: tl -> if Oid.equal fld next then i else find (i + 1) tl
+          in
+          find 0 fields
+        in
+        if not (Mutator.read_field agent ~obj:"cur" ~idx ~dst:"cur") then
+          invalid_arg "Scenario.walk: read_field failed";
+        capture next;
+        if Site_id.equal (Oid.site next) (Mutator.agent_site agent) then
+          go rest
+        else if not (Mutator.travel agent ~via:"cur" ~k:(fun () -> go rest))
+        then invalid_arg "Scenario.walk: travel failed"
+  in
+  go path
+
+let fig5_race ?(use_fig6 = false) ?(trace_start_ms = 60.) ~cfg () =
+  let cfg =
+    {
+      cfg with
+      Config.latency = Latency.Fixed (Sim_time.of_millis 10.);
+      trace_duration = Sim_time.zero;
+    }
+  in
+  let f = if use_fig6 then fst (fig6 ~cfg ()) else fig5 ~cfg () in
+  let sim = f.f5_sim in
+  let eng = sim.Sim.eng in
+  (* Converge distances: b1 c2 d3 e4 f5 g6 h7 (delta=3 suspects e..h). *)
+  settle sim ~rounds:9;
+  let outcome = ref None in
+  Back_trace.on_outcome (Collector.back sim.Sim.col) (fun _ v _ ->
+      outcome := Some v);
+  let violation = ref None in
+  let agent = Mutator.spawn sim.Sim.muts ~at:f.f5_p in
+  walk sim agent ~start_root:f.f5_a
+    ~path:[ f.f5_b; f.f5_c; f.f5_d; f.f5_e; f.f5_f; f.f5_x; f.f5_z ]
+    ~captures:[ (f.f5_b, "b") ]
+    ~k:(fun () ->
+      (* Copy z into y (y is a field of b, both local at Q). *)
+      let heap_q = (Engine.site eng f.f5_q).Site.heap in
+      let y_idx =
+        let fields = Heap.fields heap_q f.f5_b in
+        let rec find i = function
+          | [] -> invalid_arg "fig5_race: y not a field of b"
+          | fld :: tl -> if Oid.equal fld f.f5_y then i else find (i + 1) tl
+        in
+        find 0 fields
+      in
+      ignore (Mutator.read_field agent ~obj:"b" ~idx:y_idx ~dst:"y");
+      ignore (Mutator.write agent ~obj:"y" ~value:"cur");
+      (* Delete the old path at S once the final move-ack released the
+         retention pin on outref e. *)
+      Engine.schedule eng ~delay:(Sim_time.of_millis 5.) (fun () ->
+          Builder.unlink eng ~src:f.f5_d ~dst:f.f5_e;
+          Collector.force_local_trace sim.Sim.col f.f5_s))
+    ();
+  Engine.schedule eng ~delay:(Sim_time.of_millis trace_start_ms) (fun () ->
+      ignore (Collector.start_back_trace sim.Sim.col f.f5_p f.f5_h));
+  (try Sim.run_for sim (Sim_time.of_seconds 5.)
+   with Dgc_oracle.Oracle.Safety_violation m -> violation := Some m);
+  (* Make the consequences of any wrong flags visible. *)
+  if !violation = None then begin
+    try
+      Collector.force_local_trace sim.Sim.col f.f5_p;
+      Collector.force_local_trace sim.Sim.col f.f5_q
+    with Dgc_oracle.Oracle.Safety_violation m -> violation := Some m
+  end;
+  (f, !outcome, !violation)
+

@@ -1,0 +1,139 @@
+(** Executable reconstructions of the paper's figures.
+
+    Each [figN] builds exactly the configuration drawn in Figure N
+    (sites, objects, references, roots) through the builder, so the
+    ioref tables start consistent; distances are the conservative
+    initial ones until traces run ({!settle}). The returned records
+    name every object with the letter used in the paper. *)
+
+open Dgc_prelude
+open Dgc_heap
+open Dgc_rts
+open Dgc_core
+
+type fig1 = {
+  f1_sim : Sim.t;
+  f1_p : Site_id.t;
+  f1_q : Site_id.t;
+  f1_r : Site_id.t;
+  f1_a : Oid.t;  (** persistent root at P *)
+  f1_b : Oid.t;
+  f1_c : Oid.t;
+  f1_d : Oid.t;  (** acyclic garbage at Q, d -> e *)
+  f1_e : Oid.t;
+  f1_f : Oid.t;  (** f <-> g: the inter-site garbage cycle *)
+  f1_g : Oid.t;
+}
+
+val fig1 : ?cfg:Config.t -> unit -> fig1
+
+type fig2 = {
+  f2_sim : Sim.t;
+  f2_a : Oid.t;  (** at Q; a -> c *)
+  f2_b : Oid.t;  (** at Q; b -> a, b -> d *)
+  f2_c : Oid.t;  (** at P; c -> a *)
+  f2_d : Oid.t;  (** at R; d -> b *)
+}
+
+val fig2 : ?cfg:Config.t -> unit -> fig2
+
+type fig3 = {
+  f3_sim : Sim.t;
+  f3_root : Oid.t;  (** at S, heads the long path to a *)
+  f3_a : Oid.t;  (** at P; a -> b, a -> c *)
+  f3_b : Oid.t;  (** at Q; b -> c *)
+  f3_c : Oid.t;  (** at R; c -> d *)
+  f3_d : Oid.t;  (** at S *)
+}
+
+val fig3 : ?cfg:Config.t -> unit -> fig3
+
+type fig4 = {
+  f4_sim : Sim.t;
+  f4_a : Oid.t;  (** inref target at Q (source P) *)
+  f4_b : Oid.t;  (** inref target at Q (source R) *)
+  f4_x : Oid.t;  (** at Q; x -> z, x -> c; z -> x closes the SCC *)
+  f4_y : Oid.t;  (** at Q; y -> d *)
+  f4_z : Oid.t;
+  f4_c : Oid.t;  (** at P, remote target *)
+  f4_d : Oid.t;  (** at R, remote target *)
+}
+
+val fig4 : ?cfg:Config.t -> unit -> fig4
+(** Figure 4 augmented with the back edge discussed in §5.2 (z -> x),
+    so the naive bottom-up computation goes wrong while the SCC-based
+    one does not. Layout: P holds c and sources inref a; R holds d and
+    sources inref b; at Q: a -> x, x -> z, x -> c, z -> x (the back
+    edge), b -> z, b -> y, y -> d. *)
+
+type fig5 = {
+  f5_sim : Sim.t;
+  f5_p : Site_id.t;
+  f5_q : Site_id.t;
+  f5_r : Site_id.t;
+  f5_s : Site_id.t;
+  f5_a : Oid.t;  (** root at P *)
+  f5_b : Oid.t;  (** at Q, clean *)
+  f5_c : Oid.t;  (** at R, clean *)
+  f5_d : Oid.t;  (** at S; d -> e is the reference the race deletes *)
+  f5_e : Oid.t;  (** at R, suspected *)
+  f5_f : Oid.t;  (** at Q, suspected *)
+  f5_x : Oid.t;  (** at Q; old path: f -> x -> z *)
+  f5_y : Oid.t;  (** at Q; reachable from b; the race creates y -> z *)
+  f5_z : Oid.t;  (** at Q; z -> g *)
+  f5_g : Oid.t;  (** at P, suspected *)
+  f5_h : Oid.t;
+      (** at S, with g -> h. Not drawn in the figure: the paper's "back
+          trace from g" reaches inref g at P, which under the §4.1
+          outref-start discipline requires a suspected outref downstream
+          of g — outref h at P, whose inset is [{g}]. *)
+}
+
+val fig5 : ?cfg:Config.t -> unit -> fig5
+
+val fig6 : ?cfg:Config.t -> unit -> fig5 * Oid.t
+(** Figure 6 = Figure 5 plus an object [w] at R with e -> w -> g, so
+    inref g at P has sources Q and R and a back trace from g forks.
+    Returns the fig5 record (same naming) and [w]. *)
+
+(** {1 Drivers} *)
+
+val fig5_race :
+  ?use_fig6:bool ->
+  ?trace_start_ms:float ->
+  cfg:Config.t ->
+  unit ->
+  fig5 * Verdict.t option * string option
+(** The §6.4 race, deterministically scheduled (10ms fixed hops):
+    a mutator walks the old path a..z, copies z into y and deletes
+    d -> e (reflected by a forced trace at S); a back trace from
+    outref h at P starts at [trace_start_ms] (default 60) so that it
+    sees Q before the mutation's barrier information would be
+    recomputed and S after the deletion. Returns the scenario, the
+    trace outcome, and a safety-violation message if the oracle caught
+    an unsafe sweep (which happens exactly when the §6 machinery is
+    disabled in [cfg]). The configuration's latency is forced to the
+    fixed 10ms the schedule assumes. *)
+
+val settle : Sim.t -> rounds:int -> unit
+(** Run [rounds] forced synchronous local traces at every site, with
+    enough simulated time in between for update messages to land —
+    converges distances deterministically without starting the
+    periodic schedule. Does not trigger back traces. *)
+
+val walk :
+  Sim.t ->
+  Mutator.t ->
+  start_root:Oid.t ->
+  path:Oid.t list ->
+  ?captures:(Oid.t * string) list ->
+  k:(unit -> unit) ->
+  unit ->
+  unit
+(** Drive an agent along a concrete object path: the agent loads
+    [start_root] (a persistent root at its current site) into variable
+    ["cur"], then repeatedly reads the field leading to the next path
+    element and travels when it is remote — firing exactly the §6.1
+    transfer/traversal events. Objects listed in [captures] are copied
+    into the named variables as the walk passes them. [k] runs when the
+    walk completes (asynchronously if it crossed sites). *)

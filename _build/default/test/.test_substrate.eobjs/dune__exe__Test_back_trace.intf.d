@@ -1,0 +1,1 @@
+test/test_back_trace.mli:

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Dgc_heap Dgc_prelude Hashtbl Heap Int List Oid Printf QCheck2 QCheck_alcotest Reach Scc Site_id Snapshot

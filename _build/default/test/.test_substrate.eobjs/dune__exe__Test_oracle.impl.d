@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Builder Config Dgc_heap Dgc_oracle Dgc_prelude Dgc_rts Dgc_simcore Engine Ioref Latency List Mutator Oid Option Sim_time Site Site_id String Tables

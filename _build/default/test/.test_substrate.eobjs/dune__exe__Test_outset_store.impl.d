@@ -1,0 +1,1 @@
+test/test_outset_store.ml: Alcotest Dgc_core Dgc_heap Dgc_prelude List Oid Outset_store QCheck2 QCheck_alcotest Site_id

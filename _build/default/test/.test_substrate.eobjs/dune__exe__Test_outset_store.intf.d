@@ -1,0 +1,1 @@
+test/test_outset_store.mli:

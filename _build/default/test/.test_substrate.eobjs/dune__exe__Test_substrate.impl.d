@@ -1,0 +1,1 @@
+test/test_substrate.ml: Alcotest Array Dgc_prelude Dgc_simcore Event_queue Float Format Fun Int Journal Latency List Metrics QCheck2 QCheck_alcotest Rng Sim_time Site_id Trace_id Util

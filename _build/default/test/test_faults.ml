@@ -1,0 +1,203 @@
+(* Fault model: partitions (parking and healing), crash interplay, and
+   the §4.7 deferred/piggybacked message mode. *)
+
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_heap
+open Dgc_rts
+open Dgc_core
+open Dgc_workload
+
+let s k = Site_id.of_int k
+
+let cfg n =
+  {
+    Config.default with
+    Config.n_sites = n;
+    delta = 3;
+    threshold2 = 6;
+    threshold_bump = 4;
+    trace_interval = Sim_time.of_seconds 10.;
+    trace_jitter = Sim_time.of_seconds 1.;
+    trace_duration = Sim_time.zero;
+    latency = Latency.Fixed (Sim_time.of_millis 5.);
+  }
+
+(* --- partitions ---------------------------------------------------------- *)
+
+let test_reachability () =
+  let eng = Engine.create (cfg 4) in
+  Alcotest.(check bool) "initially connected" true
+    (Engine.reachable eng (s 0) (s 3));
+  Engine.partition eng [ [ s 0; s 1 ]; [ s 2 ] ];
+  Alcotest.(check bool) "same group" true (Engine.reachable eng (s 0) (s 1));
+  Alcotest.(check bool) "cross group" false (Engine.reachable eng (s 0) (s 2));
+  (* unlisted sites form the implicit extra group *)
+  Alcotest.(check bool) "implicit group isolated from group 0" false
+    (Engine.reachable eng (s 0) (s 3));
+  Engine.heal eng;
+  Alcotest.(check bool) "healed" true (Engine.reachable eng (s 0) (s 2))
+
+let test_partition_parks_base_messages () =
+  let eng = Engine.create (cfg 2) in
+  Local_gc.install eng;
+  let muts = Mutator.manager eng in
+  let root0 = Builder.root_obj eng (s 0) in
+  let target = Builder.root_obj eng (s 1) in
+  Builder.link eng ~src:root0 ~dst:target;
+  let a = Mutator.spawn muts ~at:(s 0) in
+  ignore (Mutator.load_root a ~dst:"r");
+  ignore (Mutator.read_field a ~obj:"r" ~idx:0 ~dst:"t");
+  Engine.partition eng [ [ s 0 ]; [ s 1 ] ];
+  let arrived = ref false in
+  ignore (Mutator.travel a ~via:"t" ~k:(fun () -> arrived := true));
+  Engine.run_for eng (Sim_time.of_seconds 2.);
+  Alcotest.(check bool) "move parked across the partition" false !arrived;
+  (* the carried references still count as roots for the oracle *)
+  Alcotest.(check bool) "parked refs are oracle roots" true
+    (Engine.in_flight_refs eng <> []);
+  Engine.heal eng;
+  Engine.run_for eng (Sim_time.of_seconds 2.);
+  Alcotest.(check bool) "delivered after heal" true !arrived
+
+let test_partition_delays_cycle_collection () =
+  let sim = Sim.make ~cfg:(cfg 4) () in
+  let eng = sim.Sim.eng in
+  (* One cycle inside a partition group, one across the boundary. *)
+  ignore (Graph_gen.ring eng ~sites:[ s 0; s 1 ] ~per_site:1 ~rooted:false);
+  ignore (Graph_gen.ring eng ~sites:[ s 2; s 3 ] ~per_site:1 ~rooted:false);
+  Engine.partition eng [ [ s 0; s 1; s 2 ]; [ s 3 ] ];
+  Sim.start sim;
+  Sim.run_rounds sim 20;
+  let alive sites =
+    List.fold_left
+      (fun acc site -> acc + Heap.object_count (Engine.site eng site).Site.heap)
+      0 sites
+  in
+  Alcotest.(check int) "cycle inside the group collected" 0
+    (alive [ s 0; s 1 ]);
+  Alcotest.(check bool) "cross-boundary cycle survives" true
+    (alive [ s 2; s 3 ] > 0);
+  Engine.heal eng;
+  let ok = Sim.collect_all sim ~max_rounds:40 () in
+  Alcotest.(check bool) "collected after heal" true ok
+
+let test_partition_in_flight_message_parked () =
+  let eng = Engine.create (cfg 2) in
+  Local_gc.install eng;
+  (* Fire a base message, partition while it flies. *)
+  Engine.send eng ~src:(s 0) ~dst:(s 1)
+    (Protocol.Update { removals = []; dists = [] });
+  Engine.partition eng [ [ s 0 ]; [ s 1 ] ];
+  Engine.run_for eng (Sim_time.of_seconds 1.);
+  (* It must not have been lost: heal and deliver (observable via the
+     absence of errors and via metrics bookkeeping). *)
+  Engine.heal eng;
+  Engine.run_for eng (Sim_time.of_seconds 1.);
+  Alcotest.(check int) "nothing dropped" 0
+    (Metrics.get (Engine.metrics eng) "msg.dropped.partition")
+
+let test_partitioned_back_trace_assumes_live () =
+  (* A back trace crossing a partition boundary times out to Live and
+     the garbage survives until the heal — safety first. *)
+  let sim = Sim.make ~cfg:(cfg 2) () in
+  let eng = sim.Sim.eng in
+  ignore (Graph_gen.ring eng ~sites:[ s 0; s 1 ] ~per_site:1 ~rooted:false);
+  Scenario.settle sim ~rounds:8;
+  Engine.partition eng [ [ s 0 ]; [ s 1 ] ];
+  let outcome = ref None in
+  Back_trace.on_outcome (Collector.back sim.Sim.col) (fun _ v _ ->
+      outcome := Some v);
+  let started = ref false in
+  Array.iter
+    (fun st ->
+      Tables.iter_outrefs st.Site.tables (fun o ->
+          if (not !started) && not (Ioref.outref_clean o) then begin
+            started :=
+              Collector.start_back_trace sim.Sim.col st.Site.id
+                o.Ioref.or_target
+              <> None
+          end))
+    (Engine.sites eng);
+  Alcotest.(check bool) "trace started" true !started;
+  Sim.run_for sim (Sim_time.of_seconds 30.);
+  (match !outcome with
+  | Some v ->
+      Alcotest.(check bool) "timeout reads as Live" true
+        (Verdict.equal v Verdict.Live)
+  | None -> Alcotest.fail "trace never completed");
+  Alcotest.(check bool) "garbage preserved" true
+    (Dgc_oracle.Oracle.garbage_count eng > 0)
+
+(* --- deferral (§4.7) ------------------------------------------------------ *)
+
+let test_deferral_batches_messages () =
+  let cfg_defer =
+    { (cfg 3) with Config.defer_interval = Sim_time.of_millis 100. }
+  in
+  let sim = Sim.make ~cfg:cfg_defer () in
+  let eng = sim.Sim.eng in
+  ignore (Graph_gen.ring eng ~sites:[ s 0; s 1; s 2 ] ~per_site:2 ~rooted:false);
+  Sim.start sim;
+  let ok = Sim.collect_all sim ~max_rounds:40 () in
+  Alcotest.(check bool) "collection still completes" true ok;
+  let m = Engine.metrics eng in
+  Alcotest.(check bool) "batches were used" true (Metrics.get m "msg.batches" > 0);
+  (* every wire batch carried at least one back-trace payload *)
+  Alcotest.(check bool) "payload counters unchanged semantics" true
+    (Metrics.get m "msg.back_call" > 0)
+
+let test_deferral_wire_savings () =
+  (* Same workload with and without deferral: deferral must not
+     increase the number of wire messages attributable to the back
+     tracer (batching can only merge). *)
+  let run defer =
+    let c =
+      {
+        (cfg 3) with
+        Config.defer_interval =
+          (if defer then Sim_time.of_millis 200. else Sim_time.zero);
+        back_call_timeout = Sim_time.of_seconds 20.;
+        seed = 11;
+      }
+    in
+    let sim = Sim.make ~cfg:c () in
+    ignore
+      (Graph_gen.clique sim.Sim.eng ~sites:[ s 0; s 1; s 2 ] ~rooted:false);
+    Sim.start sim;
+    ignore (Sim.collect_all sim ~max_rounds:60 ());
+    let m = Engine.metrics sim.Sim.eng in
+    (Metrics.get m "msg.total", Metrics.get m "msg.back_call")
+  in
+  let eager_total, eager_calls = run false in
+  let defer_total, defer_calls = run true in
+  Alcotest.(check bool) "work comparable (logical calls)" true
+    (defer_calls > 0 && eager_calls > 0);
+  Alcotest.(check bool)
+    (Format.asprintf "wire messages do not blow up (%d eager vs %d deferred)"
+       eager_total defer_total)
+    true
+    (defer_total <= eager_total * 2)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "reachability" `Quick test_reachability;
+          Alcotest.test_case "base messages park" `Quick
+            test_partition_parks_base_messages;
+          Alcotest.test_case "cycle collection localized" `Quick
+            test_partition_delays_cycle_collection;
+          Alcotest.test_case "in-flight parked" `Quick
+            test_partition_in_flight_message_parked;
+          Alcotest.test_case "back trace assumes Live" `Quick
+            test_partitioned_back_trace_assumes_live;
+        ] );
+      ( "deferral",
+        [
+          Alcotest.test_case "batches and still collects" `Quick
+            test_deferral_batches_messages;
+          Alcotest.test_case "wire savings" `Quick test_deferral_wire_savings;
+        ] );
+    ]

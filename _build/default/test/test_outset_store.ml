@@ -1,0 +1,124 @@
+(* The hash-consed outset store (§5.2): canonical sharing, memoized
+   unions, the ablation toggle, and set-algebra properties. *)
+
+open Dgc_prelude
+open Dgc_heap
+open Dgc_core
+
+let oid i = Oid.make ~site:(Site_id.of_int 1) ~index:i
+
+let test_empty_and_singleton () =
+  let st = Outset_store.create () in
+  let e = Outset_store.empty st in
+  Alcotest.(check bool) "empty is empty" true (Outset_store.is_empty_id st e);
+  Alcotest.(check int) "empty cardinal" 0 (Outset_store.cardinal st e);
+  let s1 = Outset_store.singleton st (oid 1) in
+  Alcotest.(check int) "singleton cardinal" 1 (Outset_store.cardinal st s1);
+  let s1' = Outset_store.singleton st (oid 1) in
+  Alcotest.(check bool) "singletons hash-cons" true (s1 = s1')
+
+let test_union_basics () =
+  let st = Outset_store.create () in
+  let a = Outset_store.singleton st (oid 1) in
+  let b = Outset_store.singleton st (oid 2) in
+  let ab = Outset_store.union st a b in
+  Alcotest.(check (list string)) "sorted elements"
+    [ "S1/o1"; "S1/o2" ]
+    (List.map Oid.to_string (Outset_store.elements st ab));
+  Alcotest.(check bool) "union with empty is identity" true
+    (Outset_store.union st ab (Outset_store.empty st) = ab);
+  Alcotest.(check bool) "union idempotent" true (Outset_store.union st ab ab = ab);
+  Alcotest.(check bool) "union commutative (same id)" true
+    (Outset_store.union st a b = Outset_store.union st b a)
+
+let test_memoization () =
+  let st = Outset_store.create () in
+  let a = Outset_store.singleton st (oid 1) in
+  let b = Outset_store.singleton st (oid 2) in
+  ignore (Outset_store.union st a b);
+  ignore (Outset_store.union st a b);
+  ignore (Outset_store.union st b a);
+  let s = Outset_store.stats st in
+  Alcotest.(check int) "three union calls" 3 s.Outset_store.union_calls;
+  Alcotest.(check int) "two were memo hits" 2 s.Outset_store.memo_hits
+
+let test_memoize_off_same_results () =
+  let with_memo = Outset_store.create ~memoize:true () in
+  let without = Outset_store.create ~memoize:false () in
+  let build st =
+    let ids = List.init 6 (fun i -> Outset_store.singleton st (oid i)) in
+    let all =
+      List.fold_left (fun acc x -> Outset_store.union st acc x)
+        (Outset_store.empty st) ids
+    in
+    Outset_store.elements st all
+  in
+  Alcotest.(check (list string)) "identical results"
+    (List.map Oid.to_string (build with_memo))
+    (List.map Oid.to_string (build without));
+  Alcotest.(check int) "no hits without memo" 0
+    (Outset_store.stats without).Outset_store.memo_hits
+
+let test_add () =
+  let st = Outset_store.create () in
+  let a = Outset_store.add st (Outset_store.empty st) (oid 9) in
+  let b = Outset_store.add st a (oid 3) in
+  Alcotest.(check (list string)) "add keeps order"
+    [ "S1/o3"; "S1/o9" ]
+    (List.map Oid.to_string (Outset_store.elements st b));
+  Alcotest.(check bool) "re-adding is identity" true
+    (Outset_store.add st b (oid 9) = b)
+
+(* Property: union behaves exactly like set union. *)
+let prop_union_is_set_union =
+  QCheck2.Test.make ~name:"union equals Oid.Set union" ~count:300
+    ~print:QCheck2.Print.(pair (list int) (list int))
+    QCheck2.Gen.(pair (list_size (int_bound 12) (int_bound 20))
+                   (list_size (int_bound 12) (int_bound 20)))
+    (fun (xs, ys) ->
+      let st = Outset_store.create () in
+      let of_list l =
+        List.fold_left (fun acc i -> Outset_store.add st acc (oid i))
+          (Outset_store.empty st) l
+      in
+      let got =
+        Outset_store.elements st (Outset_store.union st (of_list xs) (of_list ys))
+      in
+      let want =
+        Oid.Set.elements
+          (Oid.Set.union
+             (Oid.Set.of_list (List.map oid xs))
+             (Oid.Set.of_list (List.map oid ys)))
+      in
+      List.equal Oid.equal got want)
+
+(* Property: equal sets always share one id (canonical form). *)
+let prop_canonical =
+  QCheck2.Test.make ~name:"equal sets share an id" ~count:200
+    ~print:QCheck2.Print.(list int)
+    QCheck2.Gen.(list_size (int_bound 10) (int_bound 15))
+    (fun xs ->
+      let st = Outset_store.create () in
+      let of_list l =
+        List.fold_left (fun acc i -> Outset_store.add st acc (oid i))
+          (Outset_store.empty st) l
+      in
+      of_list xs = of_list (List.rev xs))
+
+let () =
+  Alcotest.run "outset_store"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty and singleton" `Quick
+            test_empty_and_singleton;
+          Alcotest.test_case "union basics" `Quick test_union_basics;
+          Alcotest.test_case "memoization" `Quick test_memoization;
+          Alcotest.test_case "memoize toggle" `Quick
+            test_memoize_off_same_results;
+          Alcotest.test_case "add" `Quick test_add;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_union_is_set_union; prop_canonical ] );
+    ]

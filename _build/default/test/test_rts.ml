@@ -1,0 +1,496 @@
+(* Runtime substrate (§2): ioref records, tables, the insert/update
+   protocols, mutator agents with variables-as-roots, retention pins,
+   crash parking, and the plain local GC. *)
+
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_heap
+open Dgc_rts
+
+let s k = Site_id.of_int k
+
+let cfg n =
+  {
+    Config.default with
+    Config.n_sites = n;
+    latency = Latency.Fixed (Sim_time.of_millis 10.);
+    trace_duration = Sim_time.zero;
+  }
+
+let run eng secs = Engine.run_for eng (Sim_time.of_seconds secs)
+
+(* --- ioref records ------------------------------------------------------- *)
+
+let test_inref_sources () =
+  let target = Oid.make ~site:(s 0) ~index:0 in
+  let ir = Ioref.make_inref target in
+  Alcotest.(check int) "no sources: infinite" Ioref.infinity_dist
+    (Ioref.inref_dist ir);
+  Ioref.add_source ir (s 1) ~dist:4;
+  Ioref.add_source ir (s 2) ~dist:2;
+  Alcotest.(check int) "min over sources" 2 (Ioref.inref_dist ir);
+  (* add_source keeps the minimum for an existing source *)
+  Ioref.add_source ir (s 1) ~dist:9;
+  Alcotest.(check bool) "merge keeps min" true
+    (match Ioref.find_source ir (s 1) with
+    | Some src -> src.Ioref.src_dist = 4
+    | None -> false);
+  (* set overwrites *)
+  Ioref.set_source_dist ir (s 1) ~dist:9;
+  Alcotest.(check bool) "set overwrites" true
+    (match Ioref.find_source ir (s 1) with
+    | Some src -> src.Ioref.src_dist = 9
+    | None -> false);
+  Ioref.set_source_dist ir (s 5) ~dist:1;
+  Alcotest.(check bool) "set ignores unknown" true
+    (Ioref.find_source ir (s 5) = None);
+  Ioref.remove_source ir (s 2);
+  Alcotest.(check (list int)) "remove" [ 1 ]
+    (List.map Site_id.to_int (Ioref.source_sites ir))
+
+let test_clean_predicates () =
+  let target = Oid.make ~site:(s 0) ~index:0 in
+  let ir = Ioref.make_inref target in
+  Ioref.add_source ir (s 1) ~dist:10;
+  Alcotest.(check bool) "fresh is clean" true (Ioref.inref_clean ~delta:3 ir);
+  ir.Ioref.ir_fresh <- false;
+  Alcotest.(check bool) "not suspected yet: clean" true
+    (Ioref.inref_clean ~delta:3 ir);
+  ir.Ioref.ir_suspected <- true;
+  Alcotest.(check bool) "suspected + far: not clean" false
+    (Ioref.inref_clean ~delta:3 ir);
+  ir.Ioref.ir_forced_clean <- true;
+  Alcotest.(check bool) "forced clean wins" true (Ioref.inref_clean ~delta:3 ir);
+  ir.Ioref.ir_forced_clean <- false;
+  Ioref.set_source_dist ir (s 1) ~dist:2;
+  Alcotest.(check bool) "distance back under delta: clean" true
+    (Ioref.inref_clean ~delta:3 ir);
+  let o = Ioref.make_outref (Oid.make ~site:(s 1) ~index:0) in
+  o.Ioref.or_fresh <- false;
+  o.Ioref.or_suspected <- true;
+  Alcotest.(check bool) "suspected outref not clean" false
+    (Ioref.outref_clean o);
+  o.Ioref.or_pins <- 1;
+  Alcotest.(check bool) "pinned outref clean" true (Ioref.outref_clean o)
+
+let test_tables () =
+  let t = Tables.create (s 0) in
+  let local = Oid.make ~site:(s 0) ~index:1 in
+  let remote = Oid.make ~site:(s 1) ~index:1 in
+  let ir = Tables.ensure_inref t local in
+  Alcotest.(check bool) "idempotent" true (Tables.ensure_inref t local == ir);
+  Alcotest.check_raises "inref must be local"
+    (Invalid_argument "Tables.ensure_inref: reference not local to this site")
+    (fun () -> ignore (Tables.ensure_inref t remote));
+  let _, created = Tables.ensure_outref t remote in
+  Alcotest.(check bool) "outref created" true created;
+  let _, created2 = Tables.ensure_outref t remote in
+  Alcotest.(check bool) "outref reused" false created2;
+  Alcotest.check_raises "outref must be remote"
+    (Invalid_argument "Tables.ensure_outref: reference is local to this site")
+    (fun () -> ignore (Tables.ensure_outref t local));
+  Alcotest.(check int) "counts" 1 (Tables.inref_count t);
+  Tables.remove_inref t local;
+  Alcotest.(check bool) "removed" true (Tables.find_inref t local = None)
+
+let test_protocol_kinds () =
+  Alcotest.(check string) "insert kind" "insert"
+    (Protocol.kind (Protocol.Insert { r = Oid.make ~site:(s 0) ~index:0; by = s 1 }));
+  Alcotest.(check string) "update kind" "update"
+    (Protocol.kind (Protocol.Update { removals = []; dists = [] }));
+  let r = Oid.make ~site:(s 0) ~index:3 in
+  Alcotest.(check int) "move carries refs" 2
+    (List.length
+       (Protocol.refs_carried
+          (Protocol.Move { agent = 0; refs = [ r; r ]; token = 0 })));
+  Alcotest.(check int) "update carries none" 0
+    (List.length
+       (Protocol.refs_carried (Protocol.Update { removals = [ r ]; dists = [] })))
+
+(* --- builder + oracle integrity ------------------------------------------ *)
+
+let test_builder_tables_consistent () =
+  let eng = Engine.create (cfg 3) in
+  let a = Builder.root_obj eng (s 0) in
+  let b = Builder.obj eng (s 1) in
+  let c = Builder.obj eng (s 2) in
+  Builder.link eng ~src:a ~dst:b;
+  Builder.link eng ~src:b ~dst:c;
+  Builder.link eng ~src:c ~dst:a;
+  Alcotest.(check (list string)) "no violations" []
+    (Dgc_oracle.Oracle.table_violations eng);
+  (* the inref records the right source *)
+  match Tables.find_inref (Engine.site eng (s 1)).Site.tables b with
+  | Some ir ->
+      Alcotest.(check (list int)) "source" [ 0 ]
+        (List.map Site_id.to_int (Ioref.source_sites ir))
+  | None -> Alcotest.fail "missing inref"
+
+(* --- engine: moves, inserts, pins ----------------------------------------- *)
+
+let test_move_insert_protocol () =
+  let eng = Engine.create (cfg 3) in
+  Local_gc.install eng;
+  let muts = Mutator.manager eng in
+  (* A root at site 0 holding a local object; the agent carries the
+     object's reference to site 1 where nothing knows it. *)
+  let root = Builder.root_obj eng (s 0) in
+  let x = Builder.obj eng (s 0) in
+  Builder.link eng ~src:root ~dst:x;
+  let beacon = Builder.root_obj eng (s 1) in
+  Builder.link eng ~src:root ~dst:beacon;
+  let a = Mutator.spawn muts ~at:(s 0) in
+  Alcotest.(check bool) "load root" true (Mutator.load_root a ~dst:"r");
+  Alcotest.(check bool) "read x" true
+    (Mutator.read_field a ~obj:"r" ~idx:1 ~dst:"x");
+  Alcotest.(check bool) "read beacon" true
+    (Mutator.read_field a ~obj:"r" ~idx:0 ~dst:"b");
+  let arrived = ref false in
+  Alcotest.(check bool) "travel" true
+    (Mutator.travel a ~via:"b" ~k:(fun () -> arrived := true));
+  Alcotest.(check bool) "in flight has refs" true
+    (Engine.in_flight_refs eng <> []);
+  run eng 1.;
+  Alcotest.(check bool) "arrived" true !arrived;
+  Alcotest.(check int) "agent at site 1" 1
+    (Site_id.to_int (Mutator.agent_site a));
+  (* Site 1 now has an outref for x, and site 0's inref lists site 1. *)
+  Alcotest.(check bool) "outref created at 1" true
+    (Tables.find_outref (Engine.site eng (s 1)).Site.tables x <> None);
+  (match Tables.find_inref (Engine.site eng (s 0)).Site.tables x with
+  | Some ir ->
+      Alcotest.(check bool) "source 1 registered" true
+        (Ioref.find_source ir (s 1) <> None)
+  | None -> Alcotest.fail "inref for x missing");
+  Alcotest.(check (list string)) "tables consistent after move" []
+    (Dgc_oracle.Oracle.table_violations eng);
+  (* Drop the variable: after local traces everywhere the outref and
+     the inref source disappear again. *)
+  ignore (Mutator.drop a "x");
+  ignore (Mutator.drop a "b");
+  ignore (Mutator.drop a "r");
+  Local_gc.run eng (Engine.site eng (s 1));
+  run eng 1.;
+  Local_gc.run eng (Engine.site eng (s 1));
+  run eng 1.;
+  (match Tables.find_inref (Engine.site eng (s 0)).Site.tables x with
+  | Some ir ->
+      Alcotest.(check bool) "source removed after updates" true
+        (Ioref.find_source ir (s 1) = None)
+  | None -> ());
+  Alcotest.(check (list string)) "tables consistent at the end" []
+    (Dgc_oracle.Oracle.table_violations eng)
+
+let test_vars_are_roots () =
+  let eng = Engine.create (cfg 1) in
+  Local_gc.install eng;
+  let muts = Mutator.manager eng in
+  let a = Mutator.spawn muts ~at:(s 0) in
+  Alcotest.(check bool) "new obj" true (Mutator.new_obj a ~dst:"v");
+  let o = Option.get (Mutator.var a "v") in
+  Local_gc.run eng (Engine.site eng (s 0));
+  Alcotest.(check bool) "var keeps object alive" true
+    (Heap.mem (Engine.site eng (s 0)).Site.heap o);
+  ignore (Mutator.drop a "v");
+  Local_gc.run eng (Engine.site eng (s 0));
+  Alcotest.(check bool) "dropped object collected" false
+    (Heap.mem (Engine.site eng (s 0)).Site.heap o)
+
+let test_mutator_failure_modes () =
+  let eng = Engine.create (cfg 2) in
+  Local_gc.install eng;
+  let muts = Mutator.manager eng in
+  let a = Mutator.spawn muts ~at:(s 0) in
+  Alcotest.(check bool) "no roots at empty site" false
+    (Mutator.load_root a ~dst:"v");
+  Alcotest.(check bool) "missing var read" false
+    (Mutator.read_field a ~obj:"nope" ~idx:0 ~dst:"v");
+  Alcotest.(check bool) "missing var write" false
+    (Mutator.write a ~obj:"nope" ~value:"nope");
+  Alcotest.(check bool) "missing var drop" false (Mutator.drop a "nope");
+  ignore (Mutator.new_obj a ~dst:"v");
+  Alcotest.(check bool) "bad index" false
+    (Mutator.read_field a ~obj:"v" ~idx:0 ~dst:"w");
+  let remote = Builder.obj eng (s 1) in
+  let root = Builder.root_obj eng (s 0) in
+  Builder.link eng ~src:root ~dst:remote;
+  ignore (Mutator.load_root a ~dst:"r");
+  ignore (Mutator.read_field a ~obj:"r" ~idx:0 ~dst:"rem");
+  Alcotest.(check bool) "write needs local object" false
+    (Mutator.write a ~obj:"rem" ~value:"v");
+  Alcotest.(check int) "failures counted" 6
+    (Metrics.get (Engine.metrics eng) "mutator.op_failed")
+
+let test_travel_same_site_is_sync () =
+  let eng = Engine.create (cfg 2) in
+  let muts = Mutator.manager eng in
+  let a = Mutator.spawn muts ~at:(s 0) in
+  ignore (Mutator.new_obj a ~dst:"v");
+  let ran = ref false in
+  Alcotest.(check bool) "travel ok" true
+    (Mutator.travel a ~via:"v" ~k:(fun () -> ran := true));
+  Alcotest.(check bool) "continuation ran synchronously" true !ran;
+  Alcotest.(check bool) "not traveling" false (Mutator.traveling a)
+
+(* --- crash parking --------------------------------------------------------- *)
+
+let test_crash_parks_base_messages () =
+  let eng = Engine.create (cfg 2) in
+  Local_gc.install eng;
+  let muts = Mutator.manager eng in
+  let root0 = Builder.root_obj eng (s 0) in
+  let target = Builder.root_obj eng (s 1) in
+  Builder.link eng ~src:root0 ~dst:target;
+  let a = Mutator.spawn muts ~at:(s 0) in
+  ignore (Mutator.load_root a ~dst:"r");
+  ignore (Mutator.read_field a ~obj:"r" ~idx:0 ~dst:"t");
+  Engine.crash eng (s 1);
+  let arrived = ref false in
+  ignore (Mutator.travel a ~via:"t" ~k:(fun () -> arrived := true));
+  run eng 2.;
+  Alcotest.(check bool) "move parked while crashed" false !arrived;
+  Engine.recover eng (s 1);
+  run eng 2.;
+  Alcotest.(check bool) "delivered after recovery" true !arrived
+
+type Protocol.ext += Test_probe
+
+let test_ext_dropped_to_crashed () =
+  let eng = Engine.create (cfg 2) in
+  Engine.crash eng (s 1);
+  Engine.send eng ~src:(s 0) ~dst:(s 1) (Protocol.Ext Test_probe);
+  Alcotest.(check int) "counted as dropped" 1
+    (Metrics.get (Engine.metrics eng) "msg.dropped.crashed")
+
+(* --- plain local GC --------------------------------------------------------- *)
+
+let test_local_gc_basics () =
+  let eng = Engine.create (cfg 2) in
+  Local_gc.install eng;
+  let root = Builder.root_obj eng (s 0) in
+  let keep = Builder.obj eng (s 0) in
+  let lose = Builder.obj eng (s 0) in
+  let remote_kept = Builder.obj eng (s 1) in
+  Builder.link eng ~src:root ~dst:keep;
+  Builder.link eng ~src:lose ~dst:remote_kept;
+  Local_gc.run eng (Engine.site eng (s 0));
+  let heap0 = (Engine.site eng (s 0)).Site.heap in
+  Alcotest.(check bool) "rooted kept" true (Heap.mem heap0 keep);
+  Alcotest.(check bool) "unrooted freed" false (Heap.mem heap0 lose);
+  (* a freshly created outref gets one round of grace, then goes away;
+     after the update lands and site 1 traces, so does the object *)
+  Alcotest.(check bool) "fresh outref kept one round" true
+    (Tables.find_outref (Engine.site eng (s 0)).Site.tables remote_kept <> None);
+  Local_gc.run eng (Engine.site eng (s 0));
+  Alcotest.(check bool) "outref dropped" true
+    (Tables.find_outref (Engine.site eng (s 0)).Site.tables remote_kept = None);
+  run eng 1.;
+  Local_gc.run eng (Engine.site eng (s 1));
+  Alcotest.(check bool) "remote garbage freed after update" false
+    (Heap.mem (Engine.site eng (s 1)).Site.heap remote_kept)
+
+let test_local_gc_keeps_inref_rooted () =
+  let eng = Engine.create (cfg 2) in
+  Local_gc.install eng;
+  let holder = Builder.root_obj eng (s 0) in
+  let target = Builder.obj eng (s 1) in
+  Builder.link eng ~src:holder ~dst:target;
+  Local_gc.run eng (Engine.site eng (s 1));
+  Alcotest.(check bool) "inref keeps object" true
+    (Heap.mem (Engine.site eng (s 1)).Site.heap target);
+  (* flagged inrefs are not roots *)
+  (match Tables.find_inref (Engine.site eng (s 1)).Site.tables target with
+  | Some ir -> ir.Ioref.ir_flagged <- true
+  | None -> Alcotest.fail "inref missing");
+  Local_gc.run eng (Engine.site eng (s 1));
+  Alcotest.(check bool) "flagged inref is not a root" false
+    (Heap.mem (Engine.site eng (s 1)).Site.heap target)
+
+(* --- §6.1.2: the four remote-copy cases, message level ------------------ *)
+
+(* A reference arriving by Move at a site exercising each case. The
+   barrier effects require the core collector, so these use Sim. *)
+let arrival_fixture () =
+  let cfg =
+    {
+      Dgc_rts.Config.default with
+      Dgc_rts.Config.n_sites = 3;
+      delta = 3;
+      trace_duration = Sim_time.zero;
+      latency = Latency.Fixed (Sim_time.of_millis 5.);
+    }
+  in
+  let sim = Dgc_core.Sim.make ~cfg () in
+  (sim, sim.Dgc_core.Sim.eng)
+
+let send_move eng ~src ~dst r =
+  Engine.send eng ~src ~dst
+    (Protocol.Move { agent = 999; refs = [ r ]; token = Engine.fresh_token eng })
+
+let test_case1_local_ref_applies_barrier () =
+  let sim, eng = arrival_fixture () in
+  (* suspected inref at site 0, with the holder kept alive at site 1 *)
+  let target = Builder.obj eng (s 0) in
+  let holder = Builder.root_obj eng (s 1) in
+  Builder.link eng ~src:holder ~dst:target;
+  Builder.set_source_distance eng ~inref:target ~src:(s 1) 50;
+  (* only site 0 traces: the artificial distance stays put *)
+  Dgc_core.Collector.force_local_trace sim.Dgc_core.Sim.col (s 0);
+  (match Tables.find_inref (Engine.site eng (s 0)).Site.tables target with
+  | Some ir -> Alcotest.(check bool) "suspected" true ir.Ioref.ir_suspected
+  | None -> Alcotest.fail "inref missing");
+  send_move eng ~src:(s 1) ~dst:(s 0) target;
+  run eng 1.;
+  match Tables.find_inref (Engine.site eng (s 0)).Site.tables target with
+  | Some ir ->
+      Alcotest.(check bool) "case 1: inref force-cleaned" true
+        ir.Ioref.ir_forced_clean
+  | None -> Alcotest.fail "inref missing"
+
+let test_case2_known_clean_outref_no_insert () =
+  let _sim, eng = arrival_fixture () in
+  let root = Builder.root_obj eng (s 0) in
+  let remote = Builder.obj eng (s 2) in
+  Builder.link eng ~src:root ~dst:remote;
+  let before = Metrics.get (Engine.metrics eng) "msg.insert" in
+  send_move eng ~src:(s 1) ~dst:(s 0) remote;
+  run eng 1.;
+  Alcotest.(check int) "case 2: no insert for a known outref" before
+    (Metrics.get (Engine.metrics eng) "msg.insert")
+
+let test_case3_suspected_outref_cleaned () =
+  let sim, eng = arrival_fixture () in
+  (* a garbage chain 1 -> 0 -> 2 whose distances we push over delta so
+     site 0's outref becomes suspected *)
+  let a = Builder.obj eng (s 0) in
+  let b = Builder.obj eng (s 2) in
+  let holder = Builder.obj eng (s 1) in
+  Builder.link eng ~src:holder ~dst:a;
+  Builder.link eng ~src:a ~dst:b;
+  Builder.set_source_distance eng ~inref:a ~src:(s 1) 50;
+  Dgc_core.Collector.force_local_trace_all sim.Dgc_core.Sim.col;
+  (match Tables.find_outref (Engine.site eng (s 0)).Site.tables b with
+  | Some o -> Alcotest.(check bool) "suspected" true o.Ioref.or_suspected
+  | None -> Alcotest.fail "outref missing");
+  send_move eng ~src:(s 1) ~dst:(s 0) b;
+  run eng 1.;
+  match Tables.find_outref (Engine.site eng (s 0)).Site.tables b with
+  | Some o ->
+      Alcotest.(check bool) "case 3: outref force-cleaned" true
+        o.Ioref.or_forced_clean
+  | None -> Alcotest.fail "outref missing"
+
+let test_case4_created_outref_insert_roundtrip () =
+  let _sim, eng = arrival_fixture () in
+  let remote = Builder.root_obj eng (s 2) in
+  Alcotest.(check bool) "no outref at site 0 yet" true
+    (Tables.find_outref (Engine.site eng (s 0)).Site.tables remote = None);
+  send_move eng ~src:(s 1) ~dst:(s 0) remote;
+  run eng 1.;
+  (* created, registered at the owner, and the insert pin released *)
+  (match Tables.find_outref (Engine.site eng (s 0)).Site.tables remote with
+  | Some o ->
+      Alcotest.(check bool) "case 4: outref created fresh+clean" true
+        (Ioref.outref_clean o);
+      Alcotest.(check int) "insert pin released after Insert_done" 0
+        o.Ioref.or_pins
+  | None -> Alcotest.fail "outref not created");
+  match Tables.find_inref (Engine.site eng (s 2)).Site.tables remote with
+  | Some ir ->
+      Alcotest.(check bool) "owner registered the new source" true
+        (Ioref.find_source ir (s 0) <> None)
+  | None -> Alcotest.fail "owner inref missing"
+
+(* --- the scripted program interpreter ------------------------------------ *)
+
+let test_run_program_all_instructions () =
+  let eng = Engine.create (cfg 2) in
+  Local_gc.install eng;
+  let muts = Mutator.manager eng in
+  let root0 = Builder.root_obj eng (s 0) in
+  let remote = Builder.root_obj eng (s 1) in
+  Builder.link eng ~src:root0 ~dst:remote;
+  let a = Mutator.spawn muts ~at:(s 0) in
+  let finished = ref false in
+  Mutator.run_program a
+    ~on_done:(fun () -> finished := true)
+    [
+      Mutator.Load_root "r";
+      Mutator.Load_root_named (root0, "r2");
+      Mutator.Read { obj = "r"; idx = 0; dst = "t" };
+      Mutator.Travel "t";
+      (* now at site 1 *)
+      Mutator.New "n";
+      Mutator.Write { obj = "t"; value = "n" };
+      Mutator.Copy { src = "n"; dst = "n2" };
+      Mutator.Wait (Sim_time.of_millis 50.);
+      Mutator.Unlink { obj = "t"; target = "n" };
+      Mutator.Write { obj = "t"; value = "n2" };
+      Mutator.Drop "n";
+    ];
+  run eng 5.;
+  Alcotest.(check bool) "program completed" true !finished;
+  Alcotest.(check int) "agent moved" 1 (Site_id.to_int (Mutator.agent_site a));
+  (* the new object ended up linked under the remote root *)
+  let n2 = Option.get (Mutator.var a "n2") in
+  Alcotest.(check bool) "written reference present" true
+    (List.exists (Oid.equal n2)
+       (Heap.fields (Engine.site eng (s 1)).Site.heap remote));
+  Alcotest.(check (list string)) "tables consistent" []
+    (Dgc_oracle.Oracle.table_violations eng)
+
+let () =
+  Alcotest.run "rts"
+    [
+      ( "ioref",
+        [
+          Alcotest.test_case "source lists" `Quick test_inref_sources;
+          Alcotest.test_case "clean predicates" `Quick test_clean_predicates;
+        ] );
+      ("tables", [ Alcotest.test_case "tables" `Quick test_tables ]);
+      ("protocol", [ Alcotest.test_case "kinds and refs" `Quick test_protocol_kinds ]);
+      ( "builder",
+        [
+          Alcotest.test_case "tables consistent" `Quick
+            test_builder_tables_consistent;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "move + insert protocol" `Quick
+            test_move_insert_protocol;
+          Alcotest.test_case "crash parks base messages" `Quick
+            test_crash_parks_base_messages;
+          Alcotest.test_case "ext dropped to crashed site" `Quick
+            test_ext_dropped_to_crashed;
+        ] );
+      ( "mutator",
+        [
+          Alcotest.test_case "variables are roots" `Quick test_vars_are_roots;
+          Alcotest.test_case "failure modes are total" `Quick
+            test_mutator_failure_modes;
+          Alcotest.test_case "same-site travel synchronous" `Quick
+            test_travel_same_site_is_sync;
+        ] );
+      ( "local-gc",
+        [
+          Alcotest.test_case "mark-sweep + updates" `Quick test_local_gc_basics;
+          Alcotest.test_case "inref roots and flags" `Quick
+            test_local_gc_keeps_inref_rooted;
+        ] );
+      ( "remote-copy-cases",
+        [
+          Alcotest.test_case "case 1: local ref, barrier" `Quick
+            test_case1_local_ref_applies_barrier;
+          Alcotest.test_case "case 2: known clean outref" `Quick
+            test_case2_known_clean_outref_no_insert;
+          Alcotest.test_case "case 3: suspected outref cleaned" `Quick
+            test_case3_suspected_outref_cleaned;
+          Alcotest.test_case "case 4: insert round-trip" `Quick
+            test_case4_created_outref_insert_roundtrip;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "all instructions" `Quick
+            test_run_program_all_instructions;
+        ] );
+    ]

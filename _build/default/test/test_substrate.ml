@@ -1,0 +1,263 @@
+(* Substrate: ids, rng, time, event queue, latency models, metrics. *)
+
+open Dgc_prelude
+open Dgc_simcore
+
+(* --- ids ---------------------------------------------------------------- *)
+
+let test_site_id () =
+  let a = Site_id.of_int 3 and b = Site_id.of_int 3 and c = Site_id.of_int 4 in
+  Alcotest.(check bool) "equal" true (Site_id.equal a b);
+  Alcotest.(check bool) "not equal" false (Site_id.equal a c);
+  Alcotest.(check int) "compare" 0 (Site_id.compare a b);
+  Alcotest.(check bool) "ordered" true (Site_id.compare a c < 0);
+  Alcotest.(check string) "pp" "S3" (Format.asprintf "%a" Site_id.pp a);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Site_id.of_int: negative") (fun () ->
+      ignore (Site_id.of_int (-1)))
+
+let test_trace_id () =
+  let t1 = Trace_id.make ~initiator:(Site_id.of_int 1) ~seq:4 in
+  let t2 = Trace_id.make ~initiator:(Site_id.of_int 1) ~seq:5 in
+  let t3 = Trace_id.make ~initiator:(Site_id.of_int 2) ~seq:4 in
+  Alcotest.(check bool) "equal self" true (Trace_id.equal t1 t1);
+  Alcotest.(check bool) "seq distinguishes" false (Trace_id.equal t1 t2);
+  Alcotest.(check bool) "site distinguishes" false (Trace_id.equal t1 t3);
+  Alcotest.(check bool) "order by site first" true (Trace_id.compare t2 t3 < 0);
+  let s = Trace_id.Set.of_list [ t1; t2; t3; t1 ] in
+  Alcotest.(check int) "set dedups" 3 (Trace_id.Set.cardinal s)
+
+(* --- rng ---------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:11 and b = Rng.create ~seed:11 in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:11 in
+  let child = Rng.split a in
+  let before = List.init 10 (fun _ -> Rng.int child 1000) in
+  (* Drawing more from the parent must not change a fresh child-like
+     stream derived the same way from an identical parent. *)
+  let a2 = Rng.create ~seed:11 in
+  let child2 = Rng.split a2 in
+  let again = List.init 10 (fun _ -> Rng.int child2 1000) in
+  Alcotest.(check (list int)) "derivation deterministic" before again
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 200 do
+    let x = Rng.int_in r 5 9 in
+    Alcotest.(check bool) "int_in bounds" true (x >= 5 && x <= 9);
+    let f = Rng.float_in r 1.5 2.5 in
+    Alcotest.(check bool) "float_in bounds" true (f >= 1.5 && f < 2.5)
+  done;
+  Alcotest.check_raises "empty choose"
+    (Invalid_argument "Rng.choose: empty list") (fun () ->
+      ignore (Rng.choose r []))
+
+let test_rng_permutation () =
+  let r = Rng.create ~seed:5 in
+  let p = Rng.permutation r 20 in
+  let sorted = Array.copy p in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "permutation of 0..n-1"
+    (Array.init 20 (fun i -> i))
+    sorted
+
+let test_rng_chance_extremes () =
+  let r = Rng.create ~seed:9 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=1 always true" true (Rng.chance r 1.0);
+    Alcotest.(check bool) "p=0 always false" false (Rng.chance r 0.0)
+  done
+
+(* --- util --------------------------------------------------------------- *)
+
+let test_util_lists () =
+  Alcotest.(check int) "sum" 6 (Util.list_sum (fun x -> x) [ 1; 2; 3 ]);
+  Alcotest.(check int) "max" 9
+    (Util.list_max ~default:0 (fun x -> x) [ 4; 9; 2 ]);
+  Alcotest.(check int) "max default" 7 (Util.list_max ~default:7 Fun.id []);
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Util.list_take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take beyond" [ 1 ] (Util.list_take 5 [ 1 ]);
+  Alcotest.(check (list int))
+    "dedup" [ 1; 2; 3 ]
+    (Util.list_dedup ~compare:Int.compare [ 3; 1; 2; 1; 3 ]);
+  Alcotest.(check (float 1e-9)) "mean" 2. (Util.list_mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0. (Util.list_mean []);
+  Alcotest.(check (float 1e-9))
+    "median" 2.
+    (Util.percentile 0.5 [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "p100" 3. (Util.percentile 1.0 [ 3.; 1.; 2. ])
+
+(* --- time --------------------------------------------------------------- *)
+
+let test_time () =
+  let t = Sim_time.of_millis 1500. in
+  Alcotest.(check (float 1e-9)) "millis" 1.5 (Sim_time.to_seconds t);
+  Alcotest.(check (float 1e-9)) "minutes" 120.
+    (Sim_time.to_seconds (Sim_time.of_minutes 2.));
+  Alcotest.(check (float 1e-9)) "sub saturates" 0.
+    (Sim_time.to_seconds (Sim_time.sub (Sim_time.of_seconds 1.) (Sim_time.of_seconds 2.)));
+  Alcotest.(check bool) "order" true Sim_time.(Sim_time.zero < t)
+
+(* --- event queue --------------------------------------------------------- *)
+
+let test_queue_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~at:3. "c";
+  Event_queue.push q ~at:1. "a";
+  Event_queue.push q ~at:2. "b";
+  let pop () =
+    match Event_queue.pop q with Some (_, x) -> x | None -> "empty"
+  in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    [ first; second; third ];
+  Alcotest.(check bool) "now empty" true (Event_queue.is_empty q)
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun x -> Event_queue.push q ~at:1. x) [ "x"; "y"; "z" ];
+  let out = List.init 3 (fun _ ->
+      match Event_queue.pop q with Some (_, v) -> v | None -> "?")
+  in
+  Alcotest.(check (list string)) "insertion order on ties" [ "x"; "y"; "z" ]
+    out
+
+let prop_queue_sorted =
+  QCheck2.Test.make ~name:"event queue pops sorted" ~count:300
+    ~print:QCheck2.Print.(list (pair float unit))
+    QCheck2.Gen.(list (pair (float_bound_exclusive 1000.) unit))
+    (fun entries ->
+      let q = Event_queue.create () in
+      List.iter (fun (t, ()) -> Event_queue.push q ~at:(Float.abs t) ()) entries;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> if t < last then false else drain t
+      in
+      drain neg_infinity)
+
+let test_queue_interleaved () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~at:5. 5;
+  Event_queue.push q ~at:1. 1;
+  (match Event_queue.pop q with
+  | Some (_, 1) -> ()
+  | _ -> Alcotest.fail "expected 1");
+  Event_queue.push q ~at:2. 2;
+  Event_queue.push q ~at:7. 7;
+  let rest =
+    List.init 3 (fun _ ->
+        match Event_queue.pop q with Some (_, v) -> v | None -> -1)
+  in
+  Alcotest.(check (list int)) "interleaved pushes" [ 2; 5; 7 ] rest;
+  Alcotest.(check int) "length" 0 (Event_queue.length q)
+
+(* --- latency -------------------------------------------------------------- *)
+
+let test_latency () =
+  let r = Rng.create ~seed:2 in
+  Alcotest.(check (float 1e-9)) "fixed" 0.25
+    (Latency.sample r (Latency.Fixed 0.25));
+  for _ = 1 to 100 do
+    let x = Latency.sample r (Latency.Uniform (0.1, 0.2)) in
+    Alcotest.(check bool) "uniform bounds" true (x >= 0.1 && x < 0.2);
+    let e = Latency.sample r (Latency.Exponential 0.05) in
+    Alcotest.(check bool) "exp positive" true (e >= 0.)
+  done;
+  Alcotest.(check (float 1e-9)) "uniform mean" 0.15
+    (Latency.mean (Latency.Uniform (0.1, 0.2)))
+
+(* --- journal --------------------------------------------------------------- *)
+
+let test_journal_basics () =
+  let j = Journal.create ~capacity:4 () in
+  Journal.record j ~at:1. ~cat:"a" "one";
+  Journal.recordf j ~at:2. ~cat:"b" "two %d" 2;
+  Alcotest.(check int) "length" 2 (Journal.length j);
+  Alcotest.(check int) "total" 2 (Journal.total j);
+  (match Journal.events j with
+  | [ (1., "a", "one"); (2., "b", "two 2") ] -> ()
+  | _ -> Alcotest.fail "unexpected events");
+  Alcotest.(check int) "category filter" 1
+    (List.length (Journal.events ~cat:"a" j));
+  Journal.clear j;
+  Alcotest.(check int) "cleared" 0 (Journal.length j)
+
+let test_journal_ring_wraps () =
+  let j = Journal.create ~capacity:3 () in
+  for i = 1 to 10 do
+    Journal.record j ~at:(float_of_int i) ~cat:"t" (string_of_int i)
+  done;
+  Alcotest.(check int) "capped" 3 (Journal.length j);
+  Alcotest.(check int) "total counts all" 10 (Journal.total j);
+  (match Journal.events j with
+  | [ (_, _, "8"); (_, _, "9"); (_, _, "10") ] -> ()
+  | _ -> Alcotest.fail "expected the newest three, oldest first");
+  match Journal.events ~last:2 j with
+  | [ (_, _, "9"); (_, _, "10") ] -> ()
+  | _ -> Alcotest.fail "last filter"
+
+(* --- metrics --------------------------------------------------------------- *)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.incr m "a";
+  Metrics.add m "b" 5;
+  Alcotest.(check int) "incr" 2 (Metrics.get m "a");
+  Alcotest.(check int) "add" 5 (Metrics.get m "b");
+  Alcotest.(check int) "absent" 0 (Metrics.get m "zzz");
+  Metrics.observe m "s" 1.;
+  Metrics.observe m "s" 3.;
+  Alcotest.(check (float 1e-9)) "mean" 2. (Metrics.mean m "s");
+  Alcotest.(check (list (float 1e-9))) "samples in order" [ 1.; 3. ]
+    (Metrics.samples m "s");
+  Alcotest.(check (list (pair string int)))
+    "counters sorted"
+    [ ("a", 2); ("b", 5) ]
+    (Metrics.counters m);
+  Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Metrics.get m "a")
+
+let () =
+  Alcotest.run "substrate"
+    [
+      ( "ids",
+        [
+          Alcotest.test_case "site ids" `Quick test_site_id;
+          Alcotest.test_case "trace ids" `Quick test_trace_id;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split derivation" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "permutation" `Quick test_rng_permutation;
+          Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+        ] );
+      ("util", [ Alcotest.test_case "list helpers" `Quick test_util_lists ]);
+      ("time", [ Alcotest.test_case "arithmetic" `Quick test_time ]);
+      ( "event-queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_queue_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "interleaved" `Quick test_queue_interleaved;
+          QCheck_alcotest.to_alcotest prop_queue_sorted;
+        ] );
+      ("latency", [ Alcotest.test_case "models" `Quick test_latency ]);
+      ( "journal",
+        [
+          Alcotest.test_case "basics" `Quick test_journal_basics;
+          Alcotest.test_case "ring wraps" `Quick test_journal_ring_wraps;
+        ] );
+      ("metrics", [ Alcotest.test_case "registry" `Quick test_metrics ]);
+    ]

@@ -1,0 +1,238 @@
+(* Workload generators and whole-system determinism. *)
+
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_heap
+open Dgc_rts
+open Dgc_core
+open Dgc_workload
+
+let s k = Site_id.of_int k
+
+let cfg n seed =
+  {
+    Config.default with
+    Config.n_sites = n;
+    seed;
+    delta = 3;
+    threshold2 = 6;
+    trace_interval = Sim_time.of_seconds 10.;
+    trace_duration = Sim_time.zero;
+  }
+
+(* --- generators ----------------------------------------------------------- *)
+
+let test_ring_shape () =
+  let eng = Engine.create (cfg 3 1) in
+  let objs = Graph_gen.ring eng ~sites:[ s 0; s 1; s 2 ] ~per_site:2 ~rooted:false in
+  Alcotest.(check int) "object count" 6 (List.length objs);
+  Alcotest.(check int) "all garbage" 6 (Dgc_oracle.Oracle.garbage_count eng);
+  Alcotest.(check (list string)) "tables consistent" []
+    (Dgc_oracle.Oracle.table_violations eng);
+  (* each site has exactly one inref and one outref *)
+  Array.iter
+    (fun st ->
+      Alcotest.(check int) "one inref" 1 (Tables.inref_count st.Site.tables);
+      Alcotest.(check int) "one outref" 1 (Tables.outref_count st.Site.tables))
+    (Engine.sites eng)
+
+let test_rooted_ring_is_live () =
+  let eng = Engine.create (cfg 3 1) in
+  ignore (Graph_gen.ring eng ~sites:[ s 0; s 1; s 2 ] ~per_site:2 ~rooted:true);
+  Alcotest.(check int) "nothing is garbage" 0
+    (Dgc_oracle.Oracle.garbage_count eng)
+
+let test_chain_shape () =
+  let eng = Engine.create (cfg 4 1) in
+  let objs =
+    Graph_gen.chain eng ~sites:[ s 0; s 1; s 2; s 3 ] ~per_site:1 ~rooted:true
+  in
+  Alcotest.(check int) "count" 4 (List.length objs);
+  Alcotest.(check int) "live" 0 (Dgc_oracle.Oracle.garbage_count eng);
+  (* last site has no outref *)
+  Alcotest.(check int) "chain end has no outref" 0
+    (Tables.outref_count (Engine.site eng (s 3)).Site.tables)
+
+let test_clique_shape () =
+  let eng = Engine.create (cfg 4 1) in
+  let objs = Graph_gen.clique eng ~sites:[ s 0; s 1; s 2; s 3 ] ~rooted:false in
+  Alcotest.(check int) "count" 4 (List.length objs);
+  (* every object references the three others: inref has 3 sources *)
+  List.iter
+    (fun o ->
+      match Tables.find_inref (Engine.site eng (Oid.site o)).Site.tables o with
+      | Some ir ->
+          Alcotest.(check int) "three sources" 3
+            (List.length (Ioref.source_sites ir))
+      | None -> Alcotest.fail "missing inref")
+    objs;
+  Alcotest.(check (list string)) "tables consistent" []
+    (Dgc_oracle.Oracle.table_violations eng)
+
+let test_hypertext_consistency () =
+  let eng = Engine.create (cfg 4 1) in
+  let garbage =
+    Graph_gen.hypertext eng ~rng:(Rng.create ~seed:3) ~docs_per_site:3
+      ~pages_per_doc:4 ~cross_links:10 ~rooted_frac:0.5
+  in
+  Alcotest.(check int) "reported garbage matches the oracle"
+    (List.length garbage)
+    (Dgc_oracle.Oracle.garbage_count eng);
+  Alcotest.(check (list string)) "tables consistent" []
+    (Dgc_oracle.Oracle.table_violations eng);
+  (* documents span sites: garbage pages live on more than one site *)
+  if garbage <> [] then begin
+    let sites_used =
+      Site_id.Set.cardinal
+        (Site_id.Set.of_list (List.map Oid.site garbage))
+    in
+    Alcotest.(check bool) "distributed garbage" true (sites_used > 1)
+  end
+
+let test_random_graph_consistency () =
+  let eng = Engine.create (cfg 4 1) in
+  ignore
+    (Graph_gen.random_graph eng ~rng:(Rng.create ~seed:9) ~objects_per_site:15
+       ~out_degree:2.0 ~remote_frac:0.4 ~root_frac:0.1);
+  Alcotest.(check (list string)) "tables consistent" []
+    (Dgc_oracle.Oracle.table_violations eng);
+  Alcotest.(check int) "all objects exist" 60
+    (Array.fold_left
+       (fun acc st -> acc + Heap.object_count st.Site.heap)
+       0 (Engine.sites eng))
+
+(* --- churn ------------------------------------------------------------------ *)
+
+let test_churn_runs_and_stops () =
+  let sim = Sim.make ~cfg:(cfg 3 1) () in
+  let eng = sim.Sim.eng in
+  Array.iter (fun st -> ignore (Builder.root_obj eng st.Site.id)) (Engine.sites eng);
+  let churn =
+    Churn.start sim ~rng:(Rng.create ~seed:4) ~agents:2
+      ~mean_op_gap:(Sim_time.of_millis 100.)
+  in
+  Sim.run_for sim (Sim_time.of_seconds 30.);
+  let ops = Churn.ops_done churn in
+  Alcotest.(check bool) "operations happened" true (ops > 20);
+  Churn.stop churn;
+  Sim.run_for sim (Sim_time.of_seconds 10.);
+  let after = Churn.ops_done churn in
+  Sim.run_for sim (Sim_time.of_seconds 30.);
+  Alcotest.(check int) "no ops after stop" after (Churn.ops_done churn)
+
+(* --- determinism -------------------------------------------------------------- *)
+
+(* The flagship reproducibility property: a full system run — churn,
+   windowed traces, back traces, message loss — is a pure function of
+   its seed. *)
+let run_fingerprint seed =
+  let c =
+    {
+      (cfg 4 seed) with
+      Config.trace_duration = Sim_time.of_seconds 1.;
+      ext_drop = 0.1;
+    }
+  in
+  let sim = Sim.make ~cfg:c () in
+  let eng = sim.Sim.eng in
+  ignore
+    (Graph_gen.random_graph eng ~rng:(Rng.create ~seed:(seed + 1))
+       ~objects_per_site:10 ~out_degree:1.5 ~remote_frac:0.3 ~root_frac:0.1);
+  Array.iter
+    (fun st ->
+      if Heap.persistent_roots st.Site.heap = [] then
+        ignore (Builder.root_obj eng st.Site.id))
+    (Engine.sites eng);
+  let churn =
+    Churn.start sim ~rng:(Rng.create ~seed:(seed + 2)) ~agents:3
+      ~mean_op_gap:(Sim_time.of_millis 300.)
+  in
+  Sim.start sim;
+  Sim.run_for sim (Sim_time.of_minutes 3.);
+  Churn.stop churn;
+  let m = Engine.metrics eng in
+  ( Metrics.get m "msg.total",
+    Metrics.get m "gc.objects_freed",
+    Metrics.get m "back.traces_started",
+    Churn.ops_done churn,
+    Dgc_oracle.Oracle.garbage_count eng )
+
+let test_determinism () =
+  let a = run_fingerprint 77 in
+  let b = run_fingerprint 77 in
+  let pr (m, f, t, o, g) = Printf.sprintf "msgs=%d freed=%d traces=%d ops=%d garbage=%d" m f t o g in
+  Alcotest.(check string) "identical runs from one seed" (pr a) (pr b);
+  let c = run_fingerprint 78 in
+  Alcotest.(check bool) "different seed differs somewhere" true (a <> c)
+
+(* --- reports --------------------------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_report_summary () =
+  let sim = Sim.make ~cfg:(cfg 3 1) () in
+  let eng = sim.Sim.eng in
+  ignore (Graph_gen.ring eng ~sites:[ s 0; s 1; s 2 ] ~per_site:2 ~rooted:true);
+  ignore (Graph_gen.ring eng ~sites:[ s 0; s 1 ] ~per_site:1 ~rooted:false);
+  Scenario.settle sim ~rounds:3;
+  let rows = Report.summarize eng in
+  Alcotest.(check int) "one row per site" 3 (List.length rows);
+  let r0 = Report.site_summary eng (s 0) in
+  Alcotest.(check int) "objects at site 0" 4 r0.Report.ss_objects;
+  Alcotest.(check int) "roots at site 0" 1 r0.Report.ss_roots;
+  Alcotest.(check int) "traces recorded" 3 r0.Report.ss_traces_done;
+  let text = Format.asprintf "%a" Report.pp_summary eng in
+  Alcotest.(check bool) "summary mentions totals" true (contains text "total");
+  Alcotest.(check bool) "overview counts garbage" true
+    (contains (Report.garbage_overview eng) "garbage objects")
+
+let test_report_dot () =
+  let sim = Sim.make ~cfg:(cfg 2 1) () in
+  let eng = sim.Sim.eng in
+  let root = Builder.root_obj eng (s 0) in
+  let remote = Builder.obj eng (s 1) in
+  Builder.link eng ~src:root ~dst:remote;
+  let dot = Report.to_dot eng in
+  Alcotest.(check bool) "digraph header" true (contains dot "digraph dgc");
+  Alcotest.(check bool) "cluster per site" true (contains dot "cluster_1");
+  Alcotest.(check bool) "root shape" true (contains dot "doublecircle");
+  Alcotest.(check bool) "cross edge bold" true (contains dot "penwidth=2");
+  (* the dot output is balanced *)
+  let count c = String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 dot in
+  Alcotest.(check int) "braces balanced" (count '{') (count '}')
+
+let test_report_detail () =
+  let sim = Sim.make ~cfg:(cfg 2 1) () in
+  let eng = sim.Sim.eng in
+  let root = Builder.root_obj eng (s 0) in
+  let remote = Builder.obj eng (s 1) in
+  Builder.link eng ~src:root ~dst:remote;
+  let text = Format.asprintf "%a" (fun ppf -> Report.pp_site_detail ppf eng) (s 0) in
+  Alcotest.(check bool) "shows the heap" true (contains text "heap S0");
+  Alcotest.(check bool) "shows the outref" true (contains text "outref")
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "ring" `Quick test_ring_shape;
+          Alcotest.test_case "rooted ring live" `Quick test_rooted_ring_is_live;
+          Alcotest.test_case "chain" `Quick test_chain_shape;
+          Alcotest.test_case "clique" `Quick test_clique_shape;
+          Alcotest.test_case "hypertext" `Quick test_hypertext_consistency;
+          Alcotest.test_case "random graph" `Quick test_random_graph_consistency;
+        ] );
+      ("churn", [ Alcotest.test_case "runs and stops" `Quick test_churn_runs_and_stops ]);
+      ( "determinism",
+        [ Alcotest.test_case "seeded runs reproduce" `Slow test_determinism ] );
+      ( "report",
+        [
+          Alcotest.test_case "summary" `Quick test_report_summary;
+          Alcotest.test_case "graphviz export" `Quick test_report_dot;
+          Alcotest.test_case "site detail" `Quick test_report_detail;
+        ] );
+    ]
