@@ -1,0 +1,185 @@
+(* dgc-check: static-configuration and dynamic-schedule analysis of the
+   back-tracing collector.
+
+   Examples:
+     dgc-check                          # conformance + explore every SUT
+     dgc-check --conformance            # protocol conformance battery only
+     dgc-check --explore --scenario fig1 --depth-bound 8
+     dgc-check --explore --scenario fig5-race-broken --expect-violation
+     dgc-check --list                   # available exploration scenarios
+
+   Exit status 0 means every requested analysis matched its
+   expectation; 1 means a conformance violation, an unexpected
+   invariant violation, or a missing expected one. *)
+
+open Dgc_analysis
+open Cmdliner
+
+type opts = {
+  o_conformance : bool;
+  o_explore : bool;
+  o_scenario : string option;
+  o_depth : int;
+  o_width : int;
+  o_max_steps : int;
+  o_max_schedules : int;
+  o_seed : int;
+  o_expect_violation : bool;
+  o_list : bool;
+}
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let run_conformance opts =
+  let report = Conformance.run_battery ~seed:opts.o_seed () in
+  say "== protocol conformance ==";
+  say "%a" Conformance.pp_report report;
+  Conformance.clean report
+
+(* A SUT passes when its outcome matches its expectation: the stock
+   scenarios must explore clean, the seeded-bug one must produce a
+   counterexample (and have it shrink). *)
+let expect_violation opts sut =
+  opts.o_expect_violation
+  || sut.Explorer.sut_name = Sut.fig5_race_broken.Explorer.sut_name
+
+let run_explore_one opts sut =
+  let bounds =
+    {
+      Explorer.depth_bound = opts.o_depth;
+      width = opts.o_width;
+      max_steps = opts.o_max_steps;
+      max_schedules = opts.o_max_schedules;
+    }
+  in
+  let result = Explorer.explore ~bounds sut in
+  say "%a" Explorer.pp_result result;
+  let expected = expect_violation opts sut in
+  let ok = expected <> Explorer.clean result in
+  if not ok then
+    say "  UNEXPECTED: wanted %s"
+      (if expected then "a violation (seeded bug not found)"
+       else "a clean exploration");
+  ok
+
+let run_explore opts =
+  say "== schedule exploration (depth %d, width %d, %d steps, %d schedules) =="
+    opts.o_depth opts.o_width opts.o_max_steps opts.o_max_schedules;
+  match opts.o_scenario with
+  | None -> List.for_all (run_explore_one opts) Sut.catalog
+  | Some name -> (
+      match Sut.find name with
+      | Some s -> run_explore_one opts s
+      | None ->
+          say "unknown scenario %S (try --list)" name;
+          false)
+
+let run opts =
+  if opts.o_list then begin
+    say "exploration scenarios:";
+    List.iter
+      (fun s ->
+        say "  %-18s %s" s.Explorer.sut_name s.Explorer.sut_desc)
+      Sut.catalog;
+    0
+  end
+  else begin
+    (* no explicit selection = run everything *)
+    let both = (not opts.o_conformance) && not opts.o_explore in
+    let ok_conf =
+      if opts.o_conformance || both then run_conformance opts else true
+    in
+    let ok_exp = if opts.o_explore || both then run_explore opts else true in
+    if ok_conf && ok_exp then begin
+      say "dgc-check: ok";
+      0
+    end
+    else begin
+      say "dgc-check: FAILED";
+      1
+    end
+  end
+
+let opts_term =
+  let open Term in
+  let conformance =
+    Arg.(
+      value & flag
+      & info [ "conformance" ] ~doc:"Run the protocol conformance battery.")
+  in
+  let explore =
+    Arg.(
+      value & flag
+      & info [ "explore" ] ~doc:"Run the schedule-exploring race detector.")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ]
+          ~doc:"Explore only this scenario (see $(b,--list)).")
+  in
+  let depth =
+    Arg.(
+      value
+      & opt int Explorer.default_bounds.Explorer.depth_bound
+      & info [ "depth-bound" ]
+          ~doc:"Maximum schedule deviations per explored run.")
+  in
+  let width =
+    Arg.(
+      value
+      & opt int Explorer.default_bounds.Explorer.width
+      & info [ "width" ] ~doc:"Event ranks considered at each step.")
+  in
+  let max_steps =
+    Arg.(
+      value
+      & opt int Explorer.default_bounds.Explorer.max_steps
+      & info [ "max-steps" ] ~doc:"Events executed per run.")
+  in
+  let max_schedules =
+    Arg.(
+      value
+      & opt int Explorer.default_bounds.Explorer.max_schedules
+      & info [ "max-schedules" ] ~doc:"Total schedules explored per scenario.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+  in
+  let expect_violation =
+    Arg.(
+      value & flag
+      & info [ "expect-violation" ]
+          ~doc:"Invert the verdict: exploration must find a violation.")
+  in
+  let list =
+    Arg.(
+      value & flag & info [ "list" ] ~doc:"List exploration scenarios.")
+  in
+  let make o_conformance o_explore o_scenario o_depth o_width o_max_steps
+      o_max_schedules o_seed o_expect_violation o_list =
+    {
+      o_conformance;
+      o_explore;
+      o_scenario;
+      o_depth;
+      o_width;
+      o_max_steps;
+      o_max_schedules;
+      o_seed;
+      o_expect_violation;
+      o_list;
+    }
+  in
+  const make $ conformance $ explore $ scenario $ depth $ width $ max_steps
+  $ max_schedules $ seed $ expect_violation $ list
+
+let cmd =
+  let doc =
+    "check protocol conformance and explore event schedules for invariant \
+     violations"
+  in
+  Cmd.v (Cmd.info "dgc-check" ~doc) Term.(const run $ opts_term)
+
+let () = exit (Cmd.eval' cmd)

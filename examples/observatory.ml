@@ -57,7 +57,7 @@ let () =
 
   (* Audit: converged state must satisfy the paper's invariants. *)
   Scenario.settle sim ~rounds:6;
-  (match Invariants.check_all eng with
+  (match Invariants.strings (Invariants.check_all eng) with
   | [] -> say "invariant audit: all of §6's invariants hold"
   | vs ->
       say "invariant audit: %d violations!" (List.length vs);

@@ -1,0 +1,68 @@
+(** Protocol conformance: per-role ordering automata over the message
+    stream plus handler-coverage accounting.
+
+    The monitor hangs off {!Dgc_rts.Engine.set_msg_monitor} and models
+    each {!Dgc_rts.Protocol.payload} kind as a small state machine
+    keyed on delivery events:
+
+    - [move]/[move_ack] pair up by token: every ack answers exactly one
+      earlier move, travels the reverse direction, and every move is
+      eventually acknowledged (the §6.1 insert barrier holds until it
+      is).
+    - [insert]/[insert_done] pair up per (ref, holder): inserts go to
+      the ref's owner, name their sender as the holder, and are each
+      answered once.
+    - [update] entries (removals and distances) only concern refs the
+      receiving site owns.
+    - no base payload is delivered from a site to itself.
+
+    The automata are expressed through the generated dispatch table
+    ({!Dgc_rts.Protocol.handlers}), so adding a payload constructor
+    without a conformance rule fails to compile. Coverage is judged
+    against {!Dgc_rts.Protocol.base_kinds}: a kind never delivered by
+    the battery is reported as uncovered. *)
+
+open Dgc_prelude
+open Dgc_rts
+
+type violation = { c_rule : string; c_message : string }
+
+val violation_to_string : violation -> string
+
+type t
+(** A live monitor; attach it to any engine. *)
+
+val create : unit -> t
+
+val attach : t -> Engine.t -> unit
+(** Install the monitor as the engine's message monitor (replacing any
+    previous one). One monitor may observe several engines in turn. *)
+
+val hook :
+  t ->
+  phase:[ `Send | `Deliver ] ->
+  src:Site_id.t ->
+  dst:Site_id.t ->
+  Protocol.payload ->
+  unit
+(** The raw monitor callback, for callers that multiplex monitors. *)
+
+val finish : t -> violation list
+(** End-of-run obligations (moves acked, inserts answered) plus
+    everything recorded along the way, in detection order. *)
+
+type report = {
+  r_violations : violation list;
+  r_deliveries : (string * int) list;  (** per base kind, declaration order *)
+  r_uncovered : string list;  (** base kinds never delivered *)
+  r_total : int;
+}
+
+val clean : report -> bool
+val pp_report : Format.formatter -> report -> unit
+
+val run_battery : ?seed:int -> unit -> report
+(** Run the built-in deterministic battery: Figure 1 through a full
+    periodic collection (updates, back-trace traffic, the sweep), then
+    a cross-site mutator walk of the a->b->c chain (the complete
+    move/insert/insert_done/move_ack exchange). *)

@@ -1,0 +1,188 @@
+open Dgc_core
+
+(* Delay-bounded schedule exploration.
+
+   The engine's queue normally drains in (time, seq) order; a schedule
+   here is a list of deviations [(step, rank)] meaning "at step
+   [step], run the rank-th enabled event instead of the earliest".
+   Because the whole simulation is deterministic from the seed, a
+   schedule replays from scratch — no state snapshots — and two runs
+   sharing a prefix of deviations see identical queues up to the first
+   divergence, which is what makes parent-run enabled-counts valid
+   bounds for the children's deviations. *)
+
+type instance = {
+  i_sim : Sim.t;
+  i_check : unit -> string list;  (** violation messages; [] = clean *)
+}
+
+type sut = {
+  sut_name : string;
+  sut_desc : string;
+  sut_make : unit -> instance;
+}
+
+let instance ?(extra = fun () -> []) sim =
+  {
+    i_sim = sim;
+    i_check =
+      (fun () ->
+        match Invariants.strings (Sim.check sim) with
+        | [] -> extra ()
+        | msgs -> msgs);
+  }
+
+type bounds = {
+  depth_bound : int;  (** max deviations per schedule *)
+  width : int;  (** ranks considered at each step: 0..width-1 *)
+  max_steps : int;  (** events per run *)
+  max_schedules : int;  (** exploration budget, excluding shrinking *)
+}
+
+let default_bounds =
+  { depth_bound = 3; width = 3; max_steps = 400; max_schedules = 250 }
+
+type run = {
+  run_steps : int;
+  run_enabled : int array;  (** queue length before each executed step *)
+  run_violation : (int * string list) option;
+}
+
+let run_schedule sut ~max_steps sched =
+  let inst = sut.sut_make () in
+  let eng = inst.i_sim.Sim.eng in
+  let enabled = Array.make (max 1 max_steps) 0 in
+  let violation = ref None in
+  let steps = ref 0 in
+  (try
+     while !steps < max_steps && !violation = None do
+       let pending = Dgc_rts.Engine.pending eng in
+       if pending = 0 then raise Exit;
+       enabled.(!steps) <- pending;
+       let rank =
+         match List.assoc_opt !steps sched with
+         | Some r -> min r (pending - 1)
+         | None -> 0
+       in
+       ignore (Dgc_rts.Engine.step_nth eng rank : bool);
+       incr steps;
+       match inst.i_check () with
+       | [] -> ()
+       | msgs -> violation := Some (!steps - 1, msgs)
+     done
+   with
+  | Exit -> ()
+  | Dgc_oracle.Oracle.Safety_violation msg ->
+      violation := Some (max 0 (!steps - 1), [ "oracle: " ^ msg ])
+  | Invariants.Violation vs ->
+      violation := Some (max 0 (!steps - 1), Invariants.strings vs));
+  { run_steps = !steps; run_enabled = enabled; run_violation = !violation }
+
+type counterexample = {
+  cx_schedule : Shrink.deviation list;  (** as first found *)
+  cx_shrunk : Shrink.deviation list;  (** minimized reproducer *)
+  cx_step : int;  (** violating step of the shrunk run *)
+  cx_messages : string list;
+}
+
+type result = {
+  res_sut : string;
+  res_schedules : int;  (** schedules explored *)
+  res_total_steps : int;
+  res_shrink_runs : int;
+  res_counterexample : counterexample option;
+}
+
+let clean r = r.res_counterexample = None
+
+let pp_schedule ppf = function
+  | [] -> Format.pp_print_string ppf "FIFO order (no deviations)"
+  | ds ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+        (fun ppf (step, rank) ->
+          Format.fprintf ppf "step %d takes rank %d" step rank)
+        ppf ds
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>[%s] %d schedules, %d events" r.res_sut
+    r.res_schedules r.res_total_steps;
+  match r.res_counterexample with
+  | None -> Format.fprintf ppf ": no invariant violation@]"
+  | Some cx ->
+      Format.fprintf ppf "@,VIOLATION at step %d under %a" cx.cx_step
+        pp_schedule cx.cx_shrunk;
+      Format.fprintf ppf "@,  (found as %a; shrunk in %d replays)" pp_schedule
+        cx.cx_schedule r.res_shrink_runs;
+      List.iter (fun m -> Format.fprintf ppf "@,  %s" m) cx.cx_messages;
+      Format.fprintf ppf "@]"
+
+let explore ?(bounds = default_bounds) sut =
+  let schedules = ref 0 and total_steps = ref 0 in
+  let found = ref None in
+  let budget_left () = !schedules < bounds.max_schedules in
+  (* DFS over deviation lists: children of a clean run deviate at some
+     step after the parent's last deviation, so each schedule is
+     generated exactly once. *)
+  let rec dfs sched =
+    if !found = None && budget_left () then begin
+      incr schedules;
+      let r = run_schedule sut ~max_steps:bounds.max_steps sched in
+      total_steps := !total_steps + r.run_steps;
+      match r.run_violation with
+      | Some _ -> found := Some (sched, r)
+      | None ->
+          if List.length sched < bounds.depth_bound then begin
+            let start =
+              match List.rev sched with [] -> 0 | (i, _) :: _ -> i + 1
+            in
+            let i = ref start in
+            while !found = None && budget_left () && !i < r.run_steps do
+              let width_here = min bounds.width r.run_enabled.(!i) in
+              let rank = ref 1 in
+              while !found = None && budget_left () && !rank < width_here do
+                dfs (sched @ [ (!i, !rank) ]);
+                incr rank
+              done;
+              incr i
+            done
+          end
+    end
+  in
+  dfs [];
+  match !found with
+  | None ->
+      {
+        res_sut = sut.sut_name;
+        res_schedules = !schedules;
+        res_total_steps = !total_steps;
+        res_shrink_runs = 0;
+        res_counterexample = None;
+      }
+  | Some (sched, _) ->
+      let reproduces s =
+        (run_schedule sut ~max_steps:bounds.max_steps s).run_violation <> None
+      in
+      let shrunk, shrink_runs = Shrink.minimize ~reproduces sched in
+      let final = run_schedule sut ~max_steps:bounds.max_steps shrunk in
+      let step, messages =
+        match final.run_violation with
+        | Some (step, msgs) -> (step, msgs)
+        | None ->
+            (* cannot happen: minimize only returns reproducers *)
+            (0, [ "shrunk schedule no longer reproduces" ])
+      in
+      {
+        res_sut = sut.sut_name;
+        res_schedules = !schedules;
+        res_total_steps = !total_steps;
+        res_shrink_runs = shrink_runs + 1;
+        res_counterexample =
+          Some
+            {
+              cx_schedule = sched;
+              cx_shrunk = shrunk;
+              cx_step = step;
+              cx_messages = messages;
+            };
+      }

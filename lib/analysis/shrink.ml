@@ -1,0 +1,53 @@
+type deviation = int * int
+
+(* Greedy minimization of a deviation list: first try to drop
+   deviations (largest chunks first, ddmin-style), then lower each
+   surviving rank toward 1. Every candidate is validated by replaying
+   it, so the result is always a real reproducer. Replays are counted
+   for the caller's budget report. *)
+
+let drop_chunk l ~at ~len =
+  List.filteri (fun i _ -> i < at || i >= at + len) l
+
+let minimize ~reproduces sched =
+  let runs = ref 0 in
+  let check s =
+    incr runs;
+    reproduces s
+  in
+  let rec drop_pass s chunk =
+    if chunk = 0 then s
+    else
+      let n = List.length s in
+      let rec try_at at s =
+        if at + chunk > List.length s then s
+        else if check (drop_chunk s ~at ~len:chunk) then
+          try_at at (drop_chunk s ~at ~len:chunk)
+        else try_at (at + 1) s
+      in
+      let s' = try_at 0 s in
+      drop_pass s' (if List.length s' < n then chunk else chunk / 2)
+  in
+  let lower_ranks s =
+    let cur = ref s in
+    List.iteri
+      (fun i _ ->
+        let step, rank = List.nth !cur i in
+        let r = ref rank in
+        let continue = ref true in
+        while !continue && !r > 1 do
+          let candidate =
+            List.mapi (fun j d -> if j = i then (step, !r - 1) else d) !cur
+          in
+          if check candidate then begin
+            cur := candidate;
+            decr r
+          end
+          else continue := false
+        done)
+      s;
+    !cur
+  in
+  let s = drop_pass sched (max 1 (List.length sched / 2)) in
+  let s = if s = [] then s else lower_ranks s in
+  (s, !runs)

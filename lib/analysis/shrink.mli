@@ -1,0 +1,16 @@
+(** Schedule minimization.
+
+    A violating schedule out of the explorer is a list of deviations
+    [(step, rank)] from FIFO order. {!minimize} greedily removes
+    deviations (halving chunk sizes, ddmin-style) and then lowers the
+    surviving ranks, re-validating every candidate against
+    [reproduces] — the result is always itself a reproducer (or the
+    input if nothing smaller reproduces). Returns the minimized
+    schedule and the number of replays spent. *)
+
+type deviation = int * int
+
+val minimize :
+  reproduces:(deviation list -> bool) ->
+  deviation list ->
+  deviation list * int

@@ -1,0 +1,65 @@
+open Dgc_simcore
+open Dgc_rts
+open Dgc_workload
+
+(* Every scenario here is armed, not run: events sit in the queue and
+   the explorer decides their order. Trace windows are made atomic
+   (zero duration) so the §6.1 battery applies after every step; all
+   other determinism comes from the seed. *)
+
+let base_cfg =
+  {
+    Config.default with
+    Config.trace_jitter = Sim_time.zero;
+    trace_duration = Sim_time.zero;
+  }
+
+let fig1 =
+  {
+    Explorer.sut_name = "fig1";
+    sut_desc =
+      "Figure 1 (inter-site cycle f<->g plus acyclic garbage) under the \
+       periodic trace schedule";
+    sut_make =
+      (fun () ->
+        let cfg =
+          {
+            base_cfg with
+            Config.n_sites = 3;
+            delta = 3;
+            threshold2 = 5;
+            trace_interval = Sim_time.of_seconds 5.;
+          }
+        in
+        let f = Scenario.fig1 ~cfg () in
+        Dgc_core.Sim.start f.Scenario.f1_sim;
+        Explorer.instance f.Scenario.f1_sim);
+  }
+
+let race_cfg = base_cfg
+
+let make_race cfg () =
+  let f, _outcome = Scenario.fig5_race_arm ~cfg () in
+  Explorer.instance f.Scenario.f5_sim
+
+let fig5_race =
+  {
+    Explorer.sut_name = "fig5-race";
+    sut_desc =
+      "the §6.4 race armed (mutator copy, d->e deletion, back trace from h) \
+       with all barriers on — must stay clean under every interleaving";
+    sut_make = make_race race_cfg;
+  }
+
+let fig5_race_broken =
+  {
+    Explorer.sut_name = "fig5-race-broken";
+    sut_desc =
+      "same race with the §6.1 transfer barrier disabled — the seeded bug the \
+       explorer must catch";
+    sut_make =
+      make_race { race_cfg with Config.enable_transfer_barrier = false };
+  }
+
+let catalog = [ fig1; fig5_race; fig5_race_broken ]
+let find name = List.find_opt (fun s -> s.Explorer.sut_name = name) catalog

@@ -1,0 +1,19 @@
+(** Systems under test for the schedule explorer.
+
+    Each entry builds an {e armed} simulation — events queued, nothing
+    run — and hands it to {!Explorer.explore}. All use atomic trace
+    windows so the §6.1 battery applies after every step. *)
+
+val fig1 : Explorer.sut
+(** Figure 1 under the periodic schedule: cycle collection must stay
+    invariant-clean under every explored interleaving. *)
+
+val fig5_race : Explorer.sut
+(** The §6.4 race with all barriers on — expected clean. *)
+
+val fig5_race_broken : Explorer.sut
+(** The §6.4 race with the transfer barrier disabled — the seeded bug;
+    exploration must produce a counterexample. *)
+
+val catalog : Explorer.sut list
+val find : string -> Explorer.sut option

@@ -6,6 +6,8 @@ open Dgc_core
 
 type gid = { g_site : Site_id.t; g_seq : int }
 
+let gid_equal a b = Site_id.equal a.g_site b.g_site && a.g_seq = b.g_seq
+
 
 type Protocol.ext +=
   | Gr_probe of { gid : gid; initiator : Site_id.t }
@@ -270,7 +272,7 @@ let handle t site_id ~src:_ ext =
   | Gr_probe { gid; initiator } ->
       let busy =
         match st.gs_member_of with
-        | Some g -> g <> gid
+        | Some g -> not (gid_equal g gid)
         | None -> false
       in
       let targets = if busy then [] else suspect_targets st in
@@ -297,24 +299,24 @@ let handle t site_id ~src:_ ext =
     end
   | Gr_release { gid } ->
       (match st.gs_member_of with
-      | Some g when g = gid -> st.gs_member_of <- None
+      | Some g when gid_equal g gid -> st.gs_member_of <- None
       | _ -> ());
       true
   | Gr_mark_start { gid; initiator = _; members } ->
       (match st.gs_member_of with
-      | Some g when g = gid ->
+      | Some g when gid_equal g gid ->
           st.gs_members <- Site_id.set_of_list members;
           mark_from t st (group_roots t st)
       | _ -> ());
       true
   | Gr_mark { gid; refs } ->
       (match st.gs_member_of with
-      | Some g when g = gid -> mark_from t st refs
+      | Some g when gid_equal g gid -> mark_from t st refs
       | _ -> ());
       true
   | Gr_round { gid; initiator } ->
       (match st.gs_member_of with
-      | Some g when g = gid ->
+      | Some g when gid_equal g gid ->
           let dirty = st.gs_dirty in
           st.gs_dirty <- false;
           Engine.send t.eng ~src:site_id ~dst:initiator
@@ -343,7 +345,7 @@ let handle t site_id ~src:_ ext =
     end
   | Gr_sweep { gid; initiator } ->
       (match st.gs_member_of with
-      | Some g when g = gid ->
+      | Some g when gid_equal g gid ->
           let heap = st.gs_site.Site.heap in
           let dead =
             Heap.fold heap ~init:[] ~f:(fun acc o ->

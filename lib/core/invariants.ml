@@ -2,18 +2,68 @@ open Dgc_prelude
 open Dgc_heap
 open Dgc_rts
 
+type kind =
+  | Local_safety
+  | Auxiliary
+  | Remote_safety
+  | Visited_hygiene
+  | Distance_sanity
+
+let kind_name = function
+  | Local_safety -> "local-safety"
+  | Auxiliary -> "auxiliary"
+  | Remote_safety -> "remote-safety"
+  | Visited_hygiene -> "visited-hygiene"
+  | Distance_sanity -> "distance-sanity"
+
+type violation = {
+  v_kind : kind;
+  v_site : Site_id.t;
+  v_subject : Oid.t option;
+  v_message : string;
+}
+
+exception Violation of violation list
+
+let to_string v = kind_name v.v_kind ^ ": " ^ v.v_message
+let strings vs = List.map to_string vs
+
+let pp_violation ppf v = Format.pp_print_string ppf (to_string v)
+
+let () =
+  Printexc.register_printer (function
+    | Violation vs ->
+        Some
+          (Format.asprintf "Invariants.Violation [@[<v>%a@]]"
+             (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_violation)
+             vs)
+    | _ -> None)
+
 let delta eng = (Engine.config eng).Config.delta
 
-let note acc fmt = Format.kasprintf (fun s -> acc := s :: !acc) fmt
+let note acc ~kind ~site ?subject fmt =
+  Format.kasprintf
+    (fun s ->
+      acc :=
+        { v_kind = kind; v_site = site; v_subject = subject; v_message = s }
+        :: !acc)
+    fmt
 
-(* Inrefs (non-flagged) from which a given site-local closure starts. *)
-let each_site eng f = Array.iter f (Engine.sites eng)
+let no_skip : Site_id.t -> bool = fun _ -> false
+
+(* Apply [f] to every site the caller did not ask to skip (sites in an
+   open trace window hold the old table copy, §6.2, and are not
+   checkable mid-window). *)
+let each_site ?(skip = no_skip) eng f =
+  Array.iter
+    (fun s -> if not (skip s.Site.id) then f s)
+    (Engine.sites eng)
 
 (* --- local safety (§6.1) ------------------------------------------------- *)
 
-let local_safety eng =
+let local_safety ?skip eng =
   let acc = ref [] in
-  each_site eng (fun s ->
+  each_site ?skip eng (fun s ->
       let graph = Reach.of_heap s.Site.heap in
       (* Ground truth: for every non-flagged inref, the set of remote
          references locally reachable from it. *)
@@ -22,7 +72,7 @@ let local_safety eng =
           (fun ir ->
             if ir.Ioref.ir_flagged then None
             else begin
-              let _, remotes =
+              let _locals, remotes =
                 Reach.closure graph ~from:[ ir.Ioref.ir_target ]
               in
               Some (ir, remotes)
@@ -40,27 +90,28 @@ let local_safety eng =
                           (Oid.equal ir.Ioref.ir_target)
                           o.Ioref.or_inset)
                 then
-                  note acc
+                  note acc ~kind:Local_safety ~site:s.Site.id
+                    ~subject:o.Ioref.or_target
                     "%a: suspected outref %a is reachable from inref %a but \
                      its inset omits it"
                     Site_id.pp s.Site.id Oid.pp o.Ioref.or_target Oid.pp
                     ir.Ioref.ir_target)
-              reach_of_inref))
-  [@warning "-26"];
+              reach_of_inref));
   List.rev !acc
 
 (* --- auxiliary invariant (§6.1) ------------------------------------------- *)
 
-let auxiliary eng =
+let auxiliary ?skip eng =
   let acc = ref [] in
-  each_site eng (fun s ->
+  each_site ?skip eng (fun s ->
       Tables.iter_outrefs s.Site.tables (fun o ->
           if not (Ioref.outref_clean o) then
             List.iter
               (fun i ->
                 match Tables.find_inref s.Site.tables i with
                 | Some ir when Ioref.inref_clean ~delta:(delta eng) ir ->
-                    note acc
+                    note acc ~kind:Auxiliary ~site:s.Site.id
+                      ~subject:o.Ioref.or_target
                       "%a: inset of suspected outref %a names the clean inref \
                        %a"
                       Site_id.pp s.Site.id Oid.pp o.Ioref.or_target Oid.pp i
@@ -70,16 +121,16 @@ let auxiliary eng =
 
 (* --- remote safety (§6.1.2) ------------------------------------------------ *)
 
-let remote_safety eng =
+let remote_safety ?skip eng =
   let acc = ref [] in
-  each_site eng (fun s ->
+  each_site ?skip eng (fun s ->
       Tables.iter_inrefs s.Site.tables (fun ir ->
           if
             (not ir.Ioref.ir_flagged)
             && not (Ioref.inref_clean ~delta:(delta eng) ir)
           then begin
             let i = ir.Ioref.ir_target in
-            each_site eng (fun p ->
+            each_site ?skip eng (fun p ->
                 if not (Site_id.equal p.Site.id s.Site.id) then begin
                   let holds_in_heap =
                     Heap.fold p.Site.heap ~init:false ~f:(fun found o ->
@@ -96,7 +147,7 @@ let remote_safety eng =
                       | None -> false
                     in
                     if (not listed) && not clean_outref then
-                      note acc
+                      note acc ~kind:Remote_safety ~site:s.Site.id ~subject:i
                         "%a: suspected inref %a misses holder %a (and %a has \
                          no clean outref for it)"
                         Site_id.pp s.Site.id Oid.pp i Site_id.pp p.Site.id
@@ -108,9 +159,9 @@ let remote_safety eng =
 
 (* --- visited-mark hygiene --------------------------------------------------- *)
 
-let visited_hygiene eng =
+let visited_hygiene ?skip eng =
   let acc = ref [] in
-  each_site eng (fun s ->
+  each_site ?skip eng (fun s ->
       Tables.iter_inrefs s.Site.tables (fun ir ->
           if
             (not (Trace_id.Set.is_empty ir.Ioref.ir_visited))
@@ -118,7 +169,9 @@ let visited_hygiene eng =
             && (not ir.Ioref.ir_forced_clean)
             && not ir.Ioref.ir_flagged
           then
-            note acc "%a: visited marks on never-suspected inref %a" Site_id.pp
+            note acc ~kind:Visited_hygiene ~site:s.Site.id
+              ~subject:ir.Ioref.ir_target
+              "%a: visited marks on never-suspected inref %a" Site_id.pp
               s.Site.id Oid.pp ir.Ioref.ir_target);
       Tables.iter_outrefs s.Site.tables (fun o ->
           if
@@ -126,8 +179,10 @@ let visited_hygiene eng =
             && (not o.Ioref.or_suspected)
             && not o.Ioref.or_forced_clean
           then
-            note acc "%a: visited marks on never-suspected outref %a"
-              Site_id.pp s.Site.id Oid.pp o.Ioref.or_target));
+            note acc ~kind:Visited_hygiene ~site:s.Site.id
+              ~subject:o.Ioref.or_target
+              "%a: visited marks on never-suspected outref %a" Site_id.pp
+              s.Site.id Oid.pp o.Ioref.or_target));
   List.rev !acc
 
 (* --- distance sanity ---------------------------------------------------------- *)
@@ -186,10 +241,10 @@ let true_distances eng =
    true distance of some holder of the reference at the source site.
    Estimates are conservative (start at 1, grow toward the truth), so
    in a settled system: recorded <= 1 + min holder distance. *)
-let distance_sanity eng =
+let distance_sanity ?skip eng =
   let acc = ref [] in
   let truth = true_distances eng in
-  each_site eng (fun s ->
+  each_site ?skip eng (fun s ->
       Tables.iter_inrefs s.Site.tables (fun ir ->
           let i = ir.Ioref.ir_target in
           List.iter
@@ -213,7 +268,7 @@ let distance_sanity eng =
                     src.Ioref.src_dist > h + 1
                     && src.Ioref.src_dist < Ioref.infinity_dist
                   then
-                    note acc
+                    note acc ~kind:Distance_sanity ~site:s.Site.id ~subject:i
                       "%a: inref %a source %a records %d but a live holder \
                        sits at true distance %d"
                       Site_id.pp s.Site.id Oid.pp i Site_id.pp
@@ -222,12 +277,18 @@ let distance_sanity eng =
             ir.Ioref.ir_sources));
   List.rev !acc
 
-let check_all eng =
+(* --- batteries --------------------------------------------------------------- *)
+
+let per_step ?skip eng =
   List.concat
     [
-      List.map (fun v -> "local-safety: " ^ v) (local_safety eng);
-      List.map (fun v -> "auxiliary: " ^ v) (auxiliary eng);
-      List.map (fun v -> "remote-safety: " ^ v) (remote_safety eng);
-      List.map (fun v -> "visited-hygiene: " ^ v) (visited_hygiene eng);
-      List.map (fun v -> "distance-sanity: " ^ v) (distance_sanity eng);
+      local_safety ?skip eng;
+      auxiliary ?skip eng;
+      remote_safety ?skip eng;
+      visited_hygiene ?skip eng;
     ]
+
+let check_all ?skip eng = per_step ?skip eng @ distance_sanity ?skip eng
+
+let check_exn ?skip eng =
+  match per_step ?skip eng with [] -> () | vs -> raise (Violation vs)

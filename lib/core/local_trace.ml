@@ -83,7 +83,7 @@ type outcome = {
 }
 
 (* Per-outref accumulator during a trace. *)
-type outinfo = { mutable oi_dist : int; mutable oi_clean : bool }
+type outinfo = { oi_dist : int; mutable oi_clean : bool }
 
 type mark = Clean | Suspect
 

@@ -7,7 +7,19 @@ let make ?(cfg = Config.default) () =
   let eng = Engine.create cfg in
   let col = Collector.install eng in
   let muts = Mutator.manager eng in
+  (match cfg.Config.check_level with
+  | Config.Check_step ->
+      (* Sanitizer mode: the continuously-maintained §6.1 invariants
+         after every event, skipping sites mid-trace-window (§6.2). *)
+      Engine.set_on_step eng (fun () ->
+          Invariants.check_exn ~skip:(Collector.in_window col) eng)
+  | Config.Check_off | Config.Check_final -> ());
   { eng; col; muts }
+
+let check ?(settled = false) t =
+  let skip = Collector.in_window t.col in
+  if settled then Invariants.check_all ~skip t.eng
+  else Invariants.per_step ~skip t.eng
 
 let start t = Engine.start_gc_schedule t.eng
 let run_for t d = Engine.run_for t.eng d

@@ -19,6 +19,16 @@ type t = {
 }
 
 val make : ?cfg:Config.t -> unit -> t
+(** Assemble a simulation. Under [cfg.check_level = Check_step] the
+    engine's step hook runs {!Invariants.per_step} after every event
+    (skipping sites with an open trace window) and raises
+    [Invariants.Violation] on the first inconsistent state. *)
+
+val check : ?settled:bool -> t -> Invariants.violation list
+(** Run the invariant battery now, skipping sites mid-window:
+    the continuously-maintained checks by default, plus settled-only
+    distance sanity with [~settled:true]. *)
+
 val start : t -> unit
 (** Begin the periodic local-trace schedule. *)
 

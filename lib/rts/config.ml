@@ -1,5 +1,12 @@
 open Dgc_simcore
 
+type check_level = Check_off | Check_final | Check_step
+
+let check_level_name = function
+  | Check_off -> "off"
+  | Check_final -> "final"
+  | Check_step -> "step"
+
 type t = {
   n_sites : int;
   seed : int;
@@ -20,6 +27,7 @@ type t = {
   enable_clean_rule : bool;
   enable_insert_barrier : bool;
   oracle_checks : bool;
+  check_level : check_level;
 }
 
 let default =
@@ -43,13 +51,15 @@ let default =
     enable_clean_rule = true;
     enable_insert_barrier = true;
     oracle_checks = true;
+    check_level = Check_final;
   }
 
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>sites=%d seed=%d Δ=%d Δ2=%d bump=%d interval=%a window=%a \
-     latency=%a drop=%.2f barriers(t=%b,c=%b,i=%b)@]"
+     latency=%a drop=%.2f barriers(t=%b,c=%b,i=%b) checks=%s@]"
     t.n_sites t.seed t.delta t.threshold2 t.threshold_bump Sim_time.pp
     t.trace_interval Sim_time.pp t.trace_duration Latency.pp t.latency
     t.ext_drop t.enable_transfer_barrier t.enable_clean_rule
     t.enable_insert_barrier
+    (check_level_name t.check_level)

@@ -7,6 +7,20 @@
 
 open Dgc_simcore
 
+type check_level =
+  | Check_off  (** no invariant checking anywhere *)
+  | Check_final
+      (** invariants checked at explicit checkpoints only (e.g.
+          [Sim.check], scenario ends, [dgc_check] runs) — the
+          pre-existing behaviour *)
+  | Check_step
+      (** sanitizer mode: the full §6.1 per-step invariant battery runs
+          after {e every} engine event; a violation raises
+          [Invariants.Violation]. Orders of magnitude slower — meant
+          for tests, fuzzing and the schedule explorer. *)
+
+val check_level_name : check_level -> string
+
 type t = {
   n_sites : int;
   seed : int;
@@ -46,6 +60,10 @@ type t = {
   enable_insert_barrier : bool;
   (* verification *)
   oracle_checks : bool;  (** assert oracle safety at every sweep *)
+  check_level : check_level;
+      (** how aggressively the §6.1 invariants are checked during a
+          run; {!Check_step} is wired up by [Sim.make] through the
+          engine's step hook *)
 }
 
 val default : t

@@ -26,6 +26,14 @@ type t = {
   (* §4.7 deferral: queued collector messages per (src, dst) pair *)
   defer_queues : (Site_id.t * Site_id.t, Protocol.payload list ref) Hashtbl.t;
   mutable journal : Journal.t option;
+  mutable msg_monitor :
+    (phase:[ `Send | `Deliver ] ->
+    src:Site_id.t ->
+    dst:Site_id.t ->
+    Protocol.payload ->
+    unit)
+    option;
+  mutable on_step : (unit -> unit) option;
 }
 
 let create cfg =
@@ -49,7 +57,19 @@ let create cfg =
     part_parked = [];
     defer_queues = Hashtbl.create 16;
     journal = None;
+    msg_monitor = None;
+    on_step = None;
   }
+
+let set_msg_monitor t f = t.msg_monitor <- Some f
+let clear_msg_monitor t = t.msg_monitor <- None
+let set_on_step t f = t.on_step <- Some f
+let clear_on_step t = t.on_step <- None
+
+let monitor_msg t ~phase ~src ~dst payload =
+  match t.msg_monitor with
+  | Some f -> f ~phase ~src ~dst payload
+  | None -> ()
 
 let attach_journal t j = t.journal <- Some j
 let journal t = t.journal
@@ -97,77 +117,95 @@ let in_flight_refs t =
 
 (* --- delivery ------------------------------------------------------- *)
 
-let rec deliver t ~src ~dst payload =
-  let s = site t dst in
-  match payload with
-  | Protocol.Move { agent; refs; token } -> begin
-      let needed = ref 0 in
-      List.iter
-        (fun r ->
-          (match Site.fresh_outref_of_arrival s r with
-          | `Local | `Known -> ()
-          | `Created ->
-              incr needed;
-              Hashtbl.replace t.awaiting_insert (dst, r) token;
-              send t ~src:dst ~dst:(Oid.site r)
-                (Protocol.Insert { r; by = dst }));
-          (* §6.1 barrier point: the reference arrived at this site. *)
-          s.Site.hooks.h_ref_arrived r)
-        refs;
-      t.agent_arrival ~agent ~dst;
-      if !needed = 0 then send t ~src:dst ~dst:src (Protocol.Move_ack { token })
-      else
-        Hashtbl.replace t.move_waits token
-          { remaining = !needed; reply_to = src }
-    end
-  | Protocol.Move_ack { token } -> Site.unpin s ~token
-  | Protocol.Insert { r; by } ->
-      let ir = Tables.ensure_inref s.Site.tables r in
-      (* A brand-new source is conservatively at distance 1 (§3); a
-         brand-new inref is stamped with its creation time (used by the
-         Hughes baseline's timestamps). *)
-      if ir.Ioref.ir_sources = [] then
-        ir.Ioref.ir_ts <- Sim_time.to_seconds t.now;
-      Ioref.add_source ir by ~dist:1;
-      (* §6.1.2 case 4: the transfer barrier applies to inref z. *)
-      s.Site.hooks.h_ref_arrived r;
-      send t ~src:dst ~dst:by (Protocol.Insert_done { r })
-  | Protocol.Insert_done { r } -> begin
-      (* Release the insert pin taken when the outref was created. *)
-      (match Tables.find_outref s.Site.tables r with
-      | Some o -> o.Ioref.or_pins <- max 0 (o.Ioref.or_pins - 1)
-      | None -> ());
-      match Hashtbl.find_opt t.awaiting_insert (dst, r) with
-      | None -> ()
-      | Some token -> begin
-          Hashtbl.remove t.awaiting_insert (dst, r);
-          match Hashtbl.find_opt t.move_waits token with
-          | None -> ()
-          | Some w ->
-              w.remaining <- w.remaining - 1;
-              if w.remaining = 0 then begin
-                Hashtbl.remove t.move_waits token;
-                send t ~src:dst ~dst:w.reply_to (Protocol.Move_ack { token })
-              end
-        end
-    end
-  | Protocol.Update { removals; dists } ->
-      let on_inref r f =
-        match Tables.find_inref s.Site.tables r with
-        | Some ir -> f ir
+(* The base-protocol receiver, written as a {!Protocol.handlers}
+   dispatch table: one handler per constructor, with the single
+   exhaustive match living in [Protocol.dispatch]. The context is
+   (engine, receiving site id). *)
+
+let rec base_handlers =
+  {
+    Protocol.h_move =
+      (fun (t, dst) ~src ~agent ~refs ~token ->
+        let s = site t dst in
+        let needed = ref 0 in
+        List.iter
+          (fun r ->
+            (match Site.fresh_outref_of_arrival s r with
+            | `Local | `Known -> ()
+            | `Created ->
+                incr needed;
+                Hashtbl.replace t.awaiting_insert (dst, r) token;
+                send t ~src:dst ~dst:(Oid.site r)
+                  (Protocol.Insert { r; by = dst }));
+            (* §6.1 barrier point: the reference arrived at this site. *)
+            s.Site.hooks.h_ref_arrived r)
+          refs;
+        t.agent_arrival ~agent ~dst;
+        if !needed = 0 then
+          send t ~src:dst ~dst:src (Protocol.Move_ack { token })
+        else
+          Hashtbl.replace t.move_waits token
+            { remaining = !needed; reply_to = src });
+    h_move_ack =
+      (fun (t, dst) ~src:_ ~token -> Site.unpin (site t dst) ~token);
+    h_insert =
+      (fun (t, dst) ~src:_ ~r ~by ->
+        let s = site t dst in
+        let ir = Tables.ensure_inref s.Site.tables r in
+        (* A brand-new source is conservatively at distance 1 (§3); a
+           brand-new inref is stamped with its creation time (used by
+           the Hughes baseline's timestamps). *)
+        if ir.Ioref.ir_sources = [] then
+          ir.Ioref.ir_ts <- Sim_time.to_seconds t.now;
+        Ioref.add_source ir by ~dist:1;
+        (* §6.1.2 case 4: the transfer barrier applies to inref z. *)
+        s.Site.hooks.h_ref_arrived r;
+        send t ~src:dst ~dst:by (Protocol.Insert_done { r }));
+    h_insert_done =
+      (fun (t, dst) ~src:_ ~r ->
+        let s = site t dst in
+        (* Release the insert pin taken when the outref was created. *)
+        (match Tables.find_outref s.Site.tables r with
+        | Some o -> o.Ioref.or_pins <- max 0 (o.Ioref.or_pins - 1)
+        | None -> ());
+        match Hashtbl.find_opt t.awaiting_insert (dst, r) with
         | None -> ()
-      in
-      List.iter
-        (fun r ->
-          on_inref r (fun ir ->
-              Ioref.remove_source ir src;
-              if ir.Ioref.ir_sources = [] then
-                Tables.remove_inref s.Site.tables r))
-        removals;
-      List.iter
-        (fun (r, d) -> on_inref r (fun ir -> Ioref.set_source_dist ir src ~dist:d))
-        dists
-  | Protocol.Ext e -> s.Site.hooks.h_ext ~src e
+        | Some token -> (
+            Hashtbl.remove t.awaiting_insert (dst, r);
+            match Hashtbl.find_opt t.move_waits token with
+            | None -> ()
+            | Some w ->
+                w.remaining <- w.remaining - 1;
+                if w.remaining = 0 then begin
+                  Hashtbl.remove t.move_waits token;
+                  send t ~src:dst ~dst:w.reply_to (Protocol.Move_ack { token })
+                end));
+    h_update =
+      (fun (t, dst) ~src ~removals ~dists ->
+        let s = site t dst in
+        let on_inref r f =
+          match Tables.find_inref s.Site.tables r with
+          | Some ir -> f ir
+          | None -> ()
+        in
+        List.iter
+          (fun r ->
+            on_inref r (fun ir ->
+                Ioref.remove_source ir src;
+                if ir.Ioref.ir_sources = [] then
+                  Tables.remove_inref s.Site.tables r))
+          removals;
+        List.iter
+          (fun (r, d) ->
+            on_inref r (fun ir -> Ioref.set_source_dist ir src ~dist:d))
+          dists);
+    h_ext =
+      (fun (t, dst) ~src e -> (site t dst).Site.hooks.h_ext ~src e);
+  }
+
+and deliver t ~src ~dst payload =
+  monitor_msg t ~phase:`Deliver ~src ~dst payload;
+  Protocol.dispatch base_handlers (t, dst) ~src payload
 
 (* --- sending -------------------------------------------------------- *)
 
@@ -254,6 +292,7 @@ and flush_batch t ~src ~dst payloads =
   end
 
 and send t ~src ~dst payload =
+  monitor_msg t ~phase:`Send ~src ~dst payload;
   let defer = t.cfg.Config.defer_interval in
   if Protocol.is_ext payload && Sim_time.compare defer Sim_time.zero > 0 then begin
     let key = (src, dst) in
@@ -387,13 +426,21 @@ let stop_gc_schedule t = t.gc_running <- false
 
 (* --- run loop --------------------------------------------------------- *)
 
-let step t =
-  match Event_queue.pop t.queue with
+let step_nth t n =
+  match Event_queue.pop_nth t.queue n with
   | None -> false
   | Some (at, f) ->
-      t.now <- at;
+      (* Deviating to a later-scheduled event must not move time
+         backwards when the skipped earlier events eventually run. *)
+      if Sim_time.compare at t.now > 0 then t.now <- at;
       f ();
+      (match t.on_step with Some h -> h () | None -> ());
       true
+
+let step t = step_nth t 0
+let pending t = Event_queue.length t.queue
+let peek_time t = Event_queue.peek_time t.queue
+let nth_time t n = Event_queue.nth_time t.queue n
 
 let run_until t limit =
   let rec loop () =

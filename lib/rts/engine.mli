@@ -103,6 +103,44 @@ val stop_gc_schedule : t -> unit
 val step : t -> bool
 (** Execute the next event; false if the queue is empty. *)
 
+val step_nth : t -> int -> bool
+(** Execute the [n]-th earliest pending event instead of the earliest
+    ([step_nth t 0 = step t]); false if fewer than [n+1] events are
+    pending. The clock never moves backwards: skipped earlier events
+    run later at the (greater) current time. This is the schedule
+    explorer's hook for exploring event-queue interleavings. *)
+
+val pending : t -> int
+(** Number of pending events. *)
+
+val peek_time : t -> Sim_time.t option
+val nth_time : t -> int -> Sim_time.t option
+(** Timestamp of the earliest / [n]-th earliest pending event. *)
+
+val set_on_step : t -> (unit -> unit) -> unit
+(** Install a hook that runs after every executed event ({!step},
+    {!step_nth}, and thus {!run_until}/{!run_for}). [Sim.make] uses it
+    to wire [Config.Check_step] sanitizer checking; exceptions raised
+    by the hook propagate out of the run functions. *)
+
+val clear_on_step : t -> unit
+
+val set_msg_monitor :
+  t ->
+  (phase:[ `Send | `Deliver ] ->
+  src:Site_id.t ->
+  dst:Site_id.t ->
+  Protocol.payload ->
+  unit) ->
+  unit
+(** Observe every base-protocol/ext message: [`Send] fires once at the
+    original send (before deferral, drops or parking), [`Deliver] fires
+    at actual delivery (including batched flushes and redeliveries
+    after heal/recover). The conformance checker keys its per-role
+    ordering automata on [`Deliver] events. *)
+
+val clear_msg_monitor : t -> unit
+
 val run_until : t -> Sim_time.t -> unit
 (** Process events with timestamps up to the given absolute time;
     [now] afterwards equals that time. *)

@@ -42,6 +42,37 @@ let refs_carried = function
 
 let is_ext = function Ext _ -> true | _ -> false
 
+(* --- dispatch table --------------------------------------------------- *)
+
+type 'ctx handlers = {
+  h_move :
+    'ctx -> src:Site_id.t -> agent:int -> refs:Oid.t list -> token:int -> unit;
+  h_move_ack : 'ctx -> src:Site_id.t -> token:int -> unit;
+  h_insert : 'ctx -> src:Site_id.t -> r:Oid.t -> by:Site_id.t -> unit;
+  h_insert_done : 'ctx -> src:Site_id.t -> r:Oid.t -> unit;
+  h_update :
+    'ctx ->
+    src:Site_id.t ->
+    removals:Oid.t list ->
+    dists:(Oid.t * int) list ->
+    unit;
+  h_ext : 'ctx -> src:Site_id.t -> ext -> unit;
+}
+
+(* The one exhaustive match over [payload] in the code base: every
+   receiver goes through this table, so a new constructor is a missing
+   record field here (a type error) plus an inexhaustive match below (a
+   fatal warning under the dev profile) — never a silent runtime drop. *)
+let dispatch h ctx ~src = function
+  | Move { agent; refs; token } -> h.h_move ctx ~src ~agent ~refs ~token
+  | Move_ack { token } -> h.h_move_ack ctx ~src ~token
+  | Insert { r; by } -> h.h_insert ctx ~src ~r ~by
+  | Insert_done { r } -> h.h_insert_done ctx ~src ~r
+  | Update { removals; dists } -> h.h_update ctx ~src ~removals ~dists
+  | Ext e -> h.h_ext ctx ~src e
+
+let base_kinds = [ "move"; "move_ack"; "insert"; "insert_done"; "update"; "ext" ]
+
 (* 16-byte header; 12 bytes per reference (site + index + tag); 16 per
    distance entry. Coarse, but uniform across collectors. *)
 let approx_bytes p =

@@ -53,6 +53,37 @@ val register_ext_refs : (ext -> Oid.t list option) -> unit
 
 val is_ext : payload -> bool
 
+(** {1 Dispatch table}
+
+    Receivers of base-protocol messages implement one handler per
+    constructor; {!dispatch} holds the single exhaustive match over
+    [payload]. Adding a constructor therefore forces every receiver to
+    grow a handler (missing-field type error) before the tree compiles
+    again — handler coverage is checked by the compiler, not at
+    runtime. *)
+
+type 'ctx handlers = {
+  h_move :
+    'ctx -> src:Site_id.t -> agent:int -> refs:Oid.t list -> token:int -> unit;
+  h_move_ack : 'ctx -> src:Site_id.t -> token:int -> unit;
+  h_insert : 'ctx -> src:Site_id.t -> r:Oid.t -> by:Site_id.t -> unit;
+  h_insert_done : 'ctx -> src:Site_id.t -> r:Oid.t -> unit;
+  h_update :
+    'ctx ->
+    src:Site_id.t ->
+    removals:Oid.t list ->
+    dists:(Oid.t * int) list ->
+    unit;
+  h_ext : 'ctx -> src:Site_id.t -> ext -> unit;
+}
+
+val dispatch : 'ctx handlers -> 'ctx -> src:Site_id.t -> payload -> unit
+
+val base_kinds : string list
+(** The {!kind} labels of the base constructors, in declaration order
+    ([Ext] reported as ["ext"]). Conformance coverage accounting keys
+    on these. *)
+
 val approx_bytes : payload -> int
 (** Rough wire size: a fixed per-message header plus per-reference and
     per-entry costs; [Ext] payloads report header + the registered

@@ -69,6 +69,58 @@ let pop t =
     Some (top.at, top.payload)
   end
 
+(* Re-insert an entry popped by [pop_entry], keeping its original
+   sequence number so tie-breaking order is unchanged. *)
+let push_entry t e =
+  if Array.length t.heap = 0 then t.heap <- Array.make 16 e;
+  grow t;
+  t.heap.(t.size) <- e;
+  t.size <- t.size + 1;
+  sift_up t.heap (t.size - 1)
+
+let pop_entry t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t.heap t.size 0
+    end;
+    Some top
+  end
+
+let pop_nth t n =
+  if n < 0 || n >= t.size then None
+  else begin
+    (* Pop the n+1 earliest entries, keep the last, re-insert the rest
+       with their original sequence numbers. O(n log size); schedule
+       exploration only ever uses small n. *)
+    let skipped = ref [] in
+    for _ = 1 to n do
+      match pop_entry t with
+      | Some e -> skipped := e :: !skipped
+      | None -> ()
+    done;
+    let picked = pop_entry t in
+    List.iter (push_entry t) !skipped;
+    Option.map (fun e -> (e.at, e.payload)) picked
+  end
+
+let nth_time t n =
+  if n < 0 || n >= t.size then None
+  else begin
+    let popped = ref [] in
+    for _ = 0 to n do
+      match pop_entry t with
+      | Some e -> popped := e :: !popped
+      | None -> ()
+    done;
+    let at = match !popped with e :: _ -> Some e.at | [] -> None in
+    List.iter (push_entry t) !popped;
+    at
+  end
+
 let peek_time t = if t.size = 0 then None else Some t.heap.(0).at
 let is_empty t = t.size = 0
 let length t = t.size

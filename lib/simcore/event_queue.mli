@@ -14,6 +14,15 @@ val push : 'a t -> at:Sim_time.t -> 'a -> unit
 val pop : 'a t -> (Sim_time.t * 'a) option
 (** Remove and return the earliest event, or [None] if empty. *)
 
+val pop_nth : 'a t -> int -> (Sim_time.t * 'a) option
+(** Remove and return the [n]-th earliest event (0 = {!pop});
+    [None] if fewer than [n+1] events are pending. Events skipped over
+    keep their positions and tie-break order — this is the schedule
+    explorer's deviation primitive. *)
+
+val nth_time : 'a t -> int -> Sim_time.t option
+(** Timestamp of the [n]-th earliest event without removing it. *)
+
 val peek_time : 'a t -> Sim_time.t option
 val is_empty : 'a t -> bool
 val length : 'a t -> int

@@ -276,7 +276,7 @@ let walk sim agent ~start_root ~path ?(captures = []) ~k () =
   in
   go path
 
-let fig5_race ?(use_fig6 = false) ?(trace_start_ms = 60.) ~cfg () =
+let fig5_race_arm ?(use_fig6 = false) ?(trace_start_ms = 60.) ~cfg () =
   let cfg =
     {
       cfg with
@@ -292,7 +292,6 @@ let fig5_race ?(use_fig6 = false) ?(trace_start_ms = 60.) ~cfg () =
   let outcome = ref None in
   Back_trace.on_outcome (Collector.back sim.Sim.col) (fun _ v _ ->
       outcome := Some v);
-  let violation = ref None in
   let agent = Mutator.spawn sim.Sim.muts ~at:f.f5_p in
   walk sim agent ~start_root:f.f5_a
     ~path:[ f.f5_b; f.f5_c; f.f5_d; f.f5_e; f.f5_f; f.f5_x; f.f5_z ]
@@ -318,6 +317,12 @@ let fig5_race ?(use_fig6 = false) ?(trace_start_ms = 60.) ~cfg () =
     ();
   Engine.schedule eng ~delay:(Sim_time.of_millis trace_start_ms) (fun () ->
       ignore (Collector.start_back_trace sim.Sim.col f.f5_p f.f5_h));
+  (f, outcome)
+
+let fig5_race ?use_fig6 ?trace_start_ms ~cfg () =
+  let f, outcome = fig5_race_arm ?use_fig6 ?trace_start_ms ~cfg () in
+  let sim = f.f5_sim in
+  let violation = ref None in
   (try Sim.run_for sim (Sim_time.of_seconds 5.)
    with Dgc_oracle.Oracle.Safety_violation m -> violation := Some m);
   (* Make the consequences of any wrong flags visible. *)

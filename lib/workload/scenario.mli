@@ -98,6 +98,21 @@ val fig6 : ?cfg:Config.t -> unit -> fig5 * Oid.t
 
 (** {1 Drivers} *)
 
+val fig5_race_arm :
+  ?use_fig6:bool ->
+  ?trace_start_ms:float ->
+  cfg:Config.t ->
+  unit ->
+  fig5 * Verdict.t option ref
+(** Build and arm the §6.4 race without running it: distances settled,
+    the mutator walk and the deletion scheduled, the back trace from
+    outref h queued at [trace_start_ms]. The caller drives the engine
+    (normally, or step by step — the schedule explorer uses this to
+    enumerate interleavings of the armed events). The returned ref
+    receives the back trace's eventual verdict. The configuration's
+    latency is forced to the fixed 10ms the schedule assumes, and
+    trace windows are made atomic. *)
+
 val fig5_race :
   ?use_fig6:bool ->
   ?trace_start_ms:float ->

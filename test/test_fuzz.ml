@@ -176,7 +176,7 @@ let chaos_run ~seed =
       (Dgc_oracle.Oracle.garbage_count eng);
   (* Quiesced: the §6 invariants and table integrity must hold. *)
   Scenario.settle sim ~rounds:6;
-  (match Invariants.check_all eng with
+  (match Invariants.strings (Invariants.check_all eng) with
   | [] -> ()
   | v :: _ -> Alcotest.failf "seed %d: invariant violated: %s" seed v);
   match Dgc_oracle.Oracle.table_violations eng with

@@ -23,7 +23,7 @@ let cfg n seed =
   }
 
 let check_clean eng label =
-  match Invariants.check_all eng with
+  match Invariants.strings (Invariants.check_all eng) with
   | [] -> ()
   | vs ->
       Alcotest.failf "%s: %d invariant violations, first: %s" label
@@ -154,7 +154,7 @@ let test_distance_sanity_on_live_graphs () =
   ignore (Graph_gen.ring eng ~sites:[ s 1; s 2 ] ~per_site:1 ~rooted:true);
   Scenario.settle sim ~rounds:10;
   Alcotest.(check (list string)) "estimates conservative" []
-    (Invariants.distance_sanity eng)
+    (Invariants.strings (Invariants.distance_sanity eng))
 
 let () =
   Alcotest.run "invariants"

@@ -477,7 +477,7 @@ let prop_distance_theorem_random_sccs =
       !ok)
 
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [
       prop_modes_equal_brute;
       prop_independent_cost;

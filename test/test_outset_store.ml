@@ -119,6 +119,6 @@ let () =
           Alcotest.test_case "add" `Quick test_add;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_union_is_set_union; prop_canonical ] );
     ]

@@ -258,7 +258,7 @@ let test_soak () =
     (Dgc_oracle.Oracle.table_violations eng);
   Scenario.settle sim ~rounds:6;
   Alcotest.(check (list string)) "invariants hold" []
-    (Dgc_core.Invariants.check_all eng)
+    (Dgc_core.Invariants.strings (Dgc_core.Invariants.check_all eng))
 
 let () =
   Alcotest.run "system"
