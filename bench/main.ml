@@ -1012,6 +1012,82 @@ let exp_c15 () =
   say "20k — far beyond the experiments' heap sizes"
 
 (* ---------------------------------------------------------------------- *)
+(* BENCH: the machine-readable artifact                                   *)
+(* ---------------------------------------------------------------------- *)
+
+(* Aggregates back-trace latency/size distributions and per-payload
+   message counts over a few ring workloads into BENCH_backtrace.json
+   (schema dgc.run/1), so numbers can be tracked across runs without
+   scraping the tables above. Runs in every full invocation and alone
+   as `main.exe BENCH` (the @bench-smoke alias). *)
+let exp_bench () =
+  section "BENCH" "Run artifact: back-trace latency and message traffic";
+  let agg = Metrics.create () in
+  let sim_secs = ref 0. in
+  List.iter
+    (fun (span, per_site, seed) ->
+      let cfg = { base_cfg with Config.n_sites = span; seed } in
+      let sim = Sim.make ~cfg () in
+      let eng = sim.Sim.eng in
+      ignore
+        (Graph_gen.ring eng ~sites:(sites span) ~per_site ~rooted:false);
+      ignore (Graph_gen.ring eng ~sites:(sites span) ~per_site:1 ~rooted:true);
+      Sim.start sim;
+      ignore (rounds_to_collect ~max_rounds:40 sim);
+      sim_secs := !sim_secs +. Sim_time.to_seconds (Engine.now eng);
+      List.iter
+        (fun (_, st) ->
+          match st.Back_trace.ts_outcome with
+          | None -> ()
+          | Some (v, at) ->
+              let ms =
+                1000.
+                *. (Sim_time.to_seconds at
+                   -. Sim_time.to_seconds st.Back_trace.ts_started)
+              in
+              Metrics.hist_observe agg "back.latency_ms" ms;
+              Metrics.hist_observe agg
+                (Printf.sprintf "back.latency_ms{verdict=%s}"
+                   (String.lowercase_ascii (Verdict.to_string v)))
+                ms;
+              Metrics.hist_observe agg "back.frames_per_trace"
+                (float_of_int st.Back_trace.ts_frames);
+              Metrics.hist_observe agg "back.msgs_per_trace"
+                (float_of_int st.Back_trace.ts_msgs))
+        (Back_trace.stats (Collector.back sim.Sim.col));
+      (* Fold this run's message and back-trace counters in. *)
+      List.iter
+        (fun (k, v) ->
+          if
+            String.starts_with ~prefix:"msg." k
+            || String.starts_with ~prefix:"back." k
+          then Metrics.add agg k v)
+        (Metrics.counters (Engine.metrics eng)))
+    [ (2, 1, 11); (3, 2, 12); (4, 2, 13) ];
+  let art =
+    Dgc_telemetry.Run_artifact.make ~name:"backtrace-bench"
+      ~sim_seconds:!sim_secs agg
+  in
+  let path = "BENCH_backtrace.json" in
+  Dgc_telemetry.Run_artifact.write ~path art;
+  (match
+     Dgc_telemetry.Run_artifact.validate
+       ~require_hists:[ "back.latency_ms"; "back.frames_per_trace" ]
+       ~require_counter_prefixes:[ "msg."; "back." ]
+       art
+   with
+  | Ok () -> say "wrote %s (shape ok)" path
+  | Error e -> Fmt.failwith "BENCH artifact failed validation: %s" e);
+  List.iter
+    (fun name ->
+      match Metrics.hist_stats agg name with
+      | Some h ->
+          say "  %-34s n=%-4d p50=%-8.3g p95=%-8.3g p99=%-8.3g max=%.3g" name
+            h.Metrics.n h.Metrics.p50 h.Metrics.p95 h.Metrics.p99 h.Metrics.max
+      | None -> ())
+    [ "back.latency_ms"; "back.frames_per_trace"; "back.msgs_per_trace" ]
+
+(* ---------------------------------------------------------------------- *)
 
 let all_sections =
   [
@@ -1035,6 +1111,7 @@ let all_sections =
     ("C13", exp_c13);
     ("C14", exp_c14);
     ("C15", exp_c15);
+    ("BENCH", exp_bench);
   ]
 
 let () =

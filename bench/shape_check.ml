@@ -1,0 +1,42 @@
+(* Validate a dgc.run/1 artifact (normally BENCH_backtrace.json): the
+   @bench-smoke alias runs the BENCH section and then this checker, so
+   `dune runtest` fails if the artifact's shape regresses. *)
+
+open Dgc_telemetry
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_backtrace.json"
+  in
+  match Run_artifact.read ~path with
+  | Error e ->
+      Printf.eprintf "%s: unreadable artifact: %s\n" path e;
+      exit 1
+  | Ok art -> (
+      match
+        Run_artifact.validate
+          ~require_hists:[ "back.latency_ms"; "back.frames_per_trace" ]
+          ~require_counter_prefixes:[ "msg."; "back." ]
+          art
+      with
+      | Error e ->
+          Printf.eprintf "%s: bad artifact shape: %s\n" path e;
+          exit 1
+      | Ok () ->
+          let n =
+            match
+              Json.(
+                member "histograms" art
+                |> Option.map (member "back.latency_ms")
+                |> Option.join
+                |> Option.map (member "n")
+                |> Option.join)
+            with
+            | Some j -> Option.value ~default:0 (Json.to_int_opt j)
+            | None -> 0
+          in
+          if n <= 0 then begin
+            Printf.eprintf "%s: back.latency_ms has no observations\n" path;
+            exit 1
+          end;
+          Printf.printf "%s: shape ok (%d back-trace latencies)\n" path n)

@@ -2,18 +2,21 @@
    (or a baseline) on synthetic workloads and report what happened.
 
    Examples:
-     dgc-sim --sites 4 --workload ring --span 3 --minutes 10
-     dgc-sim --workload hypertext --churn 4 --minutes 20 --drop 0.1
-     dgc-sim --collector hughes --workload ring --crash 2
-     dgc-sim --workload random --seed 9 --verbose
+     dgc-sim run --sites 4 --workload ring --span 3 --minutes 10
+     dgc-sim run --workload hypertext --churn 4 --minutes 20 --drop 0.1
+     dgc-sim run --collector hughes --workload ring --crash 2
+     dgc-sim trace --scenario fig1 --out fig1_trace.json
+     dgc-sim metrics --workload random --minutes 5 --out run.json
 *)
 
 open Dgc_prelude
 open Dgc_simcore
+open Dgc_heap
 open Dgc_rts
 open Dgc_core
 open Dgc_workload
 open Dgc_baselines
+open Dgc_telemetry
 open Cmdliner
 
 type collector_kind = Back_tracing | Global | Hughes_ts | Group | Migrate
@@ -77,6 +80,22 @@ let config_of opts =
     ext_drop = opts.o_drop;
   }
 
+(* The journal is always attached (capacity from the configuration);
+   its tail is the first thing an operator wants when a run ends in a
+   violated invariant. *)
+let attach_journal cfg eng =
+  let j = Journal.create ~capacity:(max 64 cfg.Config.journal_capacity) () in
+  Engine.attach_journal eng j
+
+let print_journal_tail ?(n = 20) eng =
+  match Engine.journal eng with
+  | None -> ()
+  | Some j ->
+      say "-- journal tail (last %d entries) --------------------------" n;
+      List.iter
+        (fun e -> say "%a" Journal.pp_entry e)
+        (Journal.entries ~last:n j)
+
 let report eng ~verbose =
   let m = Engine.metrics eng in
   say "-- per-site summary ----------------------------------------";
@@ -92,15 +111,27 @@ let report eng ~verbose =
     (Metrics.get m "back.outcome_garbage")
     (Metrics.get m "back.outcome_live");
   say "  back-trace messages:      %d" (Metrics.get m "back.msgs");
+  (match Metrics.hist_stats m "back.latency_ms" with
+  | Some h ->
+      say "  latency ms p50/p95/p99:   %.2f / %.2f / %.2f" h.Metrics.p50
+        h.Metrics.p95 h.Metrics.p99
+  | None -> ());
   if verbose then begin
     say "-- all counters -------------------------------------------";
-    List.iter (fun (k, v) -> say "%-40s %d" k v) (Metrics.counters m)
+    List.iter (fun (k, v) -> say "%-40s %d" k v) (Metrics.counters m);
+    say "-- histograms ---------------------------------------------";
+    List.iter
+      (fun (k, h) ->
+        say "%-40s n=%d p50=%.3g p95=%.3g p99=%.3g max=%.3g" k h.Metrics.n
+          h.Metrics.p50 h.Metrics.p95 h.Metrics.p99 h.Metrics.max)
+      (Metrics.hists m)
   end;
   match Dgc_oracle.Oracle.table_violations eng with
   | [] -> say "table integrity:            ok"
   | vs ->
       say "table integrity:            %d violations" (List.length vs);
-      if verbose then List.iter (fun v -> say "  %s" v) vs
+      if verbose then List.iter (fun v -> say "  %s" v) vs;
+      print_journal_tail eng
 
 let dump_dot opts eng =
   match opts.o_dot with
@@ -111,12 +142,6 @@ let dump_dot opts eng =
       close_out oc;
       say "wrote object graph to %s" path
 
-let attach_journal opts eng =
-  if opts.o_journal > 0 then begin
-    let j = Journal.create ~capacity:(max 64 opts.o_journal) () in
-    Engine.attach_journal eng j
-  end
-
 let print_journal opts eng =
   if opts.o_journal > 0 then
     match Engine.journal eng with
@@ -124,96 +149,198 @@ let print_journal opts eng =
         say "-- journal (last %d events) --------------------------------"
           opts.o_journal;
         List.iter
-          (fun (at, cat, text) ->
-            say "%a [%s] %s" Sim_time.pp at cat text)
-          (Journal.events ~last:opts.o_journal j)
+          (fun e -> say "%a" Journal.pp_entry e)
+          (Journal.entries ~last:opts.o_journal j)
     | None -> ()
 
-let run opts =
+let write_artifact ~out ~name eng =
+  let art =
+    Run_artifact.make ~name
+      ~sim_seconds:(Sim_time.to_seconds (Engine.now eng))
+      (Engine.metrics eng)
+  in
+  Run_artifact.write ~path:out art;
+  say "wrote run artifact to %s" out
+
+(* artifact: when set, emit a machine-readable Run_artifact JSON at the
+   end of the run (the [metrics] subcommand). *)
+let run ?artifact opts =
   let cfg = config_of opts in
   say "dgc-sim: %a" Config.pp cfg;
   let minutes = Sim_time.of_minutes opts.o_minutes in
-  (match opts.o_collector with
-  | Back_tracing ->
-      let sim = Sim.make ~cfg () in
-      let eng = sim.Sim.eng in
-      attach_journal opts eng;
-      build_workload eng opts;
-      let churn =
-        if opts.o_churn > 0 then
-          Some
-            (Churn.start sim
-               ~rng:(Rng.create ~seed:(opts.o_seed + 2))
-               ~agents:opts.o_churn
-               ~mean_op_gap:(Sim_time.of_millis 400.))
-        else None
+  let eng =
+    match opts.o_collector with
+    | Back_tracing ->
+        let sim = Sim.make ~cfg () in
+        let eng = sim.Sim.eng in
+        attach_journal cfg eng;
+        build_workload eng opts;
+        let churn =
+          if opts.o_churn > 0 then
+            Some
+              (Churn.start sim
+                 ~rng:(Rng.create ~seed:(opts.o_seed + 2))
+                 ~agents:opts.o_churn
+                 ~mean_op_gap:(Sim_time.of_millis 400.))
+          else None
+        in
+        Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
+        Sim.start sim;
+        Sim.run_for sim minutes;
+        Option.iter Churn.stop churn;
+        Sim.run_for sim (Sim_time.of_minutes 1.);
+        report eng ~verbose:opts.o_verbose;
+        print_journal opts eng;
+        dump_dot opts eng;
+        eng
+    | Global ->
+        let eng = Engine.create cfg in
+        attach_journal cfg eng;
+        let gt = Global_trace.install eng in
+        build_workload eng opts;
+        Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
+        Engine.start_gc_schedule eng;
+        let finished = ref false in
+        Global_trace.collect gt
+          ~on_done:(fun ~freed ~rounds ->
+            finished := true;
+            say "global collection: freed %d in %d rounds" freed rounds)
+          ();
+        Engine.run_for eng minutes;
+        if not !finished then say "global collection DID NOT FINISH";
+        report eng ~verbose:opts.o_verbose;
+        dump_dot opts eng;
+        eng
+    | Hughes_ts ->
+        let eng = Engine.create cfg in
+        attach_journal cfg eng;
+        let h = Hughes.install eng ~slack:(Sim_time.of_seconds 60.) in
+        build_workload eng opts;
+        Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
+        Engine.start_gc_schedule eng;
+        let steps =
+          int_of_float (Sim_time.to_seconds minutes /. opts.o_interval)
+        in
+        for _ = 1 to max 1 steps do
+          Engine.run_for eng (Sim_time.of_seconds opts.o_interval);
+          Hughes.run_threshold_round h ()
+        done;
+        say "hughes threshold: %.1f after %d rounds" (Hughes.threshold h)
+          (Hughes.rounds_completed h);
+        report eng ~verbose:opts.o_verbose;
+        dump_dot opts eng;
+        eng
+    | Group ->
+        let eng = Engine.create cfg in
+        attach_journal cfg eng;
+        let g = Group_trace.install eng ~max_group:opts.o_sites in
+        build_workload eng opts;
+        Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
+        Engine.start_gc_schedule eng;
+        Engine.run_for eng minutes;
+        say "groups: %d formed, %d aborted, last size %d"
+          (Group_trace.groups_formed g)
+          (Group_trace.groups_aborted g)
+          (Group_trace.last_group_size g);
+        report eng ~verbose:opts.o_verbose;
+        dump_dot opts eng;
+        eng
+    | Migrate ->
+        let eng = Engine.create cfg in
+        attach_journal cfg eng;
+        let m = Migration.install eng in
+        build_workload eng opts;
+        Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
+        Engine.start_gc_schedule eng;
+        Engine.run_for eng minutes;
+        say "migration: %d moves, %d bytes, %d multi-holder skips"
+          (Migration.migrations m) (Migration.bytes_moved m)
+          (Migration.skipped_multi_holder m);
+        report eng ~verbose:opts.o_verbose;
+        dump_dot opts eng;
+        eng
+  in
+  Option.iter (fun out -> write_artifact ~out ~name:"dgc-sim" eng) artifact;
+  0
+
+(* --- trace subcommand: record one scenario as causal spans ------------- *)
+
+let scenario_cfg =
+  {
+    Config.default with
+    Config.delta = 3;
+    threshold2 = 6;
+    threshold_bump = 4;
+    trace_duration = Sim_time.zero;
+  }
+
+let run_trace scenario out format =
+  let tracer = Tracer.create () in
+  let eng =
+    match scenario with
+    | "fig1" ->
+        (* The f-g cycle is garbage at rest: the periodic schedule finds
+           and collects it on its own. *)
+        let f = Scenario.fig1 ~cfg:scenario_cfg () in
+        let sim = f.Scenario.f1_sim in
+        Engine.attach_tracer sim.Sim.eng tracer;
+        Sim.start sim;
+        ignore (Sim.collect_all sim ~max_rounds:30 ());
+        sim.Sim.eng
+    | "fig2" ->
+        (* Everything is suspected garbage; start the §4.1 outref-start
+           trace from c at Q, as the paper's walkthrough does. *)
+        let f = Scenario.fig2 ~cfg:scenario_cfg () in
+        let sim = f.Scenario.f2_sim in
+        Engine.attach_tracer sim.Sim.eng tracer;
+        Scenario.settle sim ~rounds:8;
+        ignore
+          (Collector.start_back_trace sim.Sim.col
+             (Oid.site f.Scenario.f2_a) f.Scenario.f2_c);
+        Sim.run_for sim (Sim_time.of_seconds 5.);
+        sim.Sim.eng
+    | "fig6" ->
+        (* All live; suspect the g-side path and trace from outref g at
+           Q — the trace forks (sources Q and R) and returns Live. *)
+        let f, _w = Scenario.fig6 ~cfg:scenario_cfg () in
+        let sim = f.Scenario.f5_sim in
+        Engine.attach_tracer sim.Sim.eng tracer;
+        Scenario.settle sim ~rounds:9;
+        ignore
+          (Collector.start_back_trace sim.Sim.col f.Scenario.f5_q
+             f.Scenario.f5_g);
+        Sim.run_for sim (Sim_time.of_seconds 5.);
+        sim.Sim.eng
+    | s -> Fmt.failwith "unknown scenario %S (try fig1, fig2, fig6)" s
+  in
+  (match format with
+  | `Chrome -> Tracer.write_chrome tracer ~path:out
+  | `Jsonl -> Tracer.write_jsonl tracer ~path:out);
+  let spans = Tracer.spans tracer in
+  let roots = List.filter (fun s -> s.Tracer.name = "back_trace") spans in
+  let sites =
+    List.sort_uniq Int.compare (List.map (fun s -> s.Tracer.site) spans)
+  in
+  say "scenario %s: %d spans across %d sites, %d back traces" scenario
+    (List.length spans) (List.length sites) (List.length roots);
+  List.iter
+    (fun r ->
+      let outcome =
+        match List.assoc_opt "outcome" r.Tracer.attrs with
+        | Some (Json.Str s) -> s
+        | _ -> "unfinished"
       in
-      Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
-      Sim.start sim;
-      Sim.run_for sim minutes;
-      Option.iter Churn.stop churn;
-      Sim.run_for sim (Sim_time.of_minutes 1.);
-      report eng ~verbose:opts.o_verbose;
-      print_journal opts eng;
-      dump_dot opts eng
-  | Global ->
-      let eng = Engine.create cfg in
-      let gt = Global_trace.install eng in
-      build_workload eng opts;
-      Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
-      Engine.start_gc_schedule eng;
-      let finished = ref false in
-      Global_trace.collect gt
-        ~on_done:(fun ~freed ~rounds ->
-          finished := true;
-          say "global collection: freed %d in %d rounds" freed rounds)
-        ();
-      Engine.run_for eng minutes;
-      if not !finished then say "global collection DID NOT FINISH";
-      report eng ~verbose:opts.o_verbose;
-      dump_dot opts eng
-  | Hughes_ts ->
-      let eng = Engine.create cfg in
-      let h = Hughes.install eng ~slack:(Sim_time.of_seconds 60.) in
-      build_workload eng opts;
-      Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
-      Engine.start_gc_schedule eng;
-      let steps =
-        int_of_float (Sim_time.to_seconds minutes /. opts.o_interval)
-      in
-      for _ = 1 to max 1 steps do
-        Engine.run_for eng (Sim_time.of_seconds opts.o_interval);
-        Hughes.run_threshold_round h ()
-      done;
-      say "hughes threshold: %.1f after %d rounds" (Hughes.threshold h)
-        (Hughes.rounds_completed h);
-      report eng ~verbose:opts.o_verbose;
-      dump_dot opts eng
-  | Group ->
-      let eng = Engine.create cfg in
-      let g = Group_trace.install eng ~max_group:opts.o_sites in
-      build_workload eng opts;
-      Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
-      Engine.start_gc_schedule eng;
-      Engine.run_for eng minutes;
-      say "groups: %d formed, %d aborted, last size %d"
-        (Group_trace.groups_formed g)
-        (Group_trace.groups_aborted g)
-        (Group_trace.last_group_size g);
-      report eng ~verbose:opts.o_verbose;
-      dump_dot opts eng
-  | Migrate ->
-      let eng = Engine.create cfg in
-      let m = Migration.install eng in
-      build_workload eng opts;
-      Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
-      Engine.start_gc_schedule eng;
-      Engine.run_for eng minutes;
-      say "migration: %d moves, %d bytes, %d multi-holder skips"
-        (Migration.migrations m) (Migration.bytes_moved m)
-        (Migration.skipped_multi_holder m);
-      report eng ~verbose:opts.o_verbose;
-      dump_dot opts eng);
+      say "  %s at site %d: %s" r.Tracer.trace r.Tracer.site outcome)
+    roots;
+  say "wrote %s trace to %s (load chrome format in ui.perfetto.dev)"
+    (match format with `Chrome -> "chrome" | `Jsonl -> "jsonl")
+    out;
+  (match Engine.metrics eng |> fun m -> Metrics.hist_stats m "back.latency_ms"
+   with
+  | Some h ->
+      say "back-trace latency ms: p50=%.2f p95=%.2f max=%.2f" h.Metrics.p50
+        h.Metrics.p95 h.Metrics.max
+  | None -> ());
   0
 
 (* --- cmdliner ----------------------------------------------------------- *)
@@ -293,7 +420,9 @@ let opts_term =
                 $(b,migration).")
   in
   let verbose =
-    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Dump all counters.")
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Dump all counters and histograms.")
   in
   let dot =
     Arg.(
@@ -305,7 +434,8 @@ let opts_term =
     Arg.(
       value & opt int 0
       & info [ "journal" ]
-          ~doc:"Record a bounded event journal and print its last N events.")
+          ~doc:"Print the journal's last N events after the run (the \
+                journal itself is always recorded).")
   in
   let make o_sites o_seed o_workload o_span o_per_site o_delta o_threshold2
       o_interval o_window o_drop o_churn o_minutes o_crash o_collector
@@ -334,10 +464,54 @@ let opts_term =
   $ interval $ window $ drop $ churn $ minutes $ crash $ collector $ verbose
   $ dot $ journal
 
+let run_cmd =
+  let doc = "run a simulation and print a report (the default command)" in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const (fun o -> run o) $ opts_term)
+
+let trace_cmd =
+  let doc =
+    "record a figure scenario as causal back-trace spans (Chrome \
+     trace-event or JSONL)"
+  in
+  let scenario =
+    Arg.(
+      value & opt string "fig1"
+      & info [ "scenario" ]
+          ~doc:"Scenario: $(b,fig1), $(b,fig2), $(b,fig6).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "dgc_trace.json"
+      & info [ "out"; "o" ] ~doc:"Output path.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+      & info [ "format" ] ~doc:"Output format: $(b,chrome) or $(b,jsonl).")
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run_trace $ scenario $ out $ format)
+
+let metrics_cmd =
+  let doc =
+    "run a simulation and write a machine-readable run artifact \
+     (counters + histogram percentiles) as JSON"
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "dgc_metrics.json"
+      & info [ "out"; "o" ] ~doc:"Artifact output path.")
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(const (fun o out -> run ~artifact:out o) $ opts_term $ out)
+
 let cmd =
   let doc = "simulate distributed cyclic garbage collection by back tracing" in
-  Cmd.v
+  Cmd.group ~default:Term.(const (fun o -> run o) $ opts_term)
     (Cmd.info "dgc-sim" ~doc)
-    Term.(const run $ opts_term)
+    [ run_cmd; trace_cmd; metrics_cmd ]
 
 let () = exit (Cmd.eval' cmd)

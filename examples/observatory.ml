@@ -3,18 +3,28 @@
      dune exec examples/observatory.exe
 
    Runs randomized mutator churn under the collector and periodically
-   prints the per-site summary, the oracle's garbage overview and an
-   audit of the paper's §6 invariants — the kind of dashboard a real
-   deployment would expose. Ends with a Graphviz dump of whatever
-   object graph is left. *)
+   prints the per-site summary, the oracle's garbage overview, the
+   back-trace latency/frames histograms and the live span counts — the
+   kind of dashboard a real deployment would expose. Ends with an
+   invariant audit, a span log (JSONL + Chrome trace-event, loadable in
+   ui.perfetto.dev) and a Graphviz dump of whatever object graph is
+   left. *)
 
 open Dgc_prelude
 open Dgc_simcore
 open Dgc_rts
 open Dgc_core
 open Dgc_workload
+open Dgc_telemetry
 
 let say fmt = Format.printf (fmt ^^ "@.")
+
+let pp_hist m name =
+  match Metrics.hist_stats m name with
+  | None -> ()
+  | Some h ->
+      say "  %-28s n=%-4d p50=%-8.3g p95=%-8.3g p99=%-8.3g max=%.3g" name
+        h.Metrics.n h.Metrics.p50 h.Metrics.p95 h.Metrics.p99 h.Metrics.max
 
 let () =
   let cfg =
@@ -31,22 +41,38 @@ let () =
   in
   let sim = Sim.make ~cfg () in
   let eng = sim.Sim.eng in
+  let tracer = Tracer.create () in
+  Engine.attach_tracer eng tracer;
+  Engine.attach_journal eng
+    (Journal.create ~capacity:cfg.Config.journal_capacity ());
   Array.iter (fun st -> ignore (Builder.root_obj eng st.Site.id)) (Engine.sites eng);
   ignore
     (Graph_gen.random_graph eng ~rng:(Rng.create ~seed:55) ~objects_per_site:10
        ~out_degree:1.4 ~remote_frac:0.35 ~root_frac:0.1);
+  (* An unrooted inter-site ring: distributed cyclic garbage only back
+     tracing can reclaim, so the span dashboard has something to show. *)
+  ignore
+    (Graph_gen.ring eng
+       ~sites:(List.init cfg.Config.n_sites Site_id.of_int)
+       ~per_site:2 ~rooted:false);
   let churn =
     Churn.start sim ~rng:(Rng.create ~seed:56) ~agents:3
       ~mean_op_gap:(Sim_time.of_millis 300.)
   in
   Sim.start sim;
 
+  let m = Engine.metrics eng in
   for minute = 1 to 5 do
     Sim.run_for sim (Sim_time.of_minutes 1.);
     say "";
     say "== t = %d min, %d mutator ops so far ==" minute (Churn.ops_done churn);
     say "%a" Report.pp_summary eng;
-    say "oracle: %s" (Report.garbage_overview eng)
+    say "oracle: %s" (Report.garbage_overview eng);
+    say "spans: %d recorded, %d still open" (Tracer.span_count tracer)
+      (Tracer.open_count tracer);
+    pp_hist m "back.latency_ms";
+    pp_hist m "back.frames_per_trace";
+    pp_hist m "trace.outset_memo_hit_rate"
   done;
 
   say "";
@@ -61,20 +87,35 @@ let () =
   | [] -> say "invariant audit: all of §6's invariants hold"
   | vs ->
       say "invariant audit: %d violations!" (List.length vs);
-      List.iter (fun v -> say "  %s" v) vs);
+      List.iter (fun v -> say "  %s" v) vs;
+      (* The journal tail is the first diagnostic an operator reads. *)
+      (match Engine.journal eng with
+      | Some j ->
+          List.iter
+            (fun e -> say "  | %a" Journal.pp_entry e)
+            (Journal.entries ~last:15 j)
+      | None -> ()));
   (match Dgc_oracle.Oracle.table_violations eng with
   | [] -> say "table integrity: ok"
   | vs -> say "table integrity: %d violations" (List.length vs));
 
-  let path = Filename.temp_file "dgc_observatory" ".dot" in
-  let oc = open_out path in
+  let dot_path = Filename.temp_file "dgc_observatory" ".dot" in
+  let oc = open_out dot_path in
   output_string oc (Report.to_dot eng);
   close_out oc;
+  let spans_path = Filename.temp_file "dgc_observatory" ".jsonl" in
+  Tracer.write_jsonl tracer ~path:spans_path;
+  let chrome_path = Filename.temp_file "dgc_observatory" ".json" in
+  Tracer.write_chrome tracer ~path:chrome_path;
   say "";
-  say "Final object graph written to %s (render with `dot -Tsvg`)." path;
-  let m = Engine.metrics eng in
-  say "Session: %d msgs, %d local traces, %d objects freed, %d back traces."
+  say "Final object graph written to %s (render with `dot -Tsvg`)." dot_path;
+  say "Span log written to %s (JSONL) and %s (Chrome trace-event; load \
+       in ui.perfetto.dev)."
+    spans_path chrome_path;
+  say "Session: %d msgs, %d local traces, %d objects freed, %d back traces, \
+       %d spans."
     (Metrics.get m "msg.total")
     (Metrics.get m "gc.local_traces")
     (Metrics.get m "gc.objects_freed")
     (Metrics.get m "back.traces_started")
+    (Tracer.span_count tracer)

@@ -2,6 +2,7 @@ open Dgc_prelude
 open Dgc_simcore
 open Dgc_heap
 open Dgc_rts
+module Tel = Dgc_telemetry
 
 type Protocol.ext +=
   | Back_call of {
@@ -44,6 +45,7 @@ type frame = {
   mutable fr_participants : Site_id.Set.t;
   mutable fr_done : bool;
   mutable fr_calls : Int_set.t;
+  mutable fr_span : int;  (** telemetry span id, [-1] when untraced *)
 }
 
 type site_state = {
@@ -63,6 +65,7 @@ type trace_stat = {
   ts_started : Sim_time.t;
   mutable ts_msgs : int;
   mutable ts_calls : int;
+  mutable ts_frames : int;
   mutable ts_participants : Site_id.Set.t;
   mutable ts_outcome : (Verdict.t * Sim_time.t) option;
 }
@@ -71,6 +74,10 @@ type shared = {
   eng : Engine.t;
   states : site_state array;
   tstats : (Trace_id.t, trace_stat) Hashtbl.t;
+  (* telemetry: root span per trace, and in-flight message spans keyed
+     by a (trace, endpoints, seq) string *)
+  t_spans : (Trace_id.t, int) Hashtbl.t;
+  m_spans : (string, int) Hashtbl.t;
   mutable observers : (Trace_id.t -> Verdict.t -> Site_id.Set.t -> unit) list;
 }
 
@@ -90,6 +97,8 @@ let create eng =
           })
         (Engine.sites eng);
     tstats = Hashtbl.create 16;
+    t_spans = Hashtbl.create 16;
+    m_spans = Hashtbl.create 32;
     observers = [];
   }
 
@@ -109,7 +118,84 @@ let tables st = st.ss_site.Site.tables
 let delta sh = (Engine.config sh.eng).Config.delta
 let bump sh = (Engine.config sh.eng).Config.threshold_bump
 
-let new_frame st trace parent ioref =
+(* ---- telemetry ------------------------------------------------------- *)
+
+(* Span vocabulary (DESIGN.md "Observability"): [back_trace] is the
+   root, [frame.local]/[frame.remote] are §4.4 activation frames,
+   [leap.call]/[leap.reply] are the §4.4 messages between them,
+   [report] is the §4.5 outcome fan-out, and the [timeout.*] events
+   are §4.6's silence-means-Live decisions. *)
+
+let tracer sh = Engine.tracer sh.eng
+let tkey trace = Format.asprintf "%a" Trace_id.pp trace
+let now_s sh = Sim_time.to_seconds (Engine.now sh.eng)
+let jint i = Tel.Json.Int i
+let jstr s = Tel.Json.Str s
+let jsite id = jint (Site_id.to_int id)
+
+let call_key trace ~caller ~callee seq =
+  Printf.sprintf "call/%s/%d->%d/%d" (tkey trace) (Site_id.to_int caller)
+    (Site_id.to_int callee) seq
+
+let reply_key trace ~replier ~target seq =
+  Printf.sprintf "reply/%s/%d->%d/%d" (tkey trace) (Site_id.to_int replier)
+    (Site_id.to_int target) seq
+
+let report_key trace participant =
+  Printf.sprintf "report/%s/%d" (tkey trace) (Site_id.to_int participant)
+
+let root_span sh trace = Hashtbl.find_opt sh.t_spans trace
+
+(* The span of the activation that issued this parent link: the local
+   caller frame, the leap that carried the remote call, or the trace
+   root for the initiator's first step. *)
+let parent_span sh st trace = function
+  | P_initiator -> root_span sh trace
+  | P_local pid -> (
+      match Hashtbl.find_opt st.frames pid with
+      | Some p when p.fr_span >= 0 -> Some p.fr_span
+      | _ -> root_span sh trace)
+  | P_remote { site; frame; call_seq } -> (
+      match
+        Hashtbl.find_opt sh.m_spans
+          (call_key trace ~caller:site ~callee:(self_id st) call_seq)
+      with
+      | Some id -> Some id
+      | None -> (
+          match Hashtbl.find_opt (state sh site).frames frame with
+          | Some p when p.fr_span >= 0 -> Some p.fr_span
+          | _ -> root_span sh trace))
+
+(* key is "<kind>/<trace>/..." *)
+let tkey_of_key key =
+  match String.split_on_char '/' key with _ :: t :: _ -> t | _ -> key
+
+let start_msg_span sh key ~name ~site ~parent attrs =
+  match tracer sh with
+  | None -> ()
+  | Some tr ->
+      let id =
+        Tel.Tracer.start_span tr ?parent ~trace:(tkey_of_key key)
+          ~name ~site ~at:(now_s sh) attrs
+      in
+      Hashtbl.replace sh.m_spans key id
+
+let finish_msg_span sh key attrs =
+  match tracer sh with
+  | None -> ()
+  | Some tr -> (
+      match Hashtbl.find_opt sh.m_spans key with
+      | Some id -> Tel.Tracer.finish_span tr id ~at:(now_s sh) attrs
+      | None -> ())
+
+let finish_frame_span sh fr attrs =
+  match tracer sh with
+  | None -> ()
+  | Some tr ->
+      if fr.fr_span >= 0 then
+        Tel.Tracer.finish_span tr fr.fr_span ~at:(now_s sh) attrs
+
+let new_frame sh st trace parent ioref ~kind =
   let fr =
     {
       fr_id = st.next_frame;
@@ -121,10 +207,28 @@ let new_frame st trace parent ioref =
       fr_participants = Site_id.Set.empty;
       fr_done = false;
       fr_calls = Int_set.empty;
+      fr_span = -1;
     }
   in
   st.next_frame <- st.next_frame + 1;
   Hashtbl.add st.frames fr.fr_id fr;
+  bump_stat sh trace (fun s -> s.ts_frames <- s.ts_frames + 1);
+  (match tracer sh with
+  | None -> ()
+  | Some tr ->
+      let attrs =
+        [ ("ref", jstr (Oid.to_string ioref)) ]
+        @
+        match parent with
+        | P_remote { site; _ } -> [ ("caller_site", jsite site) ]
+        | P_initiator | P_local _ -> []
+      in
+      fr.fr_span <-
+        Tel.Tracer.start_span tr
+          ?parent:(parent_span sh st trace parent)
+          ~trace:(tkey trace) ~name:kind
+          ~site:(Site_id.to_int (self_id st))
+          ~at:(now_s sh) attrs);
   fr
 
 (* The whole message-driven machine is one recursive knot: finishing a
@@ -134,6 +238,7 @@ let rec finish sh st fr v =
   if not fr.fr_done then begin
     fr.fr_done <- true;
     Hashtbl.remove st.frames fr.fr_id;
+    finish_frame_span sh fr [ ("verdict", jstr (Verdict.to_string v)) ];
     let parts = Site_id.Set.add (self_id st) fr.fr_participants in
     match fr.fr_parent with
     | P_local pid -> begin
@@ -142,6 +247,16 @@ let rec finish sh st fr v =
         | None -> ()
       end
     | P_remote { site; frame; call_seq } ->
+        start_msg_span sh
+          (reply_key fr.fr_trace ~replier:(self_id st) ~target:site call_seq)
+          ~name:"leap.reply"
+          ~site:(Site_id.to_int (self_id st))
+          ~parent:(if fr.fr_span >= 0 then Some fr.fr_span else None)
+          [
+            ("src", jsite (self_id st));
+            ("dst", jsite site);
+            ("verdict", jstr (Verdict.to_string v));
+          ];
         send_back sh ~src:(self_id st) ~dst:site fr.fr_trace
           (Back_reply
              {
@@ -176,6 +291,18 @@ and return_to sh st trace parent v =
       | None -> ()
     end
   | P_remote { site; frame; call_seq } ->
+      start_msg_span sh
+        (reply_key trace ~replier:(self_id st) ~target:site call_seq)
+        ~name:"leap.reply"
+        ~site:(Site_id.to_int (self_id st))
+        ~parent:
+          (Hashtbl.find_opt sh.m_spans
+             (call_key trace ~caller:site ~callee:(self_id st) call_seq))
+        [
+          ("src", jsite (self_id st));
+          ("dst", jsite site);
+          ("verdict", jstr (Verdict.to_string v));
+        ];
       send_back sh ~src:(self_id st) ~dst:site trace
         (Back_reply
            { trace; reply_frame = frame; call_seq; verdict = v; participants = parts })
@@ -191,14 +318,47 @@ and conclude sh st trace outcome parts =
     | Verdict.Live -> "back.outcome_live");
   bump_stat sh trace (fun s ->
       s.ts_outcome <- Some (outcome, Engine.now sh.eng);
-      s.ts_participants <- parts);
+      s.ts_participants <- parts;
+      let lat_ms =
+        1000.
+        *. Sim_time.to_seconds (Sim_time.sub (Engine.now sh.eng) s.ts_started)
+      in
+      Metrics.hist_observe metrics "back.latency_ms" lat_ms;
+      Metrics.hist_observe metrics
+        (Printf.sprintf "back.latency_ms{site=%d}"
+           (Site_id.to_int s.ts_initiator))
+        lat_ms;
+      Metrics.hist_observe metrics "back.frames_per_trace"
+        (float_of_int s.ts_frames);
+      Metrics.hist_observe metrics "back.msgs_per_trace"
+        (float_of_int s.ts_msgs));
+  (match tracer sh with
+  | None -> ()
+  | Some tr -> (
+      match root_span sh trace with
+      | Some id ->
+          Tel.Tracer.finish_span tr id ~at:(now_s sh)
+            [
+              ("outcome", jstr (Verdict.to_string outcome));
+              ("participants", jint (Site_id.Set.cardinal parts));
+            ]
+      | None -> ()));
   List.iter (fun f -> f trace outcome parts) sh.observers;
   (* Report phase (§4.5): inform every participant. *)
   Site_id.Set.iter
     (fun p ->
-      if not (Site_id.equal p (self_id st)) then
+      if not (Site_id.equal p (self_id st)) then begin
+        start_msg_span sh (report_key trace p) ~name:"report"
+          ~site:(Site_id.to_int (self_id st))
+          ~parent:(root_span sh trace)
+          [
+            ("src", jsite (self_id st));
+            ("dst", jsite p);
+            ("outcome", jstr (Verdict.to_string outcome));
+          ];
         send_back sh ~src:(self_id st) ~dst:p trace
-          (Back_report { trace; outcome }))
+          (Back_report { trace; outcome })
+      end)
     parts;
   apply_report sh st trace outcome
 
@@ -240,7 +400,8 @@ and apply_report sh st trace outcome =
       match Hashtbl.find_opt st.frames id with
       | Some fr ->
           fr.fr_done <- true;
-          Hashtbl.remove st.frames id
+          Hashtbl.remove st.frames id;
+          finish_frame_span sh fr [ ("aborted", Tel.Json.Bool true) ]
       | None -> ())
     leftovers
 
@@ -255,6 +416,15 @@ and record_visit sh st trace r =
           if Hashtbl.mem st.visited_refs trace then begin
             (* Never heard the outcome: assume Live (§4.6). *)
             Metrics.incr (Engine.metrics sh.eng) "back.visited_ttl_expired";
+            (match tracer sh with
+            | None -> ()
+            | Some tr ->
+                ignore
+                  (Tel.Tracer.event tr
+                     ?parent:(root_span sh trace)
+                     ~trace:(tkey trace) ~name:"timeout.visited_ttl"
+                     ~site:(Site_id.to_int (self_id st))
+                     ~at:(now_s sh) []));
             apply_report sh st trace Verdict.Live
           end)
 
@@ -272,7 +442,7 @@ and step_local sh st trace r parent =
         o.Ioref.or_visited <- Trace_id.Set.add trace o.Ioref.or_visited;
         o.Ioref.or_back_threshold <- o.Ioref.or_back_threshold + bump sh;
         record_visit sh st trace r;
-        let fr = new_frame st trace parent r in
+        let fr = new_frame sh st trace parent r ~kind:"frame.local" in
         match o.Ioref.or_inset with
         | [] -> finish sh st fr Verdict.Garbage
         | inset ->
@@ -299,7 +469,7 @@ and step_remote sh st trace i parent =
         ir.Ioref.ir_visited <- Trace_id.Set.add trace ir.Ioref.ir_visited;
         ir.Ioref.ir_back_threshold <- ir.Ioref.ir_back_threshold + bump sh;
         record_visit sh st trace i;
-        let fr = new_frame st trace parent i in
+        let fr = new_frame sh st trace parent i ~kind:"frame.remote" in
         match Ioref.source_sites ir with
         | [] -> finish sh st fr Verdict.Garbage
         | sources ->
@@ -310,6 +480,16 @@ and step_remote sh st trace i parent =
                 st.next_call <- seq + 1;
                 fr.fr_calls <- Int_set.add seq fr.fr_calls;
                 bump_stat sh trace (fun s -> s.ts_calls <- s.ts_calls + 1);
+                start_msg_span sh
+                  (call_key trace ~caller:(self_id st) ~callee:q seq)
+                  ~name:"leap.call"
+                  ~site:(Site_id.to_int (self_id st))
+                  ~parent:(if fr.fr_span >= 0 then Some fr.fr_span else None)
+                  [
+                    ("src", jsite (self_id st));
+                    ("dst", jsite q);
+                    ("ref", jstr (Oid.to_string i));
+                  ];
                 send_back sh ~src:(self_id st) ~dst:q trace
                   (Back_call
                      {
@@ -328,6 +508,21 @@ and step_remote sh st trace i parent =
                         (* No reply: assume Live (§4.6). *)
                         Metrics.incr (Engine.metrics sh.eng)
                           "back.call_timeout";
+                        finish_msg_span sh
+                          (call_key trace ~caller:(self_id st) ~callee:q seq)
+                          [ ("timeout", Tel.Json.Bool true) ];
+                        (match tracer sh with
+                        | None -> ()
+                        | Some tr ->
+                            ignore
+                              (Tel.Tracer.event tr
+                                 ?parent:
+                                   (if fr'.fr_span >= 0 then Some fr'.fr_span
+                                    else None)
+                                 ~trace:(tkey trace) ~name:"timeout.call"
+                                 ~site:(Site_id.to_int (self_id st))
+                                 ~at:(now_s sh)
+                                 [ ("dst", jsite q) ]));
                         child_done sh st fr' Verdict.Live Site_id.Set.empty
                     | _ -> ()))
               sources
@@ -346,10 +541,18 @@ let start sh site_id outref =
           ts_started = Engine.now sh.eng;
           ts_msgs = 0;
           ts_calls = 0;
+          ts_frames = 0;
           ts_participants = Site_id.Set.empty;
           ts_outcome = None;
         };
       Metrics.incr (Engine.metrics sh.eng) "back.traces_started";
+      (match tracer sh with
+      | None -> ()
+      | Some tr ->
+          Hashtbl.replace sh.t_spans trace
+            (Tel.Tracer.start_span tr ~trace:(tkey trace) ~name:"back_trace"
+               ~site:(Site_id.to_int site_id) ~at:(now_s sh)
+               [ ("root", jstr (Oid.to_string outref)) ]));
       Engine.jlog sh.eng ~cat:"back" "%a started from outref %a" Trace_id.pp
         trace Oid.pp outref;
       step_local sh st trace outref P_initiator;
@@ -357,13 +560,19 @@ let start sh site_id outref =
   | Some _ | None -> None
 
 let handle_ext sh site_id ~src ext =
-  ignore src;
   let st = state sh site_id in
   match ext with
   | Back_call { trace; r; reply_site; reply_frame; call_seq } ->
-      step_local sh st trace r (P_remote { site = reply_site; frame = reply_frame; call_seq });
+      finish_msg_span sh
+        (call_key trace ~caller:reply_site ~callee:site_id call_seq)
+        [];
+      step_local sh st trace r
+        (P_remote { site = reply_site; frame = reply_frame; call_seq });
       true
-  | Back_reply { trace = _; reply_frame; call_seq; verdict; participants } ->
+  | Back_reply { trace; reply_frame; call_seq; verdict; participants } ->
+      finish_msg_span sh
+        (reply_key trace ~replier:src ~target:site_id call_seq)
+        [];
       (match Hashtbl.find_opt st.frames reply_frame with
       | Some fr when Int_set.mem call_seq fr.fr_calls ->
           fr.fr_calls <- Int_set.remove call_seq fr.fr_calls;
@@ -371,6 +580,7 @@ let handle_ext sh site_id ~src ext =
       | Some _ | None -> ());
       true
   | Back_report { trace; outcome } ->
+      finish_msg_span sh (report_key trace site_id) [];
       apply_report sh st trace outcome;
       true
   | _ -> false
@@ -388,6 +598,15 @@ let on_cleaned sh site_id r =
     List.iter
       (fun fr ->
         Metrics.incr (Engine.metrics sh.eng) "back.clean_rule_fired";
+        (match tracer sh with
+        | None -> ()
+        | Some tr ->
+            ignore
+              (Tel.Tracer.event tr
+                 ?parent:(if fr.fr_span >= 0 then Some fr.fr_span else None)
+                 ~trace:(tkey fr.fr_trace) ~name:"clean_rule"
+                 ~site:(Site_id.to_int site_id) ~at:(now_s sh)
+                 [ ("ref", jstr (Oid.to_string r)) ]));
         finish sh st fr Verdict.Live)
       hits
   end

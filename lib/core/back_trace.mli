@@ -55,6 +55,7 @@ type trace_stat = {
   ts_started : Sim_time.t;
   mutable ts_msgs : int;  (** back-trace messages sent on its behalf *)
   mutable ts_calls : int;  (** remote back calls (≈ inter-site refs walked) *)
+  mutable ts_frames : int;  (** activation frames created across all sites *)
   mutable ts_participants : Site_id.Set.t;
   mutable ts_outcome : (Verdict.t * Sim_time.t) option;
 }

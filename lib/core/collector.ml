@@ -101,6 +101,12 @@ let trigger_back_traces t site_id =
         end)
       (Tables.outrefs c.ctl_site.Site.tables)
   in
+  let metrics = Engine.metrics t.eng in
+  let n_cand = float_of_int (List.length candidates) in
+  Metrics.hist_observe metrics "back.trigger_candidates" n_cand;
+  Metrics.hist_observe metrics
+    (Printf.sprintf "back.trigger_candidates{site=%d}" (Site_id.to_int site_id))
+    n_cand;
   (* Deepest first: they are the most likely to be fully suspected. *)
   let sorted =
     List.stable_sort

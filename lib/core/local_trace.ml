@@ -465,6 +465,17 @@ let apply eng site outcome ~window_cleans ~on_cleaned ~oracle_check =
   let freed = Heap.free site.Site.heap outcome.dead in
   Metrics.add metrics "gc.objects_freed" freed;
   Metrics.incr metrics "gc.local_traces";
+  let ts = outcome.ot_stats in
+  if ts.union_calls > 0 then begin
+    let rate = float_of_int ts.memo_hits /. float_of_int ts.union_calls in
+    Metrics.hist_observe metrics "trace.outset_memo_hit_rate" rate;
+    Metrics.hist_observe metrics
+      (Printf.sprintf "trace.outset_memo_hit_rate{site=%d}"
+         (Site_id.to_int site.Site.id))
+      rate
+  end;
+  Metrics.hist_observe metrics "trace.inset_entries"
+    (float_of_int ts.inset_entries);
   if freed > 0 then
     Engine.jlog eng ~cat:"gc" "%a freed %d (suspects: %d inrefs, %d outrefs)"
       Site_id.pp site.Site.id freed outcome.ot_stats.suspected_inrefs

@@ -28,6 +28,7 @@ type t = {
   enable_insert_barrier : bool;
   oracle_checks : bool;
   check_level : check_level;
+  journal_capacity : int;
 }
 
 let default =
@@ -52,6 +53,7 @@ let default =
     enable_insert_barrier = true;
     oracle_checks = true;
     check_level = Check_final;
+    journal_capacity = 2048;
   }
 
 let pp ppf t =

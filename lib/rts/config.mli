@@ -64,6 +64,9 @@ type t = {
       (** how aggressively the §6.1 invariants are checked during a
           run; {!Check_step} is wired up by [Sim.make] through the
           engine's step hook *)
+  journal_capacity : int;
+      (** ring-buffer size of the journal the CLI attaches by default
+          ({!Journal.create}'s [capacity]) *)
 }
 
 val default : t

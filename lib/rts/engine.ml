@@ -2,7 +2,11 @@ open Dgc_prelude
 open Dgc_simcore
 open Dgc_heap
 
-type move_wait = { mutable remaining : int; reply_to : Site_id.t }
+type move_wait = {
+  mutable remaining : int;
+  reply_to : Site_id.t;
+  wait_since : Sim_time.t;  (** insert-barrier stall start (§6.1.2) *)
+}
 
 type t = {
   cfg : Config.t;
@@ -26,6 +30,7 @@ type t = {
   (* §4.7 deferral: queued collector messages per (src, dst) pair *)
   defer_queues : (Site_id.t * Site_id.t, Protocol.payload list ref) Hashtbl.t;
   mutable journal : Journal.t option;
+  mutable tracer : Dgc_telemetry.Tracer.t option;
   mutable msg_monitor :
     (phase:[ `Send | `Deliver ] ->
     src:Site_id.t ->
@@ -40,7 +45,7 @@ let create cfg =
   {
     cfg;
     rng = Rng.create ~seed:cfg.Config.seed;
-    metrics = Metrics.create ();
+    metrics = Metrics.create ~sample_cap:4096 ();
     queue = Event_queue.create ();
     now = Sim_time.zero;
     sites = Array.init cfg.Config.n_sites (fun i -> Site.create (Site_id.of_int i));
@@ -57,6 +62,7 @@ let create cfg =
     part_parked = [];
     defer_queues = Hashtbl.create 16;
     journal = None;
+    tracer = None;
     msg_monitor = None;
     on_step = None;
   }
@@ -73,10 +79,12 @@ let monitor_msg t ~phase ~src ~dst payload =
 
 let attach_journal t j = t.journal <- Some j
 let journal t = t.journal
+let attach_tracer t tr = t.tracer <- Some tr
+let tracer t = t.tracer
 
-let jlog t ~cat fmt =
+let jlog t ?level ~cat fmt =
   match t.journal with
-  | Some j -> Journal.recordf j ~at:t.now ~cat fmt
+  | Some j -> Journal.recordf j ?level ~at:t.now ~cat fmt
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let config t = t.cfg
@@ -145,7 +153,7 @@ let rec base_handlers =
           send t ~src:dst ~dst:src (Protocol.Move_ack { token })
         else
           Hashtbl.replace t.move_waits token
-            { remaining = !needed; reply_to = src });
+            { remaining = !needed; reply_to = src; wait_since = t.now });
     h_move_ack =
       (fun (t, dst) ~src:_ ~token -> Site.unpin (site t dst) ~token);
     h_insert =
@@ -178,6 +186,16 @@ let rec base_handlers =
                 w.remaining <- w.remaining - 1;
                 if w.remaining = 0 then begin
                   Hashtbl.remove t.move_waits token;
+                  let stall_ms =
+                    1000.
+                    *. Sim_time.to_seconds (Sim_time.sub t.now w.wait_since)
+                  in
+                  Metrics.hist_observe t.metrics "barrier.move_stall_ms"
+                    stall_ms;
+                  Metrics.hist_observe t.metrics
+                    (Printf.sprintf "barrier.move_stall_ms{site=%d}"
+                       (Site_id.to_int dst))
+                    stall_ms;
                   send t ~src:dst ~dst:w.reply_to (Protocol.Move_ack { token })
                 end));
     h_update =
@@ -211,9 +229,11 @@ and deliver t ~src ~dst payload =
 
 and send_now t ~src ~dst payload =
   let kind = Protocol.kind payload in
+  let bytes = Protocol.approx_bytes payload in
   Metrics.incr t.metrics ("msg." ^ kind);
   Metrics.incr t.metrics "msg.total";
-  Metrics.add t.metrics "msg.bytes" (Protocol.approx_bytes payload);
+  Metrics.add t.metrics "msg.bytes" bytes;
+  Metrics.hist_observe t.metrics ("msg.size." ^ kind) (float_of_int bytes);
   let dst_site = site t dst in
   let is_ext = Protocol.is_ext payload in
   if is_ext && dst_site.Site.crashed then
@@ -276,7 +296,11 @@ and flush_batch t ~src ~dst payloads =
   Metrics.add t.metrics "msg.bytes"
     (Dgc_prelude.Util.list_sum Protocol.approx_bytes payloads);
   List.iter
-    (fun p -> Metrics.incr t.metrics ("msg." ^ Protocol.kind p))
+    (fun p ->
+      Metrics.incr t.metrics ("msg." ^ Protocol.kind p);
+      Metrics.hist_observe t.metrics
+        ("msg.size." ^ Protocol.kind p)
+        (float_of_int (Protocol.approx_bytes p)))
     payloads;
   if (site t dst).Site.crashed || not (reachable t src dst) then
     Metrics.add t.metrics "msg.dropped.crashed" (List.length payloads)
@@ -325,7 +349,7 @@ let move_agent t ~agent ~src ~dst ~refs =
 (* --- fault injection -------------------------------------------------- *)
 
 let partition t groups =
-  jlog t ~cat:"fault" "partition into %d groups" (List.length groups);
+  jlog t ~level:Journal.Warn ~cat:"fault" "partition into %d groups" (List.length groups);
   let parts = Array.make (Array.length t.sites) (List.length groups) in
   List.iteri
     (fun g members ->
@@ -356,7 +380,7 @@ let redeliver_parked t ~src ~dst payload =
       else deliver t ~src ~dst payload)
 
 let heal t =
-  jlog t ~cat:"fault" "heal";
+  jlog t ~level:Journal.Warn ~cat:"fault" "heal";
   t.partition_of <- Array.make (Array.length t.sites) 0;
   Metrics.incr t.metrics "fault.heal";
   let parked = List.rev t.part_parked in
@@ -365,12 +389,12 @@ let heal t =
     parked
 
 let crash t id =
-  jlog t ~cat:"fault" "crash %a" Site_id.pp id;
+  jlog t ~level:Journal.Warn ~cat:"fault" "crash %a" Site_id.pp id;
   (site t id).Site.crashed <- true;
   Metrics.incr t.metrics "fault.crash"
 
 let recover t id =
-  jlog t ~cat:"fault" "recover %a" Site_id.pp id;
+  jlog t ~level:Journal.Warn ~cat:"fault" "recover %a" Site_id.pp id;
   let s = site t id in
   if s.Site.crashed then begin
     s.Site.crashed <- false;

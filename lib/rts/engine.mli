@@ -31,8 +31,20 @@ val attach_journal : t -> Journal.t -> unit
 
 val journal : t -> Journal.t option
 
-val jlog : t -> cat:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Record into the attached journal (cheap no-op when none). *)
+val attach_tracer : t -> Dgc_telemetry.Tracer.t -> unit
+(** Attach a span tracer; the collectors record back-trace activation
+    frames, leaps, reports and timeouts into it as causal spans. *)
+
+val tracer : t -> Dgc_telemetry.Tracer.t option
+
+val jlog :
+  t ->
+  ?level:Journal.level ->
+  cat:string ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
+(** Record into the attached journal (cheap no-op when none); [level]
+    defaults to [Info]. *)
 
 (** {1 Scheduling and messaging} *)
 

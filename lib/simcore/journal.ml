@@ -1,4 +1,9 @@
-type entry = { at : Sim_time.t; cat : string; text : string }
+type level = Debug | Info | Warn
+
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2
+
+type entry = { at : Sim_time.t; level : level; cat : string; text : string }
 
 type t = {
   buf : entry option array;
@@ -10,13 +15,15 @@ let create ?(capacity = 2048) () =
   if capacity <= 0 then invalid_arg "Journal.create: capacity";
   { buf = Array.make capacity None; next = 0; total = 0 }
 
-let record t ~at ~cat text =
-  t.buf.(t.next) <- Some { at; cat; text };
+let capacity t = Array.length t.buf
+
+let record t ?(level = Info) ~at ~cat text =
+  t.buf.(t.next) <- Some { at; level; cat; text };
   t.next <- (t.next + 1) mod Array.length t.buf;
   t.total <- t.total + 1
 
-let recordf t ~at ~cat fmt =
-  Format.kasprintf (fun s -> record t ~at ~cat s) fmt
+let recordf t ?level ~at ~cat fmt =
+  Format.kasprintf (fun s -> record t ?level ~at ~cat s) fmt
 
 let fold_oldest_first t f acc =
   let cap = Array.length t.buf in
@@ -31,24 +38,28 @@ let fold_oldest_first t f acc =
   in
   go 0 acc
 
-let events ?cat ?last t =
-  let all =
-    fold_oldest_first t
-      (fun acc e ->
-        match cat with
-        | Some c when c <> e.cat -> acc
-        | _ -> (e.at, e.cat, e.text) :: acc)
-      []
-    |> List.rev
-  in
+let keep_last last l =
   match last with
-  | None -> all
+  | None -> l
   | Some n ->
-      let len = List.length all in
-      if len <= n then all
-      else
-        (* drop the oldest len - n *)
-        List.filteri (fun i _ -> i >= len - n) all
+      let len = List.length l in
+      if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let entries ?cat ?min_level ?last t =
+  fold_oldest_first t
+    (fun acc e ->
+      let cat_ok = match cat with Some c -> c = e.cat | None -> true in
+      let lvl_ok =
+        match min_level with
+        | Some l -> level_rank e.level >= level_rank l
+        | None -> true
+      in
+      if cat_ok && lvl_ok then e :: acc else acc)
+    []
+  |> List.rev |> keep_last last
+
+let events ?cat ?last t =
+  entries ?cat ?last t |> List.map (fun e -> (e.at, e.cat, e.text))
 
 let length t = min t.total (Array.length t.buf)
 let total t = t.total
@@ -58,10 +69,11 @@ let clear t =
   t.next <- 0;
   t.total <- 0
 
+let pp_entry ppf e =
+  Format.fprintf ppf "%a %-5s [%s] %s" Sim_time.pp e.at (level_name e.level)
+    e.cat e.text
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
-  List.iter
-    (fun (at, cat, text) ->
-      Format.fprintf ppf "%a [%s] %s@," Sim_time.pp at cat text)
-    (events t);
+  List.iter (fun e -> Format.fprintf ppf "%a@," pp_entry e) (entries t);
   Format.fprintf ppf "@]"

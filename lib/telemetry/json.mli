@@ -1,0 +1,38 @@
+(** A minimal JSON tree, printer and parser.
+
+    Enough JSON for the telemetry artifacts (span logs, Chrome trace
+    files, run artifacts) without an external dependency: compact
+    deterministic printing (object fields in construction order), and
+    a strict recursive-descent parser for round-trips and shape
+    checks. Non-finite floats print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (no insignificant whitespace). *)
+
+val pp : Format.formatter -> t -> unit
+(** Same output as {!to_string}. *)
+
+val parse : string -> (t, string) result
+(** Strict: exactly one JSON value plus trailing whitespace. Numbers
+    with a fraction or exponent parse as [Float], others as [Int]. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] elsewhere. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** Accepts [Int] and [Float]. *)
+
+val to_str_opt : t -> string option
+val to_list_opt : t -> t list option

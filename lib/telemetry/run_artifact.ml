@@ -1,0 +1,117 @@
+open Dgc_simcore
+
+let schema = "dgc.run/1"
+
+let hist_json (st : Metrics.hist_stats) =
+  Json.Obj
+    [
+      ("n", Json.Int st.Metrics.n);
+      ("sum", Json.Float st.Metrics.sum);
+      ("min", Json.Float st.Metrics.min);
+      ("max", Json.Float st.Metrics.max);
+      ("p50", Json.Float st.Metrics.p50);
+      ("p95", Json.Float st.Metrics.p95);
+      ("p99", Json.Float st.Metrics.p99);
+    ]
+
+let make ~name ~sim_seconds ?(extra = []) metrics =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("name", Json.Str name);
+      ("sim_seconds", Json.Float sim_seconds);
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Int v)) (Metrics.counters metrics))
+      );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (k, st) -> (k, hist_json st)) (Metrics.hists metrics))
+      );
+      ("extra", Json.Obj extra);
+    ]
+
+let validate ?(require_hists = []) ?(require_counter_prefixes = []) j =
+  let ( let* ) r f = Result.bind r f in
+  let str_field k =
+    match Option.bind (Json.member k j) Json.to_str_opt with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing string field %S" k)
+  in
+  let* s = str_field "schema" in
+  let* _ = str_field "name" in
+  let* () =
+    if s = schema then Ok ()
+    else Error (Printf.sprintf "schema %S, expected %S" s schema)
+  in
+  let* () =
+    match Option.bind (Json.member "sim_seconds" j) Json.to_float_opt with
+    | Some _ -> Ok ()
+    | None -> Error "missing numeric field \"sim_seconds\""
+  in
+  let* counters =
+    match Json.member "counters" j with
+    | Some (Json.Obj fields) -> Ok fields
+    | _ -> Error "missing object field \"counters\""
+  in
+  let* () =
+    List.fold_left
+      (fun acc (k, v) ->
+        let* () = acc in
+        match v with
+        | Json.Int _ -> Ok ()
+        | _ -> Error (Printf.sprintf "counter %S is not an integer" k))
+      (Ok ()) counters
+  in
+  let* hists =
+    match Json.member "histograms" j with
+    | Some (Json.Obj fields) -> Ok fields
+    | _ -> Error "missing object field \"histograms\""
+  in
+  let* () =
+    List.fold_left
+      (fun acc (k, v) ->
+        let* () = acc in
+        List.fold_left
+          (fun acc field ->
+            let* () = acc in
+            match Option.bind (Json.member field v) Json.to_float_opt with
+            | Some _ -> Ok ()
+            | None ->
+                Error (Printf.sprintf "histogram %S missing %S" k field))
+          (Ok ())
+          [ "n"; "sum"; "min"; "max"; "p50"; "p95"; "p99" ])
+      (Ok ()) hists
+  in
+  let* () =
+    List.fold_left
+      (fun acc name ->
+        let* () = acc in
+        if List.mem_assoc name hists then Ok ()
+        else Error (Printf.sprintf "required histogram %S missing" name))
+      (Ok ()) require_hists
+  in
+  List.fold_left
+    (fun acc prefix ->
+      let* () = acc in
+      let has =
+        List.exists
+          (fun (k, _) ->
+            String.length k >= String.length prefix
+            && String.sub k 0 (String.length prefix) = prefix)
+          counters
+      in
+      if has then Ok ()
+      else Error (Printf.sprintf "no counter under prefix %S" prefix))
+    (Ok ()) require_counter_prefixes
+
+let write ~path j =
+  let oc = open_out path in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc
+
+let read ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> Json.parse text
+  | exception Sys_error e -> Error e

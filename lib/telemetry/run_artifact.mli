@@ -1,0 +1,35 @@
+(** Machine-readable run artifacts.
+
+    One JSON document per run ("dgc.run/1"): name, simulated duration,
+    every counter, and percentile summaries of every histogram in the
+    metrics registry, plus free-form extra fields. The CLI's [metrics]
+    subcommand, the bench harness ([BENCH_backtrace.json]) and tests
+    all write and validate the same shape, so downstream tooling can
+    track numbers across runs without scraping tables. *)
+
+val schema : string
+(** ["dgc.run/1"]. *)
+
+val make :
+  name:string ->
+  sim_seconds:float ->
+  ?extra:(string * Json.t) list ->
+  Dgc_simcore.Metrics.t ->
+  Json.t
+(** Counters and histograms are emitted sorted by name. *)
+
+val validate :
+  ?require_hists:string list ->
+  ?require_counter_prefixes:string list ->
+  Json.t ->
+  (unit, string) result
+(** Shape check: schema/name/sim_seconds present and well-typed,
+    [counters] all integers, every histogram carrying numeric
+    n/sum/min/max/p50/p95/p99. [require_hists] names histograms that
+    must exist; [require_counter_prefixes] demands at least one
+    counter under each prefix. *)
+
+val write : path:string -> Json.t -> unit
+
+val read : path:string -> (Json.t, string) result
+(** Parse errors and I/O errors both land in [Error]. *)

@@ -1,0 +1,261 @@
+type span_id = int
+
+type span = {
+  id : span_id;
+  parent : span_id option;
+  trace : string;
+  name : string;
+  site : int;
+  start : float;
+  mutable finish : float option;
+  mutable attrs : (string * Json.t) list;
+}
+
+type t = {
+  mutable rev_spans : span list;  (** newest first *)
+  tbl : (span_id, span) Hashtbl.t;
+  mutable next : int;
+  mutable opened : int;
+}
+
+let create () = { rev_spans = []; tbl = Hashtbl.create 64; next = 0; opened = 0 }
+
+let add t sp =
+  t.rev_spans <- sp :: t.rev_spans;
+  Hashtbl.replace t.tbl sp.id sp
+
+let start_span t ?parent ~trace ~name ~site ~at attrs =
+  let id = t.next in
+  t.next <- id + 1;
+  add t { id; parent; trace; name; site; start = at; finish = None; attrs };
+  t.opened <- t.opened + 1;
+  id
+
+let finish_span t id ~at attrs =
+  match Hashtbl.find_opt t.tbl id with
+  | Some sp when sp.finish = None ->
+      sp.finish <- Some at;
+      sp.attrs <- sp.attrs @ attrs;
+      t.opened <- t.opened - 1
+  | Some _ | None -> ()
+
+let event t ?parent ~trace ~name ~site ~at attrs =
+  let id = start_span t ?parent ~trace ~name ~site ~at attrs in
+  finish_span t id ~at [];
+  id
+
+let find t id = Hashtbl.find_opt t.tbl id
+let spans t = List.rev t.rev_spans
+let span_count t = List.length t.rev_spans
+let open_count t = t.opened
+
+(* --- JSONL ------------------------------------------------------------ *)
+
+let span_to_json sp =
+  Json.Obj
+    [
+      ("id", Json.Int sp.id);
+      ("parent", match sp.parent with Some p -> Json.Int p | None -> Json.Null);
+      ("trace", Json.Str sp.trace);
+      ("name", Json.Str sp.name);
+      ("site", Json.Int sp.site);
+      ("start", Json.Float sp.start);
+      ("end", match sp.finish with Some e -> Json.Float e | None -> Json.Null);
+      ("attrs", Json.Obj sp.attrs);
+    ]
+
+let span_of_json j =
+  let req what = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "span missing %s" what)
+  in
+  let ( let* ) r f = Result.bind r f in
+  let* id = req "id" (Option.bind (Json.member "id" j) Json.to_int_opt) in
+  let parent =
+    match Json.member "parent" j with
+    | Some (Json.Int p) -> Some p
+    | _ -> None
+  in
+  let* trace =
+    req "trace" (Option.bind (Json.member "trace" j) Json.to_str_opt)
+  in
+  let* name = req "name" (Option.bind (Json.member "name" j) Json.to_str_opt) in
+  let* site = req "site" (Option.bind (Json.member "site" j) Json.to_int_opt) in
+  let* start =
+    req "start" (Option.bind (Json.member "start" j) Json.to_float_opt)
+  in
+  let finish =
+    match Json.member "end" j with
+    | Some (Json.Float e) -> Some e
+    | Some (Json.Int e) -> Some (float_of_int e)
+    | _ -> None
+  in
+  let attrs =
+    match Json.member "attrs" j with Some (Json.Obj a) -> a | _ -> []
+  in
+  Ok { id; parent; trace; name; site; start; finish; attrs }
+
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun sp ->
+      Buffer.add_string b (Json.to_string (span_to_json sp));
+      Buffer.add_char b '\n')
+    (spans t);
+  Buffer.contents b
+
+let spans_of_jsonl text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match Json.parse line with
+        | Error e -> Error e
+        | Ok j -> (
+            match span_of_json j with
+            | Error e -> Error e
+            | Ok sp -> go (sp :: acc) rest))
+  in
+  go [] lines
+
+(* --- Chrome trace-event format ---------------------------------------- *)
+
+let us x = Json.Float (x *. 1e6)
+
+let to_chrome t =
+  let all = spans t in
+  (* One lane (tid) per (site, trace) pair so concurrent traces at a
+     site stack instead of overlapping. *)
+  let lanes = Hashtbl.create 16 in
+  let next_lane = Hashtbl.create 8 in
+  let lane_of site trace =
+    match Hashtbl.find_opt lanes (site, trace) with
+    | Some l -> l
+    | None ->
+        let l =
+          match Hashtbl.find_opt next_lane site with Some n -> n | None -> 0
+        in
+        Hashtbl.replace next_lane site (l + 1);
+        Hashtbl.replace lanes (site, trace) l;
+        l
+  in
+  let sites = Hashtbl.create 8 in
+  List.iter (fun sp -> Hashtbl.replace sites sp.site ()) all;
+  let meta =
+    Hashtbl.fold
+      (fun site () acc ->
+        Json.Obj
+          [
+            ("name", Json.Str "process_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Int site);
+            ("tid", Json.Int 0);
+            ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "site %d" site)) ]);
+          ]
+        :: acc)
+      sites []
+    |> List.sort compare
+  in
+  let lane_meta = ref [] in
+  let complete =
+    List.map
+      (fun sp ->
+        let lane = lane_of sp.site sp.trace in
+        let dur =
+          match sp.finish with Some e -> Float.max 0. (e -. sp.start) | None -> 0.
+        in
+        let args =
+          ("span", Json.Int sp.id)
+          :: (match sp.parent with
+             | Some p -> [ ("parent", Json.Int p) ]
+             | None -> [])
+          @ (if sp.finish = None then [ ("open", Json.Bool true) ] else [])
+          @ sp.attrs
+        in
+        Json.Obj
+          [
+            ("name", Json.Str sp.name);
+            ("cat", Json.Str sp.trace);
+            ("ph", Json.Str "X");
+            ("ts", us sp.start);
+            ("dur", us dur);
+            ("pid", Json.Int sp.site);
+            ("tid", Json.Int lane);
+            ("args", Json.Obj args);
+          ])
+      all
+  in
+  Hashtbl.iter
+    (fun (site, trace) lane ->
+      lane_meta :=
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Int site);
+            ("tid", Json.Int lane);
+            ("args", Json.Obj [ ("name", Json.Str trace) ]);
+          ]
+        :: !lane_meta)
+    lanes;
+  (* Cross-site parent links become flow arrows: start on the parent's
+     slice, finish on the child's. *)
+  let flows =
+    List.concat_map
+      (fun sp ->
+        match sp.parent with
+        | None -> []
+        | Some pid -> (
+            match find t pid with
+            | Some parent when parent.site <> sp.site ->
+                let common =
+                  [
+                    ("name", Json.Str "leap");
+                    ("cat", Json.Str sp.trace);
+                    ("id", Json.Int sp.id);
+                  ]
+                in
+                (* Bind the arrow's tail inside the parent slice. *)
+                let tail_ts =
+                  match parent.finish with
+                  | Some e when e < sp.start -> (parent.start +. e) /. 2.
+                  | _ -> Float.max parent.start (sp.start -. 1e-9)
+                in
+                [
+                  Json.Obj
+                    (common
+                    @ [
+                        ("ph", Json.Str "s");
+                        ("ts", us tail_ts);
+                        ("pid", Json.Int parent.site);
+                        ("tid", Json.Int (lane_of parent.site parent.trace));
+                      ]);
+                  Json.Obj
+                    (common
+                    @ [
+                        ("ph", Json.Str "f");
+                        ("bp", Json.Str "e");
+                        ("ts", us sp.start);
+                        ("pid", Json.Int sp.site);
+                        ("tid", Json.Int (lane_of sp.site sp.trace));
+                      ]);
+                ]
+            | _ -> []))
+      all
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (meta @ List.sort compare !lane_meta @ complete @ flows));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let write_jsonl t ~path = write_file path (to_jsonl t)
+let write_chrome t ~path = write_file path (Json.to_string (to_chrome t))

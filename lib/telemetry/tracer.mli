@@ -1,0 +1,81 @@
+(** Causal spans for distributed back traces.
+
+    A tracer records spans: named, site-attributed intervals of
+    simulated time with parent links and a trace key, so one back
+    trace — activation frames, remote leaps, the report phase,
+    timeouts — renders as a single causal tree across sites. The
+    runtime writes spans through hooks; exporters turn the log into
+    JSONL (one span object per line) or Chrome trace-event JSON
+    (loadable in Perfetto / chrome://tracing as a flame chart with
+    cross-site flow arrows).
+
+    Span ids are unique per tracer and stable across export and
+    re-import; times are simulated seconds. *)
+
+type span_id = int
+
+type span = {
+  id : span_id;
+  parent : span_id option;
+  trace : string;  (** trace key, e.g. ["T0.3"] *)
+  name : string;  (** e.g. ["frame.local"], ["leap.call"], ["report"] *)
+  site : int;
+  start : float;  (** simulated seconds *)
+  mutable finish : float option;  (** [None] while open *)
+  mutable attrs : (string * Json.t) list;
+}
+
+type t
+
+val create : unit -> t
+
+val start_span :
+  t ->
+  ?parent:span_id ->
+  trace:string ->
+  name:string ->
+  site:int ->
+  at:float ->
+  (string * Json.t) list ->
+  span_id
+
+val finish_span : t -> span_id -> at:float -> (string * Json.t) list -> unit
+(** Close an open span, appending attributes. No-op on unknown or
+    already-closed ids (a TTL may race the report phase). *)
+
+val event :
+  t ->
+  ?parent:span_id ->
+  trace:string ->
+  name:string ->
+  site:int ->
+  at:float ->
+  (string * Json.t) list ->
+  span_id
+(** A zero-duration span (e.g. a timeout firing). *)
+
+val find : t -> span_id -> span option
+val spans : t -> span list
+(** In start order. *)
+
+val span_count : t -> int
+val open_count : t -> int
+
+(** {1 Export / import} *)
+
+val span_to_json : span -> Json.t
+val span_of_json : Json.t -> (span, string) result
+
+val to_jsonl : t -> string
+(** One span object per line, start order. *)
+
+val spans_of_jsonl : string -> (span list, string) result
+
+val to_chrome : t -> Json.t
+(** A [{"traceEvents": [...]}] document: per-site processes (pid =
+    site id), per-trace lanes (tid), one complete ("X") event per
+    span, and flow arrows ("s"/"f") linking parents to children that
+    run on a different site. *)
+
+val write_jsonl : t -> path:string -> unit
+val write_chrome : t -> path:string -> unit

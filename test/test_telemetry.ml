@@ -1,0 +1,293 @@
+(* Telemetry: span well-formedness over the Figure-1 scenario,
+   histogram percentile math, JSON parsing and the JSONL round-trip,
+   and the run-artifact shape. *)
+
+open Dgc_simcore
+open Dgc_rts
+open Dgc_core
+open Dgc_workload
+open Dgc_telemetry
+
+let cfg_fast =
+  {
+    Config.default with
+    Config.delta = 3;
+    threshold2 = 6;
+    threshold_bump = 4;
+    trace_duration = Sim_time.zero;
+  }
+
+(* --- spans over fig1 --------------------------------------------------- *)
+
+let fig1_tracer () =
+  let f = Scenario.fig1 ~cfg:cfg_fast () in
+  let sim = f.Scenario.f1_sim in
+  let tracer = Tracer.create () in
+  Engine.attach_tracer sim.Sim.eng tracer;
+  Sim.start sim;
+  ignore (Sim.collect_all sim ~max_rounds:30 ());
+  tracer
+
+let test_fig1_spans_well_formed () =
+  let tracer = fig1_tracer () in
+  let spans = Tracer.spans tracer in
+  Alcotest.(check bool) "spans recorded" true (List.length spans > 0);
+  Alcotest.(check int) "all spans finished" 0 (Tracer.open_count tracer);
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Tracer.id s) spans;
+  List.iter
+    (fun s ->
+      (match s.Tracer.parent with
+      | None ->
+          Alcotest.(check string)
+            "only trace roots lack a parent" "back_trace" s.Tracer.name
+      | Some p ->
+          let parent =
+            match Hashtbl.find_opt by_id p with
+            | Some parent -> parent
+            | None -> Alcotest.failf "span %d: dangling parent %d" s.Tracer.id p
+          in
+          Alcotest.(check string)
+            "parent and child belong to the same trace" s.Tracer.trace
+            parent.Tracer.trace;
+          Alcotest.(check bool)
+            "child starts no earlier than its parent" true
+            (s.Tracer.start >= parent.Tracer.start));
+      match s.Tracer.finish with
+      | Some e ->
+          Alcotest.(check bool) "finish >= start" true (e >= s.Tracer.start)
+      | None -> ())
+    spans
+
+let test_fig1_spans_cross_sites () =
+  let tracer = fig1_tracer () in
+  let spans = Tracer.spans tracer in
+  let garbage_root =
+    List.find_opt
+      (fun s ->
+        s.Tracer.name = "back_trace"
+        && List.assoc_opt "outcome" s.Tracer.attrs = Some (Json.Str "Garbage"))
+      spans
+  in
+  let root =
+    match garbage_root with
+    | Some r -> r
+    | None -> Alcotest.fail "no garbage back_trace root span"
+  in
+  (* Collect the root's whole subtree and check the trace leaped. *)
+  let in_tree = Hashtbl.create 16 in
+  Hashtbl.replace in_tree root.Tracer.id ();
+  List.iter
+    (fun s ->
+      match s.Tracer.parent with
+      | Some p when Hashtbl.mem in_tree p ->
+          Hashtbl.replace in_tree s.Tracer.id ()
+      | _ -> ())
+    spans;
+  let tree = List.filter (fun s -> Hashtbl.mem in_tree s.Tracer.id) spans in
+  let sites = List.sort_uniq Int.compare (List.map (fun s -> s.Tracer.site) tree) in
+  Alcotest.(check bool)
+    "the garbage trace spans at least 2 sites" true (List.length sites >= 2);
+  let names = List.sort_uniq String.compare (List.map (fun s -> s.Tracer.name) tree) in
+  List.iter
+    (fun required ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tree contains a %s span" required)
+        true (List.mem required names))
+    [ "back_trace"; "frame.local"; "frame.remote"; "leap.call"; "leap.reply";
+      "report" ]
+
+(* --- histogram percentile math ----------------------------------------- *)
+
+let test_hist_percentiles () =
+  let m = Metrics.create () in
+  (* Unit-width buckets make interpolation exact to within one bucket. *)
+  let buckets = Array.init 201 float_of_int in
+  for i = 1 to 100 do
+    Metrics.hist_observe m ~buckets "lat" (float_of_int i)
+  done;
+  let h =
+    match Metrics.hist_stats m "lat" with
+    | Some h -> h
+    | None -> Alcotest.fail "histogram missing"
+  in
+  Alcotest.(check int) "n" 100 h.Metrics.n;
+  Alcotest.(check (float 1e-9)) "sum" 5050. h.Metrics.sum;
+  Alcotest.(check (float 1e-9)) "min" 1. h.Metrics.min;
+  Alcotest.(check (float 1e-9)) "max" 100. h.Metrics.max;
+  Alcotest.(check (float 1.000001)) "p50 within one bucket" 50. h.Metrics.p50;
+  Alcotest.(check (float 1.000001)) "p95 within one bucket" 95. h.Metrics.p95;
+  Alcotest.(check (float 1.000001)) "p99 within one bucket" 99. h.Metrics.p99;
+  (* Quantiles never extrapolate past observed extremes. *)
+  Alcotest.(check bool) "p99 <= max" true (h.Metrics.p99 <= h.Metrics.max);
+  Alcotest.(check bool) "p50 >= min" true (h.Metrics.p50 >= h.Metrics.min)
+
+let test_hist_single_sample () =
+  let m = Metrics.create () in
+  Metrics.hist_observe m "one" 42.;
+  match Metrics.hist_stats m "one" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      List.iter
+        (fun (what, v) -> Alcotest.(check (float 1e-9)) what 42. v)
+        [
+          ("p50", h.Metrics.p50);
+          ("p95", h.Metrics.p95);
+          ("p99", h.Metrics.p99);
+          ("min", h.Metrics.min);
+          ("max", h.Metrics.max);
+        ]
+
+let test_reservoir_bounded () =
+  let m = Metrics.create ~sample_cap:64 () in
+  for i = 1 to 10_000 do
+    Metrics.observe m "s" (float_of_int i)
+  done;
+  Alcotest.(check int) "observation count exact" 10_000 (Metrics.observed m "s");
+  Alcotest.(check bool)
+    "stored samples bounded" true
+    (List.length (Metrics.samples m "s") <= 64);
+  Alcotest.(check (float 1e-6)) "mean exact under reservoir" 5000.5
+    (Metrics.mean m "s");
+  Alcotest.(check (float 1e-9)) "max exact under reservoir" 10_000.
+    (Metrics.max_sample m "s")
+
+(* --- JSON and the JSONL round-trip ------------------------------------- *)
+
+let test_json_round_trip () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Int 3);
+        ("b", Json.Float 1.5);
+        ("s", Json.Str "x\"y\n\\z");
+        ("l", Json.Arr [ Json.Bool true; Json.Null ]);
+        ("o", Json.Obj [ ("nested", Json.Str "✓ utf8") ]);
+      ]
+  in
+  match Json.parse (Json.to_string j) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j' ->
+      Alcotest.(check string)
+        "print-parse-print is stable" (Json.to_string j) (Json.to_string j')
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "parser accepted %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+let golden_jsonl =
+  {|{"id":0,"parent":null,"trace":"T0.0","name":"back_trace","site":0,"start":1.5,"end":2.25,"attrs":{"root":"S0/o1"}}
+{"id":1,"parent":0,"trace":"T0.0","name":"frame.local","site":0,"start":1.5,"end":2.0,"attrs":{"verdict":"Garbage"}}
+{"id":2,"parent":1,"trace":"T0.0","name":"leap.call","site":1,"start":1.625,"end":1.75,"attrs":{}}|}
+
+let test_jsonl_round_trip () =
+  let tracer = Tracer.create () in
+  let root =
+    Tracer.start_span tracer ~trace:"T0.0" ~name:"back_trace" ~site:0 ~at:1.5
+      [ ("root", Json.Str "S0/o1") ]
+  in
+  let fr =
+    Tracer.start_span tracer ~parent:root ~trace:"T0.0" ~name:"frame.local"
+      ~site:0 ~at:1.5 []
+  in
+  let leap =
+    Tracer.start_span tracer ~parent:fr ~trace:"T0.0" ~name:"leap.call"
+      ~site:1 ~at:1.625 []
+  in
+  Tracer.finish_span tracer leap ~at:1.75 [];
+  Tracer.finish_span tracer fr ~at:2. [ ("verdict", Json.Str "Garbage") ];
+  Tracer.finish_span tracer root ~at:2.25 [];
+  let out = Tracer.to_jsonl tracer in
+  Alcotest.(check string) "golden JSONL" golden_jsonl (String.trim out);
+  match Tracer.spans_of_jsonl out with
+  | Error e -> Alcotest.failf "re-import failed: %s" e
+  | Ok spans ->
+      Alcotest.(check int) "span count survives" 3 (List.length spans);
+      let reprint =
+        String.concat "\n"
+          (List.map (fun s -> Json.to_string (Tracer.span_to_json s)) spans)
+      in
+      Alcotest.(check string) "round-trip is lossless" golden_jsonl reprint
+
+(* --- run artifact ------------------------------------------------------ *)
+
+let test_artifact_shape () =
+  let m = Metrics.create () in
+  Metrics.incr m "msg.total";
+  Metrics.add m "back.msgs" 7;
+  Metrics.hist_observe m "back.latency_ms" 12.;
+  Metrics.hist_observe m "back.latency_ms" 30.;
+  let art = Run_artifact.make ~name:"unit" ~sim_seconds:60. m in
+  (match
+     Run_artifact.validate ~require_hists:[ "back.latency_ms" ]
+       ~require_counter_prefixes:[ "msg."; "back." ]
+       art
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validate: %s" e);
+  (* Survives printing and parsing. *)
+  match Json.parse (Json.to_string art) with
+  | Error e -> Alcotest.failf "artifact reparse: %s" e
+  | Ok art' -> (
+      match Run_artifact.validate art' with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "reparsed validate: %s" e)
+
+let test_artifact_rejects_bad () =
+  List.iter
+    (fun (what, j) ->
+      match Run_artifact.validate j with
+      | Ok () -> Alcotest.failf "accepted %s" what
+      | Error _ -> ())
+    [
+      ("non-object", Json.Int 3);
+      ("missing schema", Json.Obj [ ("name", Json.Str "x") ]);
+      ( "bad counters",
+        Json.Obj
+          [
+            ("schema", Json.Str Run_artifact.schema);
+            ("name", Json.Str "x");
+            ("sim_seconds", Json.Float 1.);
+            ("counters", Json.Obj [ ("c", Json.Str "NaN") ]);
+            ("histograms", Json.Obj []);
+          ] );
+    ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "fig1 spans are well-formed" `Quick
+            test_fig1_spans_well_formed;
+          Alcotest.test_case "fig1 garbage trace crosses sites" `Quick
+            test_fig1_spans_cross_sites;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "percentiles against known samples" `Quick
+            test_hist_percentiles;
+          Alcotest.test_case "single sample" `Quick test_hist_single_sample;
+          Alcotest.test_case "reservoir stays bounded" `Quick
+            test_reservoir_bounded;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "rejects malformed input" `Quick
+            test_json_rejects_garbage;
+          Alcotest.test_case "golden JSONL round-trip" `Quick
+            test_jsonl_round_trip;
+        ] );
+      ( "artifact",
+        [
+          Alcotest.test_case "shape validates and reparses" `Quick
+            test_artifact_shape;
+          Alcotest.test_case "rejects malformed artifacts" `Quick
+            test_artifact_rejects_bad;
+        ] );
+    ]
