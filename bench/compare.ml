@@ -1,0 +1,105 @@
+(* Bench regression gate: compare a freshly-generated BENCH artifact
+   against the committed baseline (BENCH_backtrace.json at the repo
+   root).
+
+     compare.exe BASELINE FRESH [--tolerance FRAC]
+
+   The BENCH section is seeded and the engine deterministic, so the two
+   artifacts are normally identical; the tolerance (default 0.25)
+   absorbs intentional small shifts — e.g. a protocol tweak that adds a
+   message — while a missing counter/histogram or a drift beyond the
+   tolerance on any back.* / msg.* counter or histogram summary
+   (n, p50, p95, max) fails the @bench-smoke alias. *)
+
+module Json = Dgc_telemetry.Json
+module Run_artifact = Dgc_telemetry.Run_artifact
+
+let fail = ref []
+let complain fmt = Printf.ksprintf (fun s -> fail := s :: !fail) fmt
+
+let close ~tol a b =
+  (* Small integer counts get absolute slack; everything else relative. *)
+  abs_float (a -. b) <= 2.0
+  || abs_float (a -. b) <= tol *. Float.max (abs_float a) (abs_float b)
+
+let obj_fields = function Some (Json.Obj fields) -> fields | _ -> []
+
+let compare_counters ~tol base fresh =
+  let bc = obj_fields (Json.member "counters" base) in
+  let fc = obj_fields (Json.member "counters" fresh) in
+  List.iter
+    (fun (k, v) ->
+      match Json.to_int_opt v with
+      | None -> ()
+      | Some b -> (
+          match Option.bind (List.assoc_opt k fc) Json.to_int_opt with
+          | None -> complain "counter %s disappeared (baseline %d)" k b
+          | Some f ->
+              if not (close ~tol (float_of_int b) (float_of_int f)) then
+                complain "counter %s: baseline %d, now %d" k b f))
+    bc
+
+let compare_hists ~tol base fresh =
+  let bh = obj_fields (Json.member "histograms" base) in
+  let fh = obj_fields (Json.member "histograms" fresh) in
+  List.iter
+    (fun (k, bstats) ->
+      match List.assoc_opt k fh with
+      | None -> complain "histogram %s disappeared" k
+      | Some fstats ->
+          List.iter
+            (fun field ->
+              let get j =
+                Option.bind (Json.member field j) Json.to_float_opt
+              in
+              match (get bstats, get fstats) with
+              | Some b, Some f ->
+                  if not (close ~tol b f) then
+                    complain "histogram %s.%s: baseline %g, now %g" k field b
+                      f
+              | _ -> complain "histogram %s.%s missing" k field)
+            [ "n"; "p50"; "p95"; "max" ])
+    bh
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let tol, paths =
+    let rec go tol paths = function
+      | "--tolerance" :: v :: rest -> go (float_of_string v) paths rest
+      | p :: rest -> go tol (p :: paths) rest
+      | [] -> (tol, List.rev paths)
+    in
+    go 0.25 [] args
+  in
+  let baseline_path, fresh_path =
+    match paths with
+    | [ b; f ] -> (b, f)
+    | _ ->
+        prerr_endline "usage: compare.exe BASELINE FRESH [--tolerance FRAC]";
+        exit 2
+  in
+  let load path =
+    match Run_artifact.read ~path with
+    | Ok j -> (
+        match Run_artifact.validate j with
+        | Ok () -> j
+        | Error e ->
+            Printf.eprintf "%s: invalid artifact: %s\n" path e;
+            exit 2)
+    | Error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        exit 2
+  in
+  let base = load baseline_path in
+  let fresh = load fresh_path in
+  compare_counters ~tol base fresh;
+  compare_hists ~tol base fresh;
+  match !fail with
+  | [] ->
+      Printf.printf "bench compare: %s within %.0f%% of baseline %s\n"
+        fresh_path (tol *. 100.) baseline_path
+  | msgs ->
+      Printf.eprintf "bench compare: %d regressions vs %s:\n"
+        (List.length msgs) baseline_path;
+      List.iter (fun m -> Printf.eprintf "  %s\n" m) (List.rev msgs);
+      exit 1

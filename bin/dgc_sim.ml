@@ -17,6 +17,7 @@ open Dgc_core
 open Dgc_workload
 open Dgc_baselines
 open Dgc_telemetry
+module Obs = Dgc_observe
 open Cmdliner
 
 type collector_kind = Back_tracing | Global | Hughes_ts | Group | Migrate
@@ -153,27 +154,32 @@ let print_journal opts eng =
           (Journal.entries ~last:opts.o_journal j)
     | None -> ()
 
-let write_artifact ~out ~name eng =
+let write_artifact ?audit ~out ~name eng =
   let art =
     Run_artifact.make ~name
       ~sim_seconds:(Sim_time.to_seconds (Engine.now eng))
-      (Engine.metrics eng)
+      ?audit (Engine.metrics eng)
   in
   Run_artifact.write ~path:out art;
   say "wrote run artifact to %s" out
 
 (* artifact: when set, emit a machine-readable Run_artifact JSON at the
-   end of the run (the [metrics] subcommand). *)
+   end of the run (the [metrics] subcommand); back-tracing runs get a
+   tracer attached and an "audit" section explaining any garbage the
+   run left behind. *)
 let run ?artifact opts =
   let cfg = config_of opts in
   say "dgc-sim: %a" Config.pp cfg;
   let minutes = Sim_time.of_minutes opts.o_minutes in
+  let audited = ref None in
   let eng =
     match opts.o_collector with
     | Back_tracing ->
         let sim = Sim.make ~cfg () in
         let eng = sim.Sim.eng in
         attach_journal cfg eng;
+        if artifact <> None then Engine.attach_tracer eng (Tracer.create ());
+        audited := Some sim.Sim.col;
         build_workload eng opts;
         let churn =
           if opts.o_churn > 0 then
@@ -260,7 +266,13 @@ let run ?artifact opts =
         dump_dot opts eng;
         eng
   in
-  Option.iter (fun out -> write_artifact ~out ~name:"dgc-sim" eng) artifact;
+  Option.iter
+    (fun out ->
+      let audit =
+        Option.map (fun col -> Obs.Audit.to_json (Obs.Audit.run col)) !audited
+      in
+      write_artifact ?audit ~out ~name:"dgc-sim" eng)
+    artifact;
   0
 
 (* --- trace subcommand: record one scenario as causal spans ------------- *)
@@ -341,6 +353,136 @@ let run_trace scenario out format =
       say "back-trace latency ms: p50=%.2f p95=%.2f max=%.2f" h.Metrics.p50
         h.Metrics.p95 h.Metrics.max
   | None -> ());
+  0
+
+(* --- audit / inspect subcommands: the observe library ------------------- *)
+
+let all_figs = [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6" ]
+
+let scenario_sim = function
+  | "fig1" -> (Scenario.fig1 ~cfg:scenario_cfg ()).Scenario.f1_sim
+  | "fig2" -> (Scenario.fig2 ~cfg:scenario_cfg ()).Scenario.f2_sim
+  | "fig3" -> (Scenario.fig3 ~cfg:scenario_cfg ()).Scenario.f3_sim
+  | "fig4" -> (Scenario.fig4 ~cfg:scenario_cfg ()).Scenario.f4_sim
+  | "fig5" -> (Scenario.fig5 ~cfg:scenario_cfg ()).Scenario.f5_sim
+  | "fig6" -> (fst (Scenario.fig6 ~cfg:scenario_cfg ())).Scenario.f5_sim
+  | s -> Fmt.failwith "unknown scenario %S (try fig1..fig6)" s
+
+type fault = F_none | F_crash | F_partition
+
+(* Fault injection armed on collector activity: the first engine step
+   that sees a back trace without an outcome fires the fault, so the
+   crash/partition lands mid-trace rather than at a wall-clock guess. *)
+let inject_fault sim fault =
+  let eng = sim.Sim.eng in
+  let fired = ref false in
+  let when_tracing f =
+    Engine.add_step_watcher eng (fun () ->
+        if
+          (not !fired)
+          && List.exists
+               (fun (_, st) -> st.Back_trace.ts_outcome = None)
+               (Back_trace.stats (Collector.back sim.Sim.col))
+        then begin
+          fired := true;
+          f ()
+        end)
+  in
+  match fault with
+  | F_none -> ()
+  | F_crash -> when_tracing (fun () -> Engine.crash eng (Site_id.of_int 2))
+  | F_partition ->
+      when_tracing (fun () -> Engine.partition eng [ [ Site_id.of_int 0 ] ])
+
+let audit_one ~fault ~rounds name =
+  let sim = scenario_sim name in
+  let eng = sim.Sim.eng in
+  attach_journal (Engine.config eng) eng;
+  Engine.attach_tracer eng (Tracer.create ());
+  let wd = Obs.Watchdog.attach sim.Sim.col in
+  inject_fault sim fault;
+  Sim.start sim;
+  Sim.run_rounds sim rounds;
+  ignore (Obs.Watchdog.check_now wd);
+  let report = Obs.Audit.run sim.Sim.col in
+  say "---- %s -------------------------------------------------------" name;
+  say "%a" Obs.Audit.pp report;
+  (match Obs.Watchdog.alert_counts wd with
+  | [] -> ()
+  | counts ->
+      say "watchdog: %s"
+        (String.concat ", "
+           (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) counts)));
+  (name, report)
+
+let run_audit scenarios fault rounds strict out =
+  let names = match scenarios with [] -> all_figs | l -> l in
+  let reports = List.map (fun n -> audit_one ~fault ~rounds n) names in
+  Option.iter
+    (fun path ->
+      let j =
+        Json.Obj
+          (List.map (fun (n, r) -> (n, Obs.Audit.to_json r)) reports)
+      in
+      let oc = open_out path in
+      output_string oc (Json.to_string j);
+      output_char oc '\n';
+      close_out oc;
+      say "wrote audit report to %s" path)
+    out;
+  let failures =
+    List.concat_map
+      (fun (n, r) ->
+        List.map (fun f -> n ^ ": " ^ f) (Obs.Audit.strict_failures r))
+      reports
+  in
+  let survived =
+    List.fold_left
+      (fun acc (_, r) -> acc + List.length r.Obs.Audit.rp_components)
+      0 reports
+  in
+  say "";
+  say "audit: %d scenarios, %d surviving components, %d unexplained"
+    (List.length reports) survived (List.length failures);
+  List.iter (fun f -> say "  FAIL %s" f) failures;
+  if strict && failures <> [] then 1 else 0
+
+let run_inspect scenario rounds out =
+  let sim = scenario_sim scenario in
+  let eng = sim.Sim.eng in
+  attach_journal (Engine.config eng) eng;
+  Engine.attach_tracer eng (Tracer.create ());
+  Scenario.settle sim ~rounds:2;
+  let before = Obs.Snapshot.take sim.Sim.col in
+  Sim.start sim;
+  Sim.run_rounds sim rounds;
+  let after = Obs.Snapshot.take sim.Sim.col in
+  say "== %s settled, before the trace schedule ==" scenario;
+  say "%a" Obs.Snapshot.pp before;
+  say "";
+  say "== after %d trace rounds ==" rounds;
+  say "%a" Obs.Snapshot.pp after;
+  let changes = Obs.Snapshot.diff before after in
+  say "";
+  say "== diff: %d changes ==" (List.length changes);
+  List.iter (fun c -> say "  %a" Obs.Snapshot.pp_change c) changes;
+  Option.iter
+    (fun path ->
+      let j =
+        Json.Obj
+          [
+            ("schema", Json.Str "dgc.inspect/1");
+            ("scenario", Json.Str scenario);
+            ("before", Obs.Snapshot.to_json before);
+            ("after", Obs.Snapshot.to_json after);
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Json.to_string j);
+      output_char oc '\n';
+      close_out oc;
+      say "wrote snapshots to %s" path)
+    out;
   0
 
 (* --- cmdliner ----------------------------------------------------------- *)
@@ -508,10 +650,83 @@ let metrics_cmd =
   Cmd.v (Cmd.info "metrics" ~doc)
     Term.(const (fun o out -> run ~artifact:out o) $ opts_term $ out)
 
+let audit_cmd =
+  let doc =
+    "explain every surviving garbage cycle: cross-reference oracle ground \
+     truth with span log, journal and table state to assign each garbage \
+     component a why-not-collected verdict"
+  in
+  let scenarios =
+    Arg.(
+      value & opt_all string []
+      & info [ "scenario" ]
+          ~doc:
+            "Scenario to audit ($(b,fig1)..$(b,fig6)); repeatable. Default: \
+             all six figures.")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("none", F_none); ("crash", F_crash); ("partition", F_partition) ])
+          F_none
+      & info [ "fault" ]
+          ~doc:
+            "Fault to inject mid-trace: $(b,none), $(b,crash) (site 2 goes \
+             down when the first back trace is in flight), or \
+             $(b,partition) (site 0 is isolated).")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 8
+      & info [ "rounds" ] ~doc:"Local-trace rounds to run before auditing.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit non-zero if any surviving component is Unexplained or \
+             carries no evidence.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~doc:"Write the audit reports as JSON.")
+  in
+  Cmd.v (Cmd.info "audit" ~doc)
+    Term.(const run_audit $ scenarios $ fault $ rounds $ strict $ out)
+
+let inspect_cmd =
+  let doc =
+    "snapshot a scenario's collector state (tables, distances, thresholds, \
+     frames, barriers, memo stats) before and after trace rounds, and diff"
+  in
+  let scenario =
+    Arg.(
+      value & opt string "fig1"
+      & info [ "scenario" ] ~doc:"Scenario: $(b,fig1)..$(b,fig6).")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 4
+      & info [ "rounds" ] ~doc:"Local-trace rounds between the snapshots.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~doc:"Write both snapshots as JSON.")
+  in
+  Cmd.v (Cmd.info "inspect" ~doc)
+    Term.(const run_inspect $ scenario $ rounds $ out)
+
 let cmd =
   let doc = "simulate distributed cyclic garbage collection by back tracing" in
   Cmd.group ~default:Term.(const (fun o -> run o) $ opts_term)
     (Cmd.info "dgc-sim" ~doc)
-    [ run_cmd; trace_cmd; metrics_cmd ]
+    [ run_cmd; trace_cmd; metrics_cmd; audit_cmd; inspect_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -16,6 +16,7 @@ open Dgc_rts
 open Dgc_core
 open Dgc_workload
 open Dgc_telemetry
+module Obs = Dgc_observe
 
 let say fmt = Format.printf (fmt ^^ "@.")
 
@@ -59,6 +60,10 @@ let () =
     Churn.start sim ~rng:(Rng.create ~seed:56) ~agents:3
       ~mean_op_gap:(Sim_time.of_millis 300.)
   in
+  (* The watchdog rides the engine's step hook: stuck frames/traces,
+     starved thresholds and long-surviving garbage turn into journal
+     warnings, watchdog.* counters and the live alert feed below. *)
+  let wd = Obs.Watchdog.attach sim.Sim.col in
   Sim.start sim;
 
   let m = Engine.metrics eng in
@@ -72,7 +77,8 @@ let () =
       (Tracer.open_count tracer);
     pp_hist m "back.latency_ms";
     pp_hist m "back.frames_per_trace";
-    pp_hist m "trace.outset_memo_hit_rate"
+    pp_hist m "trace.outset_memo_hit_rate";
+    say "%a" Obs.Watchdog.pp wd
   done;
 
   say "";
@@ -80,6 +86,11 @@ let () =
   Churn.stop churn;
   ignore (Sim.collect_all sim ~max_rounds:60 ());
   say "oracle: %s" (Report.garbage_overview eng);
+
+  (* Why-not-collected audit: every garbage component that survived
+     gets a verdict backed by span/journal/state evidence. *)
+  let audit = Obs.Audit.run sim.Sim.col in
+  say "%a" Obs.Audit.pp audit;
 
   (* Audit: converged state must satisfy the paper's invariants. *)
   Scenario.settle sim ~rounds:6;

@@ -40,6 +40,8 @@ type frame = {
   fr_trace : Trace_id.t;
   fr_parent : parent;
   fr_ioref : Oid.t;
+  fr_kind : string;  (** ["frame.local"] or ["frame.remote"] *)
+  fr_started : Sim_time.t;
   mutable fr_pending : int;
   mutable fr_result : Verdict.t;
   mutable fr_participants : Site_id.Set.t;
@@ -202,6 +204,8 @@ let new_frame sh st trace parent ioref ~kind =
       fr_trace = trace;
       fr_parent = parent;
       fr_ioref = ioref;
+      fr_kind = kind;
+      fr_started = Engine.now sh.eng;
       fr_pending = 0;
       fr_result = Verdict.Garbage;
       fr_participants = Site_id.Set.empty;
@@ -612,6 +616,34 @@ let on_cleaned sh site_id r =
   end
 
 let active_frames sh site_id = Hashtbl.length (state sh site_id).frames
+
+type frame_info = {
+  fi_id : int;
+  fi_trace : Trace_id.t;
+  fi_ioref : Oid.t;
+  fi_kind : string;
+  fi_pending : int;
+  fi_started : Sim_time.t;
+  fi_span : int option;
+}
+
+let open_frames sh site_id =
+  Hashtbl.fold
+    (fun _ fr acc ->
+      if fr.fr_done then acc
+      else
+        {
+          fi_id = fr.fr_id;
+          fi_trace = fr.fr_trace;
+          fi_ioref = fr.fr_ioref;
+          fi_kind = fr.fr_kind;
+          fi_pending = fr.fr_pending;
+          fi_started = fr.fr_started;
+          fi_span = (if fr.fr_span >= 0 then Some fr.fr_span else None);
+        }
+        :: acc)
+    (state sh site_id).frames []
+  |> List.sort (fun a b -> Int.compare a.fi_id b.fi_id)
 
 let stats sh =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) sh.tstats []

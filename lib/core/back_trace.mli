@@ -76,6 +76,22 @@ val on_cleaned : shared -> Site_id.t -> Oid.t -> unit
     when [enable_clean_rule] is off (ablation). *)
 
 val active_frames : shared -> Site_id.t -> int
+
+type frame_info = {
+  fi_id : int;
+  fi_trace : Trace_id.t;
+  fi_ioref : Oid.t;  (** the ioref the activation is parked on *)
+  fi_kind : string;  (** ["frame.local"] or ["frame.remote"] *)
+  fi_pending : int;  (** outstanding child calls *)
+  fi_started : Sim_time.t;
+  fi_span : int option;  (** telemetry span id when a tracer is attached *)
+}
+
+val open_frames : shared -> Site_id.t -> frame_info list
+(** Still-open activation frames at a site, oldest first. The state
+    inspector dumps these; the watchdog flags ones open beyond a
+    multiple of the §4.7 timeout. *)
+
 val stats : shared -> (Trace_id.t * trace_stat) list
 (** Sorted by trace id. *)
 

@@ -1,0 +1,108 @@
+(** Why-not-collected auditor.
+
+    Cross-references oracle ground truth with the span log, the
+    journal and the live collector state to explain every surviving
+    garbage component. The oracle's garbage set is grouped into
+    strongly connected components of the garbage-restricted reference
+    graph; each component gets a machine-checkable verdict:
+
+    - [Not_suspected] — the §3 distance heuristic never suspected any
+      of the component's iorefs (or the component is single-site and
+      back tracing is simply not involved);
+    - [Suspected_not_triggered] — suspected, but no back trace was
+      ever started that touched it: the distance never crossed the
+      per-ioref back threshold (§4.3);
+    - [Trace_timed_out] — a trace touched it and concluded Live off
+      the back of §4.6/§4.7 timeouts ([timeout.call] /
+      [timeout.visited_ttl] events);
+    - [Trace_incomplete] — a trace touched it but never produced (or
+      never delivered) an outcome: open root/frame/report spans are
+      the witnesses (crashes and partitions land here);
+    - [Barrier_stalled] — a trace concluded Live because a §6.1
+      barrier held the component's iorefs forced-clean or pinned;
+    - [Clean_rule_blocked] — the §6.4 clean rule fired during the
+      trace and forced Live;
+    - [Flagged_not_swept] — the trace concluded Garbage and flagged
+      the inrefs; the local sweep that frees the objects has not run
+      yet (benign transient);
+    - [Unexplained] — none of the above: a diagnosis gap or a real
+      collector bug. {!strict_failures} reports these.
+
+    Each verdict carries evidence: span ids, journal lines, or state
+    descriptions. The report also contains a span-tree critical-path
+    analysis of every finished back trace (per-phase and per-site
+    self-time along the longest causal chain). *)
+
+open Dgc_prelude
+open Dgc_heap
+open Dgc_core
+module Tel = Dgc_telemetry
+
+type verdict =
+  | Not_suspected
+  | Suspected_not_triggered
+  | Trace_timed_out
+  | Trace_incomplete
+  | Barrier_stalled
+  | Clean_rule_blocked
+  | Flagged_not_swept
+  | Unexplained
+
+val verdict_name : verdict -> string
+(** The CamlCase wire name, e.g. ["TraceTimedOut"]. *)
+
+type evidence =
+  | E_span of { span : int; name : string; site : int; note : string }
+      (** a span (possibly still open) witnessing the verdict *)
+  | E_journal of { at : float; line : string }
+  | E_state of string  (** a live table/ioref state description *)
+
+type component = {
+  co_objects : Oid.t list;  (** sorted *)
+  co_sites : Site_id.t list;  (** owner sites, sorted *)
+  co_cyclic : bool;  (** the component contains a reference cycle *)
+  co_cross_site : bool;
+  co_verdict : verdict;
+  co_evidence : evidence list;
+  co_traces : string list;  (** trace keys that touched the component *)
+}
+
+type phase_stat = {
+  ph_name : string;  (** span name, e.g. ["frame.remote"] *)
+  ph_ms : float;  (** self-time on critical paths, milliseconds *)
+  ph_count : int;  (** spans contributing *)
+}
+
+type critical_path = {
+  cp_trace : string;
+  cp_root : int;  (** root span id *)
+  cp_total_ms : float;
+  cp_spans : int list;  (** span ids along the path, root first *)
+}
+
+type report = {
+  rp_at : float;  (** simulated seconds when the audit ran *)
+  rp_garbage_objects : int;
+  rp_components : component list;
+  rp_phases : phase_stat list;
+      (** critical-path self-time per span name, all traces, sorted *)
+  rp_site_ms : (int * float) list;
+      (** critical-path self-time per site, sorted by site *)
+  rp_paths : critical_path list;  (** per finished back trace *)
+}
+
+val run : Collector.t -> report
+(** Audit the collector's current state: group oracle garbage into
+    components, assign verdicts with evidence, and analyze the span
+    tree of the attached tracer (span evidence is skipped when no
+    tracer is attached). *)
+
+val strict_failures : report -> string list
+(** One message per component that is [Unexplained] or carries no
+    evidence at all; empty means every surviving cycle is explained. *)
+
+val to_json : report -> Tel.Json.t
+(** An [{"schema": "dgc.audit/1"}] document; embedded as the ["audit"]
+    section of run artifacts. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,72 @@
+(** Per-site state inspector.
+
+    A snapshot captures, at one instant of simulated time, everything
+    a diagnosis needs about the collector's visible state: per site
+    the inref/outref tables (distances, per-ioref back thresholds,
+    suspected/fresh/forced-clean/flagged status, visited marks,
+    insets/outsets, sources), the still-open back-trace activation
+    frames, the §6.2 trace-window ("barrier") state and crash status,
+    plus the §5.2 memoization statistics ([trace.*] histograms) from
+    the metrics registry. Snapshots export to JSON, and two snapshots
+    diff structurally — the inspector CLI prints both. *)
+
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_heap
+open Dgc_core
+module Tel = Dgc_telemetry
+
+type ioref_view = {
+  v_ref : Oid.t;
+  v_dist : int;  (** outref distance / min source distance *)
+  v_threshold : int;  (** per-ioref back threshold (§4.3) *)
+  v_suspected : bool;
+  v_fresh : bool;
+  v_forced_clean : bool;
+  v_flagged : bool;  (** inrefs only: confirmed garbage (§4.5) *)
+  v_pins : int;  (** outrefs only: §6.1.2 retention pins *)
+  v_visited : Trace_id.t list;  (** traces holding a visited mark *)
+  v_linked : Oid.t list;  (** inset (outrefs) / outset (inrefs), §5 *)
+  v_sources : (Site_id.t * int) list;  (** inref source sites w/ distance *)
+}
+
+type site_view = {
+  sv_site : Site_id.t;
+  sv_crashed : bool;
+  sv_objects : int;
+  sv_trace_epoch : int;  (** completed local traces *)
+  sv_in_window : bool;  (** a §6.2 trace window is open *)
+  sv_inrefs : ioref_view list;  (** sorted by target oid *)
+  sv_outrefs : ioref_view list;  (** sorted by target oid *)
+  sv_frames : Back_trace.frame_info list;  (** open activation frames *)
+}
+
+type t = {
+  at : Sim_time.t;
+  sites : site_view list;
+  memo : (string * Metrics.hist_stats) list;
+      (** §5.2 memo statistics: the [trace.*] histograms *)
+  open_spans : int;  (** open tracer spans, [0] when no tracer attached *)
+}
+
+val take : Collector.t -> t
+(** Capture the current state of every site under the collector. *)
+
+val to_json : t -> Tel.Json.t
+
+(** {1 Structural diff} *)
+
+type change = {
+  ch_site : Site_id.t;
+  ch_what : string;  (** e.g. ["outref S2/o4"], ["frames"], ["objects"] *)
+  ch_before : string;
+  ch_after : string;
+}
+
+val diff : t -> t -> change list
+(** Changes from the first snapshot to the second: iorefs added,
+    removed, or with changed state; frames opened/closed; object-count
+    and window/crash transitions. Empty when nothing changed. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_change : Format.formatter -> change -> unit

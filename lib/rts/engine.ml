@@ -39,11 +39,15 @@ type t = {
     unit)
     option;
   mutable on_step : (unit -> unit) option;
+  mutable step_watchers : (unit -> unit) list;  (** run after [on_step] *)
 }
 
+exception Metrics_bucket_mismatch of string
+
 let create cfg =
-  {
-    cfg;
+  let t =
+    {
+      cfg;
     rng = Rng.create ~seed:cfg.Config.seed;
     metrics = Metrics.create ~sample_cap:4096 ();
     queue = Event_queue.create ();
@@ -61,16 +65,33 @@ let create cfg =
     partition_of = Array.make cfg.Config.n_sites 0;
     part_parked = [];
     defer_queues = Hashtbl.create 16;
-    journal = None;
-    tracer = None;
-    msg_monitor = None;
-    on_step = None;
-  }
+      journal = None;
+      tracer = None;
+      msg_monitor = None;
+      on_step = None;
+      step_watchers = [];
+    }
+  in
+  (* A ?buckets spec that disagrees with a histogram's existing bounds
+     is a measurement bug: fail fast under the per-step sanitizer,
+     otherwise leave a Warn in the journal. *)
+  Metrics.set_on_bucket_mismatch t.metrics (fun msg ->
+      if cfg.Config.check_level = Config.Check_step then
+        raise (Metrics_bucket_mismatch msg)
+      else
+        match t.journal with
+        | Some j ->
+            Journal.recordf j ~level:Journal.Warn ~at:t.now ~cat:"metrics"
+              "%s" msg
+        | None -> ());
+  t
 
 let set_msg_monitor t f = t.msg_monitor <- Some f
 let clear_msg_monitor t = t.msg_monitor <- None
 let set_on_step t f = t.on_step <- Some f
 let clear_on_step t = t.on_step <- None
+
+let add_step_watcher t f = t.step_watchers <- t.step_watchers @ [ f ]
 
 let monitor_msg t ~phase ~src ~dst payload =
   match t.msg_monitor with
@@ -459,6 +480,7 @@ let step_nth t n =
       if Sim_time.compare at t.now > 0 then t.now <- at;
       f ();
       (match t.on_step with Some h -> h () | None -> ());
+      List.iter (fun w -> w ()) t.step_watchers;
       true
 
 let step t = step_nth t 0

@@ -17,6 +17,12 @@ open Dgc_heap
 
 type t
 
+exception Metrics_bucket_mismatch of string
+(** Raised under [Config.Check_step] when a [Metrics.hist_observe]
+    call passes a [?buckets] spec disagreeing with the histogram's
+    existing bounds. Under other check levels the mismatch becomes a
+    Warn entry (cat ["metrics"]) in the attached journal. *)
+
 val create : Config.t -> t
 val config : t -> Config.t
 val sites : t -> Site.t array
@@ -136,6 +142,13 @@ val set_on_step : t -> (unit -> unit) -> unit
     by the hook propagate out of the run functions. *)
 
 val clear_on_step : t -> unit
+
+val add_step_watcher : t -> (unit -> unit) -> unit
+(** Append a step watcher: watchers run after every executed event, in
+    registration order, after the {!set_on_step} hook, and are never
+    cleared by {!clear_on_step}. Unlike the single [on_step] slot
+    (owned by [Sim.make]'s sanitizer), any number of watchers can
+    coexist — the watchdog registers itself here. *)
 
 val set_msg_monitor :
   t ->

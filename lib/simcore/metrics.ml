@@ -39,6 +39,7 @@ type t = {
   samples : (string, samples) Hashtbl.t;
   hists : (string, hist) Hashtbl.t;
   sample_cap : int option;
+  mutable on_bucket_mismatch : (string -> unit) option;
 }
 
 let create ?sample_cap () =
@@ -50,7 +51,10 @@ let create ?sample_cap () =
     samples = Hashtbl.create 16;
     hists = Hashtbl.create 16;
     sample_cap;
+    on_bucket_mismatch = None;
   }
+
+let set_on_bucket_mismatch t f = t.on_bucket_mismatch <- Some f
 
 let reset t =
   Hashtbl.reset t.counters;
@@ -149,7 +153,22 @@ let default_buckets = Array.init 48 (fun i -> 1e-6 *. (2. ** float_of_int i))
 
 let hist_ref t ?buckets name =
   match Hashtbl.find_opt t.hists name with
-  | Some h -> h
+  | Some h ->
+      (* The bounds are fixed at creation; a later [?buckets] that
+         disagrees would silently measure into the wrong bins. *)
+      (match buckets with
+      | Some b when b <> h.bounds -> (
+          let msg =
+            Printf.sprintf
+              "histogram %S: ?buckets disagrees with existing bounds \
+               (%d given vs %d in use); keeping the original"
+              name (Array.length b) (Array.length h.bounds)
+          in
+          match t.on_bucket_mismatch with
+          | Some f -> f msg
+          | None -> ())
+      | _ -> ());
+      h
   | None ->
       let bounds =
         match buckets with

@@ -63,7 +63,16 @@ type hist_stats = {
 
 val hist_observe : t -> ?buckets:float array -> string -> float -> unit
 (** [buckets] (strictly increasing upper bounds) is honoured on the
-    first observation of the name and ignored afterwards. *)
+    first observation of the name. On later observations a [buckets]
+    that disagrees with the bounds in use is ignored, but reported
+    through the {!set_on_bucket_mismatch} callback — the engine wires
+    this to a Warn journal entry (or a raise under [Check_step]). *)
+
+val set_on_bucket_mismatch : t -> (string -> unit) -> unit
+(** Install the handler invoked with a description whenever
+    [hist_observe]/[hist_ref] receives a [?buckets] spec that
+    disagrees with a histogram's existing bounds. Default: none (the
+    mismatch stays silent). *)
 
 val hist_quantile : t -> string -> float -> float option
 (** None if the histogram is missing or empty. *)

@@ -14,22 +14,25 @@ let hist_json (st : Metrics.hist_stats) =
       ("p99", Json.Float st.Metrics.p99);
     ]
 
-let make ~name ~sim_seconds ?(extra = []) metrics =
+let make ~name ~sim_seconds ?(extra = []) ?audit metrics =
   Json.Obj
-    [
-      ("schema", Json.Str schema);
-      ("name", Json.Str name);
-      ("sim_seconds", Json.Float sim_seconds);
-      ( "counters",
-        Json.Obj
-          (List.map (fun (k, v) -> (k, Json.Int v)) (Metrics.counters metrics))
-      );
-      ( "histograms",
-        Json.Obj
-          (List.map (fun (k, st) -> (k, hist_json st)) (Metrics.hists metrics))
-      );
-      ("extra", Json.Obj extra);
-    ]
+    ([
+       ("schema", Json.Str schema);
+       ("name", Json.Str name);
+       ("sim_seconds", Json.Float sim_seconds);
+       ( "counters",
+         Json.Obj
+           (List.map (fun (k, v) -> (k, Json.Int v)) (Metrics.counters metrics))
+       );
+       ( "histograms",
+         Json.Obj
+           (List.map (fun (k, st) -> (k, hist_json st)) (Metrics.hists metrics))
+       );
+       ("extra", Json.Obj extra);
+     ]
+    @ match audit with Some a -> [ ("audit", a) ] | None -> [])
+
+let audit_section j = Json.member "audit" j
 
 let validate ?(require_hists = []) ?(require_counter_prefixes = []) j =
   let ( let* ) r f = Result.bind r f in
@@ -90,6 +93,15 @@ let validate ?(require_hists = []) ?(require_counter_prefixes = []) j =
         if List.mem_assoc name hists then Ok ()
         else Error (Printf.sprintf "required histogram %S missing" name))
       (Ok ()) require_hists
+  in
+  let* () =
+    match Json.member "audit" j with
+    | None -> Ok ()
+    | Some a -> (
+        match Option.bind (Json.member "schema" a) Json.to_str_opt with
+        | Some "dgc.audit/1" -> Ok ()
+        | Some s -> Error (Printf.sprintf "audit schema %S, expected \"dgc.audit/1\"" s)
+        | None -> Error "audit section missing its schema field")
   in
   List.fold_left
     (fun acc prefix ->

@@ -14,9 +14,15 @@ val make :
   name:string ->
   sim_seconds:float ->
   ?extra:(string * Json.t) list ->
+  ?audit:Json.t ->
   Dgc_simcore.Metrics.t ->
   Json.t
-(** Counters and histograms are emitted sorted by name. *)
+(** Counters and histograms are emitted sorted by name. [audit], when
+    given, must be a ["dgc.audit/1"] document (the observe library's
+    [Audit.to_json]); it lands under the top-level ["audit"] key. *)
+
+val audit_section : Json.t -> Json.t option
+(** The ["audit"] section of an artifact, if present. *)
 
 val validate :
   ?require_hists:string list ->
@@ -27,7 +33,8 @@ val validate :
     [counters] all integers, every histogram carrying numeric
     n/sum/min/max/p50/p95/p99. [require_hists] names histograms that
     must exist; [require_counter_prefixes] demands at least one
-    counter under each prefix. *)
+    counter under each prefix. An ["audit"] section, when present,
+    must carry the ["dgc.audit/1"] schema tag. *)
 
 val write : path:string -> Json.t -> unit
 

@@ -16,9 +16,11 @@ type t = {
   tbl : (span_id, span) Hashtbl.t;
   mutable next : int;
   mutable opened : int;
+  mutable dropped : int;
 }
 
-let create () = { rev_spans = []; tbl = Hashtbl.create 64; next = 0; opened = 0 }
+let create () =
+  { rev_spans = []; tbl = Hashtbl.create 64; next = 0; opened = 0; dropped = 0 }
 
 let add t sp =
   t.rev_spans <- sp :: t.rev_spans;
@@ -37,7 +39,7 @@ let finish_span t id ~at attrs =
       sp.finish <- Some at;
       sp.attrs <- sp.attrs @ attrs;
       t.opened <- t.opened - 1
-  | Some _ | None -> ()
+  | Some _ | None -> t.dropped <- t.dropped + 1
 
 let event t ?parent ~trace ~name ~site ~at attrs =
   let id = start_span t ?parent ~trace ~name ~site ~at attrs in
@@ -48,6 +50,20 @@ let find t id = Hashtbl.find_opt t.tbl id
 let spans t = List.rev t.rev_spans
 let span_count t = List.length t.rev_spans
 let open_count t = t.opened
+let dropped_finishes t = t.dropped
+
+let open_spans t =
+  List.rev (List.filter (fun sp -> sp.finish = None) t.rev_spans)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>tracer: %d spans, %d open, %d dropped finishes"
+    (span_count t) t.opened t.dropped;
+  List.iter
+    (fun sp ->
+      Format.fprintf ppf "@,  open #%d %s %s site=%d since %.3fs" sp.id
+        sp.trace sp.name sp.site sp.start)
+    (open_spans t);
+  Format.fprintf ppf "@]"
 
 (* --- JSONL ------------------------------------------------------------ *)
 
@@ -250,6 +266,13 @@ let to_chrome t =
     [
       ("traceEvents", Json.Arr (meta @ List.sort compare !lane_meta @ complete @ flows));
       ("displayTimeUnit", Json.Str "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("spans", Json.Int (span_count t));
+            ("open_spans", Json.Int t.opened);
+            ("dropped_finishes", Json.Int t.dropped);
+          ] );
     ]
 
 let write_file path text =

@@ -40,8 +40,9 @@ val start_span :
   span_id
 
 val finish_span : t -> span_id -> at:float -> (string * Json.t) list -> unit
-(** Close an open span, appending attributes. No-op on unknown or
-    already-closed ids (a TTL may race the report phase). *)
+(** Close an open span, appending attributes. A finish for an unknown
+    or already-closed id (a TTL may race the report phase) is not an
+    error, but it is counted: see {!dropped_finishes}. *)
 
 val event :
   t ->
@@ -60,6 +61,19 @@ val spans : t -> span list
 
 val span_count : t -> int
 val open_count : t -> int
+
+val open_spans : t -> span list
+(** Spans not yet finished, in start order. The watchdog reads these
+    to flag frames stuck past their timeout. *)
+
+val dropped_finishes : t -> int
+(** Number of [finish_span] calls that hit an unknown or
+    already-closed id and were discarded. A non-zero value after a
+    clean run points at a span-bookkeeping bug in the caller. *)
+
+val pp : Format.formatter -> t -> unit
+(** One summary line (span/open/dropped counts) followed by one line
+    per still-open span. *)
 
 (** {1 Export / import} *)
 

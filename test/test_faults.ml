@@ -129,6 +129,115 @@ let test_partitioned_back_trace_assumes_live () =
   Alcotest.(check bool) "garbage preserved" true
     (Dgc_oracle.Oracle.garbage_count eng > 0)
 
+(* --- audit under faults (the observe library) ----------------------------- *)
+
+module Obs = Dgc_observe
+module Tel = Dgc_telemetry
+
+(* A 2-site garbage ring with a tracer attached and distances settled:
+   one cross-site garbage component, ready to trace. *)
+let garbage_ring_sim ?(timeout = 10.) () =
+  let c =
+    { (cfg 2) with Config.back_call_timeout = Sim_time.of_seconds timeout }
+  in
+  let sim = Sim.make ~cfg:c () in
+  ignore
+    (Graph_gen.ring sim.Sim.eng ~sites:[ s 0; s 1 ] ~per_site:1 ~rooted:false);
+  Engine.attach_tracer sim.Sim.eng (Tel.Tracer.create ());
+  Scenario.settle sim ~rounds:8;
+  sim
+
+let start_any_trace sim =
+  let started = ref None in
+  Array.iter
+    (fun st ->
+      Tables.iter_outrefs st.Site.tables (fun o ->
+          if !started = None && not (Ioref.outref_clean o) then
+            started :=
+              Collector.start_back_trace sim.Sim.col st.Site.id
+                o.Ioref.or_target))
+    (Engine.sites sim.Sim.eng);
+  Alcotest.(check bool) "trace started" true (!started <> None)
+
+let the_component rp =
+  match rp.Obs.Audit.rp_components with
+  | [ c ] -> c
+  | cs ->
+      Alcotest.failf "expected one garbage component, got %d" (List.length cs)
+
+let check_explained rp c =
+  Alcotest.(check bool) "has evidence" true (c.Obs.Audit.co_evidence <> []);
+  Alcotest.(check bool) "names the trace" true (c.Obs.Audit.co_traces <> []);
+  Alcotest.(check (list string)) "strict gate passes" []
+    (Obs.Audit.strict_failures rp)
+
+let test_audit_crash_mid_trace_times_out () =
+  let sim = garbage_ring_sim () in
+  start_any_trace sim;
+  (* the back call is in flight; the destination dies before replying,
+     the §4.6 timeout concludes Live, the cycle survives *)
+  Engine.crash sim.Sim.eng (s 1);
+  Sim.run_for sim (Sim_time.of_seconds 60.);
+  let rp = Obs.Audit.run sim.Sim.col in
+  let c = the_component rp in
+  (match c.Obs.Audit.co_verdict with
+  | Obs.Audit.Trace_timed_out -> ()
+  | v ->
+      Alcotest.failf "verdict %s, wanted TraceTimedOut"
+        (Obs.Audit.verdict_name v));
+  check_explained rp c
+
+let test_audit_crash_mid_trace_incomplete () =
+  (* With a slack timeout the crashed call never resolves at all: the
+     trace has no outcome and the open spans are the evidence. *)
+  let sim = garbage_ring_sim ~timeout:600. () in
+  start_any_trace sim;
+  Engine.crash sim.Sim.eng (s 1);
+  Sim.run_for sim (Sim_time.of_seconds 60.);
+  let rp = Obs.Audit.run sim.Sim.col in
+  let c = the_component rp in
+  (match c.Obs.Audit.co_verdict with
+  | Obs.Audit.Trace_incomplete -> ()
+  | v ->
+      Alcotest.failf "verdict %s, wanted TraceIncomplete"
+        (Obs.Audit.verdict_name v));
+  check_explained rp c
+
+let test_audit_partition_during_report () =
+  let sim = garbage_ring_sim () in
+  let eng = sim.Sim.eng in
+  let tracer =
+    match Engine.tracer eng with Some t -> t | None -> assert false
+  in
+  (* Partition the moment a report span opens: the report to the other
+     participant crosses the boundary and is dropped. *)
+  let fired = ref false in
+  Engine.add_step_watcher eng (fun () ->
+      if
+        (not !fired)
+        && List.exists
+             (fun sp -> sp.Tel.Tracer.name = "report")
+             (Tel.Tracer.open_spans tracer)
+      then begin
+        fired := true;
+        Engine.partition eng [ [ s 0 ]; [ s 1 ] ]
+      end);
+  start_any_trace sim;
+  Sim.run_for sim (Sim_time.of_seconds 60.);
+  Alcotest.(check bool) "partition landed during the report phase" true !fired;
+  let rp = Obs.Audit.run sim.Sim.col in
+  if rp.Obs.Audit.rp_garbage_objects > 0 then begin
+    let c = the_component rp in
+    (match c.Obs.Audit.co_verdict with
+    | Obs.Audit.Trace_incomplete | Obs.Audit.Trace_timed_out
+    | Obs.Audit.Flagged_not_swept ->
+        ()
+    | v ->
+        Alcotest.failf "verdict %s, wanted an incomplete/timeout family one"
+          (Obs.Audit.verdict_name v));
+    check_explained rp c
+  end
+
 (* --- deferral (§4.7) ------------------------------------------------------ *)
 
 let test_deferral_batches_messages () =
@@ -193,6 +302,15 @@ let () =
             test_partition_in_flight_message_parked;
           Alcotest.test_case "back trace assumes Live" `Quick
             test_partitioned_back_trace_assumes_live;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "crash mid-trace -> TraceTimedOut" `Quick
+            test_audit_crash_mid_trace_times_out;
+          Alcotest.test_case "crash mid-trace, slack timeout -> TraceIncomplete"
+            `Quick test_audit_crash_mid_trace_incomplete;
+          Alcotest.test_case "partition during the report phase" `Quick
+            test_audit_partition_during_report;
         ] );
       ( "deferral",
         [
