@@ -3,13 +3,19 @@
    root).
 
      compare.exe BASELINE FRESH [--tolerance FRAC]
+                 [--exact-counters] [--hist-tolerance FRAC]
 
    The BENCH section is seeded and the engine deterministic, so the two
    artifacts are normally identical; the tolerance (default 0.25)
    absorbs intentional small shifts — e.g. a protocol tweak that adds a
    message — while a missing counter/histogram or a drift beyond the
    tolerance on any back.* / msg.* counter or histogram summary
-   (n, p50, p95, max) fails the @bench-smoke alias. *)
+   (n, p50, p95, max) fails the @bench-smoke alias.
+
+   The scale artifact splits the two regimes explicitly: its counters
+   (visit counts, outset-store stats, rounds-to-collect) are exact by
+   construction and gated with [--exact-counters], while its wall-clock
+   histograms vary by machine and get a generous [--hist-tolerance]. *)
 
 module Json = Dgc_telemetry.Json
 module Run_artifact = Dgc_telemetry.Run_artifact
@@ -24,7 +30,7 @@ let close ~tol a b =
 
 let obj_fields = function Some (Json.Obj fields) -> fields | _ -> []
 
-let compare_counters ~tol base fresh =
+let compare_counters ~tol ~exact base fresh =
   let bc = obj_fields (Json.member "counters" base) in
   let fc = obj_fields (Json.member "counters" fresh) in
   List.iter
@@ -35,7 +41,12 @@ let compare_counters ~tol base fresh =
           match Option.bind (List.assoc_opt k fc) Json.to_int_opt with
           | None -> complain "counter %s disappeared (baseline %d)" k b
           | Some f ->
-              if not (close ~tol (float_of_int b) (float_of_int f)) then
+              if exact then begin
+                if b <> f then
+                  complain "counter %s: baseline %d, now %d (exact gate)" k b
+                    f
+              end
+              else if not (close ~tol (float_of_int b) (float_of_int f)) then
                 complain "counter %s: baseline %d, now %d" k b f))
     bc
 
@@ -63,19 +74,25 @@ let compare_hists ~tol base fresh =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let tol, paths =
-    let rec go tol paths = function
-      | "--tolerance" :: v :: rest -> go (float_of_string v) paths rest
-      | p :: rest -> go tol (p :: paths) rest
-      | [] -> (tol, List.rev paths)
+  let tol, hist_tol, exact, paths =
+    let rec go tol htol exact paths = function
+      | "--tolerance" :: v :: rest -> go (float_of_string v) htol exact paths rest
+      | "--hist-tolerance" :: v :: rest ->
+          go tol (Some (float_of_string v)) exact paths rest
+      | "--exact-counters" :: rest -> go tol htol true paths rest
+      | p :: rest -> go tol htol exact (p :: paths) rest
+      | [] -> (tol, htol, exact, List.rev paths)
     in
-    go 0.25 [] args
+    go 0.25 None false [] args
   in
+  let hist_tol = Option.value hist_tol ~default:tol in
   let baseline_path, fresh_path =
     match paths with
     | [ b; f ] -> (b, f)
     | _ ->
-        prerr_endline "usage: compare.exe BASELINE FRESH [--tolerance FRAC]";
+        prerr_endline
+          "usage: compare.exe BASELINE FRESH [--tolerance FRAC] \
+           [--exact-counters] [--hist-tolerance FRAC]";
         exit 2
   in
   let load path =
@@ -92,12 +109,15 @@ let () =
   in
   let base = load baseline_path in
   let fresh = load fresh_path in
-  compare_counters ~tol base fresh;
-  compare_hists ~tol base fresh;
+  compare_counters ~tol ~exact base fresh;
+  compare_hists ~tol:hist_tol base fresh;
   match !fail with
   | [] ->
-      Printf.printf "bench compare: %s within %.0f%% of baseline %s\n"
-        fresh_path (tol *. 100.) baseline_path
+      Printf.printf
+        "bench compare: %s ok vs baseline %s (counters %s, hists %.0f%%)\n"
+        fresh_path baseline_path
+        (if exact then "exact" else Printf.sprintf "%.0f%%" (tol *. 100.))
+        (hist_tol *. 100.)
   | msgs ->
       Printf.eprintf "bench compare: %d regressions vs %s:\n"
         (List.length msgs) baseline_path;

@@ -1,0 +1,280 @@
+(* Scale benchmark: the local-trace hot path and full back-trace
+   rounds at 10^3 / 10^4 / 10^5 objects per site.
+
+     scale.exe [--full] [--out PATH]
+
+   Two parts per tier:
+
+   - Phase bench: one "big" site Q carrying a rooted chain half (clean
+     phase work), a suspected half of inref-headed SCC groups wired to
+     a small pool of remote targets (suspect phase: fused Tarjan +
+     memoized outset unions, saturating to few distinct outsets — the
+     §5.2 hash-consing regime), and a slab of unreferenced local
+     garbage (dead-set + sweep work). [Local_trace.compute] is timed
+     over repeated runs, then [apply] once.
+
+   - Ring bench: a 4-site sim with rooted filler chains per site plus
+     unrooted cross-site cycle rings; rounds are timed until the rings
+     are collected by back tracing.
+
+   Everything is seeded and the engine deterministic, so every counter
+   in the emitted artifact (visit counts, outset-store stats, rounds
+   to collect) is exact and gated exactly by compare.exe; only the
+   wall-clock histograms vary by machine and get a generous tolerance.
+   The default tier set (t1k, t10k) is the committed-baseline smoke
+   configuration; --full adds t100k, which is not part of the baseline
+   (the acceptance run records it in EXPERIMENTS.md instead). *)
+
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_heap
+open Dgc_rts
+open Dgc_core
+
+let say fmt = Format.kasprintf print_endline fmt
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let cfg_base =
+  {
+    Config.default with
+    Config.delta = 3;
+    threshold2 = 6;
+    threshold_bump = 4;
+    trace_interval = Sim_time.of_seconds 10.;
+    trace_jitter = Sim_time.of_seconds 1.;
+    trace_duration = Sim_time.zero;
+    oracle_checks = false;
+    check_level = Config.Check_off;
+  }
+
+let site = Site_id.of_int
+
+(* --- phase bench workload --------------------------------------------- *)
+
+(* Build the big-site workload at Q (site 1): P (site 0) sources the
+   suspected inrefs, R (site 2) holds the shared remote targets.
+   Returns the number of objects allocated at Q. *)
+let build_phase_workload eng ~n ~rng =
+  let p = site 0 and q = site 1 and r = site 2 in
+  (* Rooted half: a chain with extra random forward/backward edges. *)
+  let n_rooted = n / 2 in
+  let root = Builder.root_obj eng q in
+  let rooted = Array.init n_rooted (fun _ -> Builder.obj eng q) in
+  Builder.link eng ~src:root ~dst:rooted.(0);
+  for i = 0 to n_rooted - 2 do
+    Builder.link eng ~src:rooted.(i) ~dst:rooted.(i + 1)
+  done;
+  for _ = 1 to n_rooted / 4 do
+    let a = Rng.int rng n_rooted and b = Rng.int rng n_rooted in
+    Builder.link eng ~src:rooted.(a) ~dst:rooted.(b)
+  done;
+  (* Suspected half: g groups, each an inref-headed chain with a back
+     edge (an SCC) and a cross edge to the next group, ending in a
+     remote ref to one of 8 shared targets at R — so outsets along the
+     group chain saturate to a handful of distinct interned sets. *)
+  let g = max 2 (n / 128) in
+  let len = max 4 (n / 2 / g) in
+  let targets = Array.init 8 (fun _ -> Builder.root_obj eng r) in
+  let heads = Array.init g (fun _ -> Builder.obj eng q) in
+  let sources = Array.init g (fun _ -> Builder.root_obj eng p) in
+  for gi = 0 to g - 1 do
+    let members = Array.init (len - 1) (fun _ -> Builder.obj eng q) in
+    let prev = ref heads.(gi) in
+    Array.iter
+      (fun m ->
+        Builder.link eng ~src:!prev ~dst:m;
+        prev := m)
+      members;
+    (* Back edge closes an SCC over the second half of the group. *)
+    Builder.link eng ~src:!prev ~dst:members.(Array.length members / 2);
+    (* Cross edge: this group's outset includes all downstream ones. *)
+    if gi < g - 1 then
+      Builder.link eng ~src:members.(Array.length members / 4)
+        ~dst:heads.(gi + 1);
+    Builder.link eng ~src:!prev ~dst:targets.(gi mod 8);
+    Builder.link eng ~src:sources.(gi) ~dst:heads.(gi);
+    Builder.set_source_distance eng ~inref:heads.(gi) ~src:p 50
+  done;
+  (* Unreferenced local garbage: pure dead-set and sweep work. *)
+  let n_garbage = n / 8 in
+  let prevg = ref None in
+  for _ = 1 to n_garbage do
+    let o = Builder.obj eng q in
+    (match !prevg with
+    | Some pg -> Builder.link eng ~src:pg ~dst:o
+    | None -> ());
+    prevg := Some o
+  done;
+  1 + n_rooted + (g * len) + n_garbage
+
+let record_stats m ~tier (st : Local_trace.stats) =
+  let c name v = Metrics.add m (Printf.sprintf "scale.%s.%s" tier name) v in
+  c "clean_visits" st.Local_trace.clean_visits;
+  c "suspect_visits" st.Local_trace.suspect_visits;
+  c "distinct_outsets" st.Local_trace.distinct_outsets;
+  c "union_calls" st.Local_trace.union_calls;
+  c "memo_hits" st.Local_trace.memo_hits;
+  c "inset_entries" st.Local_trace.inset_entries;
+  c "suspected_inrefs" st.Local_trace.suspected_inrefs;
+  c "suspected_outrefs" st.Local_trace.suspected_outrefs
+
+let phase_bench m ~tier ~n ~reps =
+  let cfg = { cfg_base with Config.n_sites = 3; seed = 1000 + n } in
+  let sim = Sim.make ~cfg () in
+  let eng = sim.Sim.eng in
+  let rng = Rng.create ~seed:(77 + n) in
+  let n_q = build_phase_workload eng ~n ~rng in
+  let q = Engine.site eng (site 1) in
+  let inp = Local_trace.input_of_site eng q in
+  let hist name v =
+    Metrics.hist_observe m (Printf.sprintf "scale.%s{tier=%s}" name tier) v
+  in
+  let outcome = ref None in
+  for _ = 1 to reps do
+    let t0 = now_ms () in
+    (* Phase splits via the compute probe: time from the previous
+       probe tick (or start) to each phase boundary. *)
+    let last = ref t0 in
+    let probe tag =
+      let t = now_ms () in
+      (match tag with
+      | "clean" -> hist "clean_ms" (t -. !last)
+      | "suspect" -> hist "suspect_ms" (t -. !last)
+      | _ -> ());
+      last := t
+    in
+    let o = Local_trace.compute ~mode:Local_trace.Bottom_up ~probe inp in
+    hist "compute_ms" (now_ms () -. t0);
+    outcome := Some o
+  done;
+  let o = Option.get !outcome in
+  record_stats m ~tier o.Local_trace.ot_stats;
+  Metrics.add m (Printf.sprintf "scale.%s.objects" tier) n_q;
+  Metrics.add m
+    (Printf.sprintf "scale.%s.dead" tier)
+    (List.length o.Local_trace.dead);
+  (* §5.1 comparison point: one full trace per suspected inref. Too
+     costly at the top tier by design — that is the paper's argument
+     for §5.2 — so only the smoke tiers run it. *)
+  if n <= 10_000 then begin
+    let t0 = now_ms () in
+    ignore (Local_trace.compute ~mode:Local_trace.Independent inp);
+    hist "compute_independent_ms" (now_ms () -. t0)
+  end;
+  let t0 = now_ms () in
+  Local_trace.apply eng q o ~window_cleans:[] ~on_cleaned:ignore
+    ~oracle_check:false;
+  hist "apply_ms" (now_ms () -. t0);
+  say "  %-6s objects=%-7d compute(p50 of %d reps)=%.2fms dead=%d" tier n_q
+    reps
+    (match
+       Metrics.hist_stats m (Printf.sprintf "scale.compute_ms{tier=%s}" tier)
+     with
+    | Some h -> h.Metrics.p50
+    | None -> nan)
+    (List.length o.Local_trace.dead)
+
+(* --- ring bench -------------------------------------------------------- *)
+
+let ring_bench m ~tier ~n =
+  let cfg = { cfg_base with Config.n_sites = 4; seed = 2000 + n } in
+  let sim = Sim.make ~cfg () in
+  let eng = sim.Sim.eng in
+  let sites4 = [ site 0; site 1; site 2; site 3 ] in
+  (* Rooted filler: the per-round trace cost each site must pay. *)
+  let filler = max 8 (n / 4) in
+  List.iter
+    (fun s ->
+      let root = Builder.root_obj eng s in
+      let prev = ref root in
+      for _ = 1 to filler do
+        let o = Builder.obj eng s in
+        Builder.link eng ~src:!prev ~dst:o;
+        prev := o
+      done)
+    sites4;
+  (* The garbage: 8 cross-site cycle rings, plus one rooted ring for
+     steady live traffic. *)
+  let rings =
+    List.concat
+      (List.init 8 (fun _ ->
+           Dgc_workload.Graph_gen.ring eng ~sites:sites4 ~per_site:2
+             ~rooted:false))
+  in
+  ignore (Dgc_workload.Graph_gen.ring eng ~sites:sites4 ~per_site:1 ~rooted:true);
+  let all_freed () =
+    List.for_all
+      (fun o -> not (Heap.mem (Engine.site eng (Oid.site o)).Site.heap o))
+      rings
+  in
+  Sim.start sim;
+  let max_rounds = 15 in
+  let rec loop k =
+    if all_freed () then (k, true)
+    else if k >= max_rounds then (k, false)
+    else begin
+      let t0 = now_ms () in
+      Sim.run_rounds sim 1;
+      Metrics.hist_observe m
+        (Printf.sprintf "scale.round_ms{tier=%s}" tier)
+        (now_ms () -. t0);
+      loop (k + 1)
+    end
+  in
+  let rounds, collected = loop 0 in
+  Metrics.add m (Printf.sprintf "scale.%s.ring_rounds" tier) rounds;
+  Metrics.add m
+    (Printf.sprintf "scale.%s.ring_collected" tier)
+    (if collected then 1 else 0);
+  say "  %-6s rings %s in %d rounds" tier
+    (if collected then "collected" else "NOT collected")
+    rounds;
+  Sim_time.to_seconds (Engine.now eng)
+
+(* --- driver ------------------------------------------------------------ *)
+
+let () =
+  let full = Array.exists (( = ) "--full") Sys.argv in
+  let out =
+    let rec go i =
+      if i >= Array.length Sys.argv - 1 then "BENCH_scale.json"
+      else if Sys.argv.(i) = "--out" then Sys.argv.(i + 1)
+      else go (i + 1)
+    in
+    go 1
+  in
+  let tiers =
+    [ ("t1k", 1_000, 20); ("t10k", 10_000, 8) ]
+    @ (if full then [ ("t100k", 100_000, 3) ] else [])
+  in
+  let m = Metrics.create () in
+  let sim_secs = ref 0. in
+  List.iter
+    (fun (tier, n, reps) ->
+      say "tier %s: %d objects/site" tier n;
+      phase_bench m ~tier ~n ~reps;
+      sim_secs := !sim_secs +. ring_bench m ~tier ~n)
+    tiers;
+  let art =
+    Dgc_telemetry.Run_artifact.make ~name:"scale-bench"
+      ~sim_seconds:!sim_secs
+      ~extra:
+        [
+          ("full", if full then Dgc_telemetry.Json.Bool true
+                   else Dgc_telemetry.Json.Bool false);
+        ]
+      m
+  in
+  Dgc_telemetry.Run_artifact.write ~path:out art;
+  (match
+     Dgc_telemetry.Run_artifact.validate
+       ~require_hists:
+         [
+           "scale.compute_ms{tier=t1k}";
+           "scale.apply_ms{tier=t1k}";
+           "scale.round_ms{tier=t1k}";
+         ]
+       ~require_counter_prefixes:[ "scale." ] art
+   with
+  | Ok () -> say "wrote %s (shape ok)" out
+  | Error e -> Fmt.failwith "scale artifact failed validation: %s" e)

@@ -81,13 +81,14 @@ let last_group_size t = t.last_group_size
 let state t id = t.states.(Site_id.to_int id)
 let settle_delay = Sim_time.of_seconds 1.
 
-(* Where do this site's suspected outrefs lead? *)
+(* Where do this site's suspected outrefs lead? Unsorted iteration is
+   fine: the dedup sorts the site ids anyway. *)
 let suspect_targets st =
-  Tables.outrefs st.gs_site.Site.tables
-  |> List.filter_map (fun o ->
-         if Ioref.outref_clean o then None
-         else Some (Oid.site o.Ioref.or_target))
-  |> Util.list_dedup ~compare:Site_id.compare
+  let acc = ref [] in
+  Tables.iter_outrefs st.gs_site.Site.tables (fun o ->
+      if not (Ioref.outref_clean o) then
+        acc := Oid.site o.Ioref.or_target :: !acc);
+  Util.list_dedup ~compare:Site_id.compare !acc
 
 (* ---- marking within the group ---------------------------------------- *)
 
@@ -142,18 +143,18 @@ let mark_from t st refs =
    outside the group. *)
 let group_roots t st =
   let delta = (Engine.config t.eng).Config.delta in
-  let inref_roots =
-    Tables.inrefs st.gs_site.Site.tables
-    |> List.filter_map (fun ir ->
-           if ir.Ioref.ir_flagged then None
-           else if
-             Ioref.inref_clean ~delta ir
-             || List.exists
-                  (fun src -> not (Site_id.Set.mem src st.gs_members))
-                  (Ioref.source_sites ir)
-           then Some ir.Ioref.ir_target
-           else None)
-  in
+  (* Unsorted: these roots seed a mark closure, so order is not
+     observable. *)
+  let inref_roots = ref [] in
+  Tables.iter_inrefs st.gs_site.Site.tables (fun ir ->
+      if
+        (not ir.Ioref.ir_flagged)
+        && (Ioref.inref_clean ~delta ir
+           || List.exists
+                (fun src -> not (Site_id.Set.mem src st.gs_members))
+                (Ioref.source_sites ir))
+      then inref_roots := ir.Ioref.ir_target :: !inref_roots);
+  let inref_roots = !inref_roots in
   Heap.persistent_roots st.gs_site.Site.heap
   @ Engine.app_roots t.eng st.gs_site.Site.id
   @ inref_roots

@@ -138,7 +138,7 @@ let hughes_trace t st =
       Engine.send t.eng ~src:site.Site.id ~dst
         (Protocol.Ext (H_ts_update !b)))
     ts_changes;
-  List.iter (fun ir -> ir.Ioref.ir_fresh <- false) (Tables.inrefs tables);
+  Tables.iter_inrefs tables (fun ir -> ir.Ioref.ir_fresh <- false);
   site.Site.trace_epoch <- site.Site.trace_epoch + 1
 
 let apply_threshold t st v =

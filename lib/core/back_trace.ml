@@ -329,8 +329,9 @@ and conclude sh st trace outcome parts =
       in
       Metrics.hist_observe metrics "back.latency_ms" lat_ms;
       Metrics.hist_observe metrics
-        (Printf.sprintf "back.latency_ms{site=%d}"
-           (Site_id.to_int s.ts_initiator))
+        (Site.metric_label
+           (Engine.site sh.eng s.ts_initiator)
+           "back.latency_ms")
         lat_ms;
       Metrics.hist_observe metrics "back.frames_per_trace"
         (float_of_int s.ts_frames);

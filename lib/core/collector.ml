@@ -84,6 +84,10 @@ let barrier_ref_arrived t site_id r =
 let trigger_back_traces t site_id =
   let c = ctl t site_id in
   let conf = cfg t in
+  (* Deliberately the sorted [Tables.outrefs] view: the stable sort
+     below only orders by distance, so table order is the tie-break and
+     determines which outref starts a trace — determinism is
+     observable here. *)
   let candidates =
     List.filter_map
       (fun o ->
@@ -105,7 +109,7 @@ let trigger_back_traces t site_id =
   let n_cand = float_of_int (List.length candidates) in
   Metrics.hist_observe metrics "back.trigger_candidates" n_cand;
   Metrics.hist_observe metrics
-    (Printf.sprintf "back.trigger_candidates{site=%d}" (Site_id.to_int site_id))
+    (Site.metric_label c.ctl_site "back.trigger_candidates")
     n_cand;
   (* Deepest first: they are the most likely to be fully suspected. *)
   let sorted =

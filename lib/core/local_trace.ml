@@ -15,6 +15,10 @@ type input = {
   in_delta : int;
 }
 
+(* Deliberately the sorted [Tables.inrefs]/[Tables.outrefs] views:
+   traversal order here decides outset-store interning order, and with
+   it [ot_stats] (distinct_outsets / union_calls / memo_hits) in the
+   outcome — determinism is observable. *)
 let sample_tables site =
   let inrefs =
     List.map
@@ -30,10 +34,11 @@ let sample_tables site =
 let input_of_site eng site =
   let heap = site.Site.heap in
   let inrefs, outrefs = sample_tables site in
+  let graph = Reach.of_heap heap in
   {
     in_site = site.Site.id;
-    in_graph = Reach.of_heap heap;
-    in_indices = Heap.indices heap;
+    in_graph = graph;
+    in_indices = Dense.indices graph.Reach.g_dense;
     in_roots = Heap.persistent_roots heap @ Engine.app_roots eng site.Site.id;
     in_inrefs = inrefs;
     in_outrefs = outrefs;
@@ -42,10 +47,11 @@ let input_of_site eng site =
 
 let input_of_snapshot eng site snap =
   let inrefs, outrefs = sample_tables site in
+  let graph = Reach.of_snapshot snap in
   {
     in_site = site.Site.id;
-    in_graph = Reach.of_snapshot snap;
-    in_indices = Snapshot.indices snap;
+    in_graph = graph;
+    in_indices = Dense.indices graph.Reach.g_dense;
     in_roots =
       Snapshot.persistent_roots snap @ Engine.app_roots eng site.Site.id;
     in_inrefs = inrefs;
@@ -85,15 +91,106 @@ type outcome = {
 (* Per-outref accumulator during a trace. *)
 type outinfo = { oi_dist : int; mutable oi_clean : bool }
 
-type mark = Clean | Suspect
+(* Reusable index-space workspace. Validity of every per-object cell is
+   epoch-stamped, so consecutive traces pay no O(heap) clears:
 
-let compute ?(mode = Bottom_up) inp =
+   - [w_mark.(i) = epoch lsl 2 lor state] with state 1 = Clean,
+     2 = Suspect; a cell whose epoch part differs is unmarked.
+   - [w_num]/[w_lead]/[w_oset] (Tarjan visit number, component leader,
+     outset id) are valid iff [w_nume.(i)] carries the current epoch —
+     they are always written together by the suspect phase's [start].
+   - [w_vis] is a sub-trace visited stamp against [w_vep] (one bump
+     per §5.1 independent trace, one for the whole naive scan).
+
+   [compute] is synchronous and single-threaded, so one module-level
+   workspace suffices; it grows to the largest allocation clock seen. *)
+type ws = {
+  mutable w_cap : int;
+  mutable w_mark : int array;
+  mutable w_num : int array;
+  mutable w_nume : int array;
+  mutable w_lead : int array;
+  mutable w_oset : int array;
+  mutable w_vis : int array;
+  mutable w_stack : int array;
+  mutable w_fx : int array;
+  mutable w_fk : int array;
+  mutable w_comp : int array;
+  mutable w_epoch : int;
+  mutable w_vep : int;
+}
+
+let ws =
+  {
+    w_cap = 0;
+    w_mark = [||];
+    w_num = [||];
+    w_nume = [||];
+    w_lead = [||];
+    w_oset = [||];
+    w_vis = [||];
+    w_stack = Array.make 256 0;
+    w_fx = Array.make 256 0;
+    w_fk = Array.make 256 0;
+    w_comp = Array.make 256 0;
+    w_epoch = 0;
+    w_vep = 0;
+  }
+
+let ws_ensure cap =
+  if cap > ws.w_cap then begin
+    let c = max cap (max 1024 (2 * ws.w_cap)) in
+    ws.w_mark <- Array.make c 0;
+    ws.w_num <- Array.make c 0;
+    ws.w_nume <- Array.make c 0;
+    ws.w_lead <- Array.make c 0;
+    ws.w_oset <- Array.make c 0;
+    ws.w_vis <- Array.make c 0;
+    ws.w_cap <- c
+  end
+
+let compute ?(mode = Bottom_up) ?probe inp =
   let graph = inp.in_graph in
+  let d = graph.Reach.g_dense in
+  let bound = d.Dense.d_bound in
+  let codes = d.Dense.d_codes
+  and starts = d.Dense.d_start
+  and pool = d.Dense.d_pool
+  and pres = d.Dense.d_present in
+  let present i = Bytes.get pres i <> '\000' in
+  ws_ensure bound;
+  ws.w_epoch <- ws.w_epoch + 1;
+  let epoch = ws.w_epoch in
+  let mark = ws.w_mark
+  and num = ws.w_num
+  and nume = ws.w_nume
+  and lead = ws.w_lead
+  and oset = ws.w_oset
+  and vis = ws.w_vis in
+  (* 0 unmarked, 1 Clean, 2 Suspect *)
+  let mark_get i =
+    let m = mark.(i) in
+    if m lsr 2 = epoch then m land 3 else 0
+  in
+  let mark_set i v = mark.(i) <- (epoch lsl 2) lor v in
+  let num_valid i = nume.(i) = epoch in
+  let note tag = match probe with Some f -> f tag | None -> () in
   let is_local r = Site_id.equal (Oid.site r) inp.in_site in
-  let marks : mark Oid.Tbl.t = Oid.Tbl.create 256 in
   let outinfo : outinfo Oid.Tbl.t = Oid.Tbl.create 64 in
   let clean_visits = ref 0 in
   let suspect_visits = ref 0 in
+
+  (* Scratch int stack (clean phase + independent traces). *)
+  let sp = ref 0 in
+  let push i =
+    if !sp >= Array.length ws.w_stack then begin
+      let b = Array.make (2 * Array.length ws.w_stack) 0 in
+      Array.blit ws.w_stack 0 b 0 !sp;
+      ws.w_stack <- b
+    end;
+    ws.w_stack.(!sp) <- i;
+    incr sp
+  in
 
   (* ---- clean phase: trace distance-ordered clean roots (§3) ---- *)
   let clean_groups =
@@ -104,36 +201,47 @@ let compute ?(mode = Bottom_up) inp =
          inp.in_inrefs
     |> List.stable_sort (fun (a, _) (b, _) -> Int.compare a b)
   in
-  let trace_clean_group (d, roots) =
-    let stack = ref [] in
-    let visit r =
-      if is_local r then begin
-        if graph.Reach.g_mem r && not (Oid.Tbl.mem marks r) then begin
-          Oid.Tbl.add marks r Clean;
-          incr clean_visits;
-          stack := r :: !stack
+  let reach_out_clean dg r =
+    (* First reach sets the distance (ascending root order makes it
+       the minimum); any reach from a clean root makes it clean. *)
+    match Oid.Tbl.find_opt outinfo r with
+    | Some oi -> oi.oi_clean <- true
+    | None -> Oid.Tbl.add outinfo r { oi_dist = dg + 1; oi_clean = true }
+  in
+  let trace_clean_group (dg, roots) =
+    List.iter
+      (fun r ->
+        if is_local r then begin
+          let i = Oid.index r in
+          if i >= 0 && i < bound && present i && mark_get i = 0 then begin
+            mark_set i 1;
+            incr clean_visits;
+            push i
+          end
         end
-      end
-      else begin
-        (* First reach sets the distance (ascending root order makes it
-           the minimum); any reach from a clean root makes it clean. *)
-        match Oid.Tbl.find_opt outinfo r with
-        | Some oi -> oi.oi_clean <- true
-        | None -> Oid.Tbl.add outinfo r { oi_dist = d + 1; oi_clean = true }
-      end
-    in
-    List.iter visit roots;
-    let rec drain () =
-      match !stack with
-      | [] -> ()
-      | r :: tl ->
-          stack := tl;
-          List.iter visit (graph.Reach.g_fields r);
-          drain ()
-    in
-    drain ()
+        else reach_out_clean dg r)
+      roots;
+    while !sp > 0 do
+      decr sp;
+      let i = ws.w_stack.(!sp) in
+      for k = starts.(i) to starts.(i + 1) - 1 do
+        let c = codes.(k) in
+        if c >= 0 then begin
+          if present c && mark_get c = 0 then begin
+            mark_set c 1;
+            incr clean_visits;
+            push c
+          end
+        end
+        else begin
+          let r = pool.(-c - 1) in
+          if not (is_local r) then reach_out_clean dg r
+        end
+      done
+    done
   in
   List.iter trace_clean_group clean_groups;
+  note "clean";
 
   (* ---- suspect phase ---- *)
   let suspects =
@@ -147,235 +255,255 @@ let compute ?(mode = Bottom_up) inp =
   (* Encountering a remote reference from a suspected trace rooted at
      distance [d]: returns the outset contribution (None if the outref
      is clean). *)
-  let reach_out_suspect d r =
+  let reach_out_suspect dg r =
     match Oid.Tbl.find_opt outinfo r with
     | Some oi ->
         if oi.oi_clean then None else Some (Outset_store.singleton store r)
     | None ->
-        Oid.Tbl.add outinfo r { oi_dist = d + 1; oi_clean = false };
+        Oid.Tbl.add outinfo r { oi_dist = dg + 1; oi_clean = false };
         Some (Outset_store.singleton store r)
   in
 
-  (* Outset of every traced suspected object, by outset-store id. *)
-  let obj_outset : Outset_store.id Oid.Tbl.t = Oid.Tbl.create 256 in
-
   let inref_outsets : (Oid.t, Oid.t list) Hashtbl.t = Hashtbl.create 64 in
+
+  (* Iterative DFS frames: object index + next code position. *)
+  let fp = ref 0 in
+  let fpush x k =
+    if !fp >= Array.length ws.w_fx then begin
+      let bx = Array.make (2 * Array.length ws.w_fx) 0 in
+      let bk = Array.make (2 * Array.length ws.w_fk) 0 in
+      Array.blit ws.w_fx 0 bx 0 !fp;
+      Array.blit ws.w_fk 0 bk 0 !fp;
+      ws.w_fx <- bx;
+      ws.w_fk <- bk
+    end;
+    ws.w_fx.(!fp) <- x;
+    ws.w_fk.(!fp) <- k;
+    incr fp
+  in
 
   (match mode with
   | Bottom_up ->
       (* §5.2: fused trace + Tarjan SCC + bottom-up outsets. The state
-         mirrors the paper's pseudocode: Mark (visit numbers), Leader,
-         Outset, and an auxiliary component stack. *)
-      let mark_num : int Oid.Tbl.t = Oid.Tbl.create 256 in
-      let lead : int Oid.Tbl.t = Oid.Tbl.create 256 in
-      let comp_stack = ref [] in
+         mirrors the paper's pseudocode — Mark (visit numbers), Leader,
+         Outset, and an auxiliary component stack — laid out as
+         index-space arrays ([w_num]/[w_lead]/[w_oset], valid under the
+         [w_nume] epoch stamp). *)
+      let csp = ref 0 in
+      let cpush x =
+        if !csp >= Array.length ws.w_comp then begin
+          let b = Array.make (2 * Array.length ws.w_comp) 0 in
+          Array.blit ws.w_comp 0 b 0 !csp;
+          ws.w_comp <- b
+        end;
+        ws.w_comp.(!csp) <- x;
+        incr csp
+      in
       let counter = ref 0 in
       let inf = max_int in
-      let get tbl x = Oid.Tbl.find tbl x in
-      let set tbl x v = Oid.Tbl.replace tbl x v in
-      let trace_suspected d root =
-        if
-          graph.Reach.g_mem root
-          && (not (Oid.Tbl.mem marks root))
-          && not (Oid.Tbl.mem mark_num root)
-        then begin
-          let start x =
-            set mark_num x !counter;
-            set lead x !counter;
-            incr counter;
-            comp_stack := x :: !comp_stack;
-            Oid.Tbl.replace marks x Suspect;
-            incr suspect_visits;
-            set obj_outset x (Outset_store.empty store)
-          in
-          start root;
-          let frames = ref [ (root, ref (graph.Reach.g_fields root)) ] in
-          let merge_into parent child_outset child_leader =
-            set obj_outset parent
-              (Outset_store.union store (get obj_outset parent) child_outset);
-            set lead parent (min (get lead parent) child_leader)
-          in
-          let finish x =
-            if get lead x = get mark_num x then begin
-              (* x leads its component: give every member x's outset. *)
-              let ox = get obj_outset x in
-              let rec pop () =
-                match !comp_stack with
-                | [] -> assert false
-                | z :: tl ->
-                    comp_stack := tl;
-                    set obj_outset z ox;
-                    set lead z inf;
-                    if not (Oid.equal z x) then pop ()
-              in
-              pop ()
+      let start x =
+        num.(x) <- !counter;
+        nume.(x) <- epoch;
+        lead.(x) <- !counter;
+        incr counter;
+        cpush x;
+        mark_set x 2;
+        incr suspect_visits;
+        oset.(x) <- Outset_store.empty store
+      in
+      let merge_into p child_outset child_leader =
+        oset.(p) <- Outset_store.union store oset.(p) child_outset;
+        if child_leader < lead.(p) then lead.(p) <- child_leader
+      in
+      let finish x =
+        if lead.(x) = num.(x) then begin
+          (* x leads its component: give every member x's outset. *)
+          let ox = oset.(x) in
+          let rec pop () =
+            if !csp = 0 then assert false
+            else begin
+              decr csp;
+              let z = ws.w_comp.(!csp) in
+              oset.(z) <- ox;
+              lead.(z) <- inf;
+              if z <> x then pop ()
             end
           in
-          let rec step () =
-            match !frames with
-            | [] -> ()
-            | (x, pending) :: rest -> begin
-                match !pending with
-                | [] ->
-                    finish x;
-                    frames := rest;
-                    (match rest with
-                    | (p, _) :: _ ->
-                        merge_into p (get obj_outset x) (get lead x)
-                    | [] -> ());
-                    step ()
-                | z :: ztl ->
-                    pending := ztl;
-                    if is_local z then begin
-                      if
-                        graph.Reach.g_mem z
-                        && not (Oid.Tbl.mem marks z && get_mark marks z = Clean)
-                      then begin
-                        if Oid.Tbl.mem mark_num z then
-                          (* already traced (possibly on the stack):
-                             merge its current outset and leader *)
-                          merge_into x (get obj_outset z) (get lead z)
-                        else begin
-                          start z;
-                          frames := (z, ref (graph.Reach.g_fields z)) :: !frames
-                        end
-                      end
-                    end
-                    else begin
-                      match reach_out_suspect d z with
-                      | None -> ()
-                      | Some contrib ->
-                          set obj_outset x
-                            (Outset_store.union store (get obj_outset x)
-                               contrib)
-                    end;
-                    step ()
+          pop ()
+        end
+      in
+      let trace_suspected dg root =
+        if is_local root then begin
+          let i = Oid.index root in
+          if
+            i >= 0 && i < bound && present i
+            && mark_get i = 0
+            && not (num_valid i)
+          then begin
+            start i;
+            fpush i starts.(i);
+            while !fp > 0 do
+              let x = ws.w_fx.(!fp - 1) in
+              let k = ws.w_fk.(!fp - 1) in
+              if k >= starts.(x + 1) then begin
+                finish x;
+                decr fp;
+                if !fp > 0 then
+                  merge_into ws.w_fx.(!fp - 1) oset.(x) lead.(x)
               end
-          and get_mark tbl z = Oid.Tbl.find tbl z in
-          step ()
+              else begin
+                ws.w_fk.(!fp - 1) <- k + 1;
+                let c = codes.(k) in
+                if c >= 0 then begin
+                  if present c && mark_get c <> 1 then begin
+                    if num_valid c then
+                      (* already traced (possibly on the stack):
+                         merge its current outset and leader *)
+                      merge_into x oset.(c) lead.(c)
+                    else begin
+                      start c;
+                      fpush c starts.(c)
+                    end
+                  end
+                end
+                else begin
+                  let r = pool.(-c - 1) in
+                  if not (is_local r) then
+                    match reach_out_suspect dg r with
+                    | None -> ()
+                    | Some contrib ->
+                        oset.(x) <- Outset_store.union store oset.(x) contrib
+                end
+              end
+            done
+          end
         end
       in
       List.iter
-        (fun (r, d) ->
-          trace_suspected d r;
+        (fun (r, dg) ->
+          trace_suspected dg r;
           let outset =
-            match Oid.Tbl.find_opt obj_outset r with
-            | Some id -> Outset_store.elements store id
-            | None -> []  (* object clean or absent *)
+            let i = Oid.index r in
+            if is_local r && i >= 0 && i < bound && num_valid i then
+              Outset_store.elements store oset.(i)
+            else [] (* object clean or absent *)
           in
           Hashtbl.replace inref_outsets r outset)
         suspects
   | Naive_bottom_up ->
       (* §5.2's first cut: single scan, outsets unioned bottom-up, but
          no SCC handling — back edges read incomplete outsets. Kept
-         only to demonstrate the failure (Figure 4). *)
-      let visited : unit Oid.Tbl.t = Oid.Tbl.create 256 in
-      let trace_naive d root =
-        if
-          graph.Reach.g_mem root
-          && Oid.Tbl.find_opt marks root <> Some Clean
-          && not (Oid.Tbl.mem visited root)
-        then begin
-          let start x =
-            Oid.Tbl.add visited x ();
-            Oid.Tbl.replace marks x Suspect;
-            incr suspect_visits;
-            Oid.Tbl.replace obj_outset x (Outset_store.empty store)
-          in
-          start root;
-          let frames = ref [ (root, ref (graph.Reach.g_fields root)) ] in
-          let merge_into p contrib =
-            Oid.Tbl.replace obj_outset p
-              (Outset_store.union store (Oid.Tbl.find obj_outset p) contrib)
-          in
-          let rec step () =
-            match !frames with
-            | [] -> ()
-            | (x, pending) :: rest -> begin
-                match !pending with
-                | [] ->
-                    frames := rest;
-                    (match rest with
-                    | (p, _) :: _ -> merge_into p (Oid.Tbl.find obj_outset x)
-                    | [] -> ());
-                    step ()
-                | z :: ztl ->
-                    pending := ztl;
-                    if is_local z then begin
-                      if
-                        graph.Reach.g_mem z
-                        && Oid.Tbl.find_opt marks z <> Some Clean
-                      then begin
-                        if Oid.Tbl.mem visited z then
-                          (* possibly incomplete: the bug *)
-                          merge_into x (Oid.Tbl.find obj_outset z)
-                        else begin
-                          start z;
-                          frames :=
-                            (z, ref (graph.Reach.g_fields z)) :: !frames
-                        end
-                      end
-                    end
-                    else begin
-                      match reach_out_suspect d z with
-                      | None -> ()
-                      | Some contrib -> merge_into x contrib
-                    end;
-                    step ()
+         only to demonstrate the failure (Figure 4). Visited-ness (and
+         with it [w_oset] validity) is the [w_vis] stamp. *)
+      ws.w_vep <- ws.w_vep + 1;
+      let vep = ws.w_vep in
+      let start x =
+        vis.(x) <- vep;
+        mark_set x 2;
+        incr suspect_visits;
+        oset.(x) <- Outset_store.empty store
+      in
+      let merge_into p contrib =
+        oset.(p) <- Outset_store.union store oset.(p) contrib
+      in
+      let trace_naive dg root =
+        if is_local root then begin
+          let i = Oid.index root in
+          if
+            i >= 0 && i < bound && present i
+            && mark_get i <> 1
+            && vis.(i) <> vep
+          then begin
+            start i;
+            fpush i starts.(i);
+            while !fp > 0 do
+              let x = ws.w_fx.(!fp - 1) in
+              let k = ws.w_fk.(!fp - 1) in
+              if k >= starts.(x + 1) then begin
+                decr fp;
+                if !fp > 0 then merge_into ws.w_fx.(!fp - 1) oset.(x)
               end
-          in
-          step ()
+              else begin
+                ws.w_fk.(!fp - 1) <- k + 1;
+                let c = codes.(k) in
+                if c >= 0 then begin
+                  if present c && mark_get c <> 1 then begin
+                    if vis.(c) = vep then
+                      (* possibly incomplete: the bug *)
+                      merge_into x oset.(c)
+                    else begin
+                      start c;
+                      fpush c starts.(c)
+                    end
+                  end
+                end
+                else begin
+                  let r = pool.(-c - 1) in
+                  if not (is_local r) then
+                    match reach_out_suspect dg r with
+                    | None -> ()
+                    | Some contrib -> merge_into x contrib
+                end
+              end
+            done
+          end
         end
       in
       List.iter
-        (fun (r, d) ->
-          trace_naive d r;
+        (fun (r, dg) ->
+          trace_naive dg r;
           let outset =
-            match Oid.Tbl.find_opt obj_outset r with
-            | Some id -> Outset_store.elements store id
-            | None -> []
+            let i = Oid.index r in
+            if is_local r && i >= 0 && i < bound && vis.(i) = vep then
+              Outset_store.elements store oset.(i)
+            else []
           in
           Hashtbl.replace inref_outsets r outset)
         suspects
   | Independent ->
       (* §5.1: a full, separate trace per suspected inref; objects
          reached by several suspected inrefs are scanned once per
-         inref. *)
+         inref ([w_vis] re-stamped per inref). *)
       List.iter
-        (fun (r, d) ->
-          let visited = Oid.Tbl.create 64 in
+        (fun (r, dg) ->
+          ws.w_vep <- ws.w_vep + 1;
+          let vep = ws.w_vep in
           let acc = ref Oid.Set.empty in
-          let stack = ref [] in
-          let visit z =
-            if is_local z then begin
-              if
-                graph.Reach.g_mem z
-                && (not (Oid.Tbl.mem visited z))
-                && Oid.Tbl.find_opt marks z <> Some Clean
-              then begin
-                Oid.Tbl.add visited z ();
-                Oid.Tbl.replace marks z Suspect;
-                incr suspect_visits;
-                stack := z :: !stack
-              end
+          let visit_remote z =
+            match reach_out_suspect dg z with
+            | None -> ()
+            | Some _ -> acc := Oid.Set.add z !acc
+          in
+          let visit_idx i =
+            if present i && vis.(i) <> vep && mark_get i <> 1 then begin
+              vis.(i) <- vep;
+              mark_set i 2;
+              incr suspect_visits;
+              push i
             end
-            else
-              match reach_out_suspect d z with
-              | None -> ()
-              | Some _ -> acc := Oid.Set.add z !acc
           in
-          visit r;
-          let rec drain () =
-            match !stack with
-            | [] -> ()
-            | z :: tl ->
-                stack := tl;
-                List.iter visit (graph.Reach.g_fields z);
-                drain ()
-          in
-          drain ();
+          (if is_local r then begin
+             let i = Oid.index r in
+             if i >= 0 && i < bound then visit_idx i
+           end
+           else visit_remote r);
+          while !sp > 0 do
+            decr sp;
+            let i = ws.w_stack.(!sp) in
+            for k = starts.(i) to starts.(i + 1) - 1 do
+              let c = codes.(k) in
+              if c >= 0 then begin
+                if c < bound then visit_idx c
+              end
+              else begin
+                let rr = pool.(-c - 1) in
+                if not (is_local rr) then visit_remote rr
+              end
+            done
+          done;
           Hashtbl.replace inref_outsets r (Oid.Set.elements !acc))
         suspects);
+  note "suspect";
 
   (* ---- assemble results ---- *)
   let in_results =
@@ -431,12 +559,16 @@ let compute ?(mode = Bottom_up) inp =
             })
       inp.in_outrefs
   in
+  (* Unmarked present objects, ascending — same order the old
+     [in_indices] filter produced. *)
   let dead =
-    List.filter
-      (fun i ->
-        not (Oid.Tbl.mem marks (Oid.make ~site:inp.in_site ~index:i)))
-      inp.in_indices
+    let acc = ref [] in
+    for i = bound - 1 downto 0 do
+      if present i && mark_get i = 0 then acc := i :: !acc
+    done;
+    !acc
   in
+  note "assemble";
   let st = Outset_store.stats store in
   let ot_stats =
     {
@@ -470,8 +602,7 @@ let apply eng site outcome ~window_cleans ~on_cleaned ~oracle_check =
     let rate = float_of_int ts.memo_hits /. float_of_int ts.union_calls in
     Metrics.hist_observe metrics "trace.outset_memo_hit_rate" rate;
     Metrics.hist_observe metrics
-      (Printf.sprintf "trace.outset_memo_hit_rate{site=%d}"
-         (Site_id.to_int site.Site.id))
+      (Site.metric_label site "trace.outset_memo_hit_rate")
       rate
   end;
   Metrics.hist_observe metrics "trace.inset_entries"

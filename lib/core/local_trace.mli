@@ -82,7 +82,9 @@ type outcome = {
   ot_stats : stats;
 }
 
-val compute : ?mode:mode -> input -> outcome
+val compute : ?mode:mode -> ?probe:(string -> unit) -> input -> outcome
+(** [probe] (for benchmarks) fires once per internal phase as it
+    completes, with tags ["clean"], ["suspect"], ["assemble"]. *)
 
 val apply :
   Engine.t ->

@@ -2,11 +2,42 @@ open Dgc_heap
 
 type id = int
 
+(* Canonical sets are sorted [Oid.t array]s; interning hashes them
+   directly (elementwise, no polymorphic traversal of a list spine). *)
+module Key = struct
+  type t = Oid.t array
+
+  let equal a b =
+    let la = Array.length a in
+    la = Array.length b
+    &&
+    let rec go i = i < 0 || (Oid.equal a.(i) b.(i) && go (i - 1)) in
+    go (la - 1)
+
+  let hash a =
+    let h = ref (Array.length a) in
+    for i = 0 to Array.length a - 1 do
+      h := (!h * 31) + Oid.hash a.(i)
+    done;
+    !h land max_int
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+(* Union memo keyed by the packed id pair (x < y, ids are small). *)
+module Itbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
 type t = {
   mutable sets : Oid.t array array;  (** id -> sorted elements *)
   mutable count : int;
-  interned : (Oid.t list, id) Hashtbl.t;  (** canonical form -> id *)
-  memo : (int * int, id) Hashtbl.t;
+  interned : id Ktbl.t;  (** canonical form -> id *)
+  memo : id Itbl.t;
+  singl : id Oid.Tbl.t;  (** singleton cache: skip re-interning *)
   memoize : bool;
   mutable u_calls : int;
   mutable u_hits : int;
@@ -24,20 +55,22 @@ let create ?(memoize = true) () =
     {
       sets = Array.make 16 [||];
       count = 0;
-      interned = Hashtbl.create 64;
-      memo = Hashtbl.create 64;
+      interned = Ktbl.create 64;
+      memo = Itbl.create 64;
+      singl = Oid.Tbl.create 64;
       memoize;
       u_calls = 0;
       u_hits = 0;
     }
   in
   (* id 0 is the empty set *)
-  Hashtbl.add t.interned [] 0;
+  Ktbl.add t.interned [||] 0;
   t.count <- 1;
   t
 
-let intern t sorted_list =
-  match Hashtbl.find_opt t.interned sorted_list with
+(* [sorted] is owned by the store after this call. *)
+let intern t sorted =
+  match Ktbl.find_opt t.interned sorted with
   | Some id -> id
   | None ->
       let id = t.count in
@@ -46,43 +79,57 @@ let intern t sorted_list =
         Array.blit t.sets 0 fresh 0 t.count;
         t.sets <- fresh
       end;
-      t.sets.(id) <- Array.of_list sorted_list;
+      t.sets.(id) <- sorted;
       t.count <- id + 1;
-      Hashtbl.add t.interned sorted_list id;
+      Ktbl.add t.interned sorted id;
       id
 
 let empty _t = 0
-let singleton t r = intern t [ r ]
+
+let singleton t r =
+  match Oid.Tbl.find_opt t.singl r with
+  | Some id -> id
+  | None ->
+      let id = intern t [| r |] in
+      Oid.Tbl.add t.singl r id;
+      id
 
 let merge_sorted a b =
   let la = Array.length a and lb = Array.length b in
-  let out = ref [] in
-  let i = ref 0 and j = ref 0 in
-  while !i < la && !j < lb do
-    let c = Oid.compare a.(!i) b.(!j) in
-    if c < 0 then begin
-      out := a.(!i) :: !out;
-      incr i
-    end
-    else if c > 0 then begin
-      out := b.(!j) :: !out;
-      incr j
-    end
-    else begin
-      out := a.(!i) :: !out;
+  if la = 0 then b
+  else if lb = 0 then a
+  else begin
+    let out = Array.make (la + lb) a.(0) in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < la && !j < lb do
+      let c = Oid.compare a.(!i) b.(!j) in
+      if c < 0 then begin
+        out.(!k) <- a.(!i);
+        incr i
+      end
+      else if c > 0 then begin
+        out.(!k) <- b.(!j);
+        incr j
+      end
+      else begin
+        out.(!k) <- a.(!i);
+        incr i;
+        incr j
+      end;
+      incr k
+    done;
+    while !i < la do
+      out.(!k) <- a.(!i);
       incr i;
-      incr j
-    end
-  done;
-  while !i < la do
-    out := a.(!i) :: !out;
-    incr i
-  done;
-  while !j < lb do
-    out := b.(!j) :: !out;
-    incr j
-  done;
-  List.rev !out
+      incr k
+    done;
+    while !j < lb do
+      out.(!k) <- b.(!j);
+      incr j;
+      incr k
+    done;
+    if !k = la + lb then out else Array.sub out 0 !k
+  end
 
 let union t x y =
   if x = y then x
@@ -90,15 +137,15 @@ let union t x y =
   else if y = 0 then x
   else begin
     t.u_calls <- t.u_calls + 1;
-    let key = if x < y then (x, y) else (y, x) in
-    match if t.memoize then Hashtbl.find_opt t.memo key else None with
+    let key = if x < y then (x lsl 31) lor y else (y lsl 31) lor x in
+    match if t.memoize then Itbl.find_opt t.memo key else None with
     | Some id ->
         t.u_hits <- t.u_hits + 1;
         id
     | None ->
         let merged = merge_sorted t.sets.(x) t.sets.(y) in
         let id = intern t merged in
-        if t.memoize then Hashtbl.add t.memo key id;
+        if t.memoize then Itbl.add t.memo key id;
         id
   end
 

@@ -14,7 +14,11 @@
 open Dgc_heap
 
 type t
-type id
+
+type id = int
+(** Concrete so callers can keep ids in [int array] workspaces (the
+    trace hot path); treat as opaque otherwise. Only ids produced by
+    the same store are meaningful. *)
 
 (** [create ?memoize ()] — [memoize] (default true) controls the union
     memo table, the §5.2 optimization. Disable only for the ablation

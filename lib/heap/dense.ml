@@ -1,0 +1,107 @@
+open Dgc_prelude
+
+type t = {
+  d_site : Site_id.t;
+  d_bound : int;
+  d_present : Bytes.t;
+  d_roots : Bytes.t;
+  d_start : int array;
+  d_codes : int array;
+  d_pool : Oid.t array;
+  d_count : int;
+}
+
+let site t = t.d_site
+let bound t = t.d_bound
+let object_count t = t.d_count
+
+let present t i =
+  i >= 0 && i < t.d_bound && Bytes.get t.d_present i <> '\000'
+
+let is_root t i =
+  i >= 0 && i < t.d_bound && Bytes.get t.d_roots i <> '\000'
+
+let indices t =
+  let acc = ref [] in
+  for i = t.d_bound - 1 downto 0 do
+    if Bytes.get t.d_present i <> '\000' then acc := i :: !acc
+  done;
+  !acc
+
+(* Generic two-pass CSR construction. [iter_objs f] must call
+   [f index fields] once per live object; field order is preserved
+   exactly (the trace's union-call sequence depends on it). *)
+let build ~site ~bound ~roots ~n_objects iter_objs =
+  let d_present = Bytes.make (max bound 1) '\000' in
+  let d_roots = Bytes.make (max bound 1) '\000' in
+  let deg = Array.make (bound + 1) 0 in
+  iter_objs (fun i fields ->
+      if i >= 0 && i < bound then begin
+        Bytes.set d_present i '\001';
+        deg.(i) <- List.length fields
+      end);
+  List.iter
+    (fun r ->
+      let i = Oid.index r in
+      if i >= 0 && i < bound then Bytes.set d_roots i '\001')
+    roots;
+  let d_start = Array.make (bound + 1) 0 in
+  for i = 0 to bound - 1 do
+    d_start.(i + 1) <- d_start.(i) + deg.(i)
+  done;
+  let d_codes = Array.make (max d_start.(bound) 1) 0 in
+  (* The pool collects every target that is not an in-bound local
+     index: remote references, plus (defensively) local oids outside
+     [0, bound). Encoded as [-(pool_index + 1)]. *)
+  let pool_rev = ref [] in
+  let n_pool = ref 0 in
+  iter_objs (fun i fields ->
+      if i >= 0 && i < bound then begin
+        let k = ref d_start.(i) in
+        List.iter
+          (fun r ->
+            let code =
+              if Site_id.equal (Oid.site r) site then begin
+                let j = Oid.index r in
+                if j >= 0 && j < bound then j
+                else begin
+                  let p = !n_pool in
+                  incr n_pool;
+                  pool_rev := r :: !pool_rev;
+                  -(p + 1)
+                end
+              end
+              else begin
+                let p = !n_pool in
+                incr n_pool;
+                pool_rev := r :: !pool_rev;
+                -(p + 1)
+              end
+            in
+            d_codes.(!k) <- code;
+            incr k)
+          fields
+      end);
+  let d_pool = Array.of_list (List.rev !pool_rev) in
+  {
+    d_site = site;
+    d_bound = bound;
+    d_present;
+    d_roots;
+    d_start;
+    d_codes;
+    d_pool;
+    d_count = n_objects;
+  }
+
+let of_heap heap =
+  build ~site:(Heap.site heap) ~bound:(Heap.alloc_clock heap)
+    ~roots:(Heap.persistent_roots heap)
+    ~n_objects:(Heap.object_count heap)
+    (fun f -> Heap.iter heap (fun o -> f (Oid.index o.Heap.oid) o.Heap.fields))
+
+let of_snapshot snap =
+  build ~site:(Snapshot.site snap) ~bound:(Snapshot.alloc_clock snap)
+    ~roots:(Snapshot.persistent_roots snap)
+    ~n_objects:(Snapshot.object_count snap)
+    (fun f -> Snapshot.iter_edges snap f)

@@ -1,0 +1,52 @@
+(** Dense, immutable export of a heap's object graph.
+
+    The per-trace hot paths (clean phase, fused Tarjan suspect phase,
+    dead-set scan) run over contiguous int-indexed arrays instead of
+    closure-per-lookup [find]s. A [t] is a snapshot of the graph at
+    construction time: indices are heap object indices in
+    [0, bound) where [bound] is the heap's allocation clock, adjacency
+    is in CSR form, and roots are a bitset.
+
+    The representation is exposed on purpose — the trace loops index
+    [d_start]/[d_codes] directly. Invariants:
+
+    - [d_start] has length [d_bound + 1]; object [i]'s field codes are
+      [d_codes.(d_start.(i)) .. d_codes.(d_start.(i+1) - 1)], in exact
+      field order (outset-union call order depends on it).
+    - A code [c >= 0] is a local target index (check [present t c]:
+      dangling references to freed local objects keep their index).
+    - A code [c < 0] names [d_pool.(-c - 1)]: a remote reference, or —
+      defensively — a local oid outside [0, bound).
+    - [d_present]/[d_roots] are byte-per-index bitsets; only indices
+      with [d_present] non-zero carry adjacency. *)
+
+open Dgc_prelude
+
+type t = {
+  d_site : Site_id.t;
+  d_bound : int;  (** allocation clock at capture *)
+  d_present : Bytes.t;  (** live-object bitset, length [d_bound] *)
+  d_roots : Bytes.t;  (** persistent-root bitset, length [d_bound] *)
+  d_start : int array;  (** CSR offsets, length [d_bound + 1] *)
+  d_codes : int array;  (** field codes in field order *)
+  d_pool : Oid.t array;  (** targets not encodable as a local index *)
+  d_count : int;  (** live object count *)
+}
+
+val of_heap : Heap.t -> t
+(** Captures the graph now; later heap mutations are not reflected. *)
+
+val of_snapshot : Snapshot.t -> t
+
+val site : t -> Site_id.t
+val bound : t -> int
+val object_count : t -> int
+
+val present : t -> int -> bool
+(** False outside [0, bound). *)
+
+val is_root : t -> int -> bool
+
+val indices : t -> int list
+(** Live indices, ascending — equals [Heap.indices] of the source heap
+    at capture time, without the sort. *)

@@ -78,12 +78,12 @@ let indices t =
   Hashtbl.fold (fun i _ acc -> i :: acc) t.objects [] |> List.sort Int.compare
 
 let free t idxs =
-  let is_root i =
-    List.exists (fun r -> Oid.index r = i) t.roots
-  in
+  (* Root indices once up front, not a root-list walk per freed index. *)
+  let root_idx = Hashtbl.create (max 8 (List.length t.roots)) in
+  List.iter (fun r -> Hashtbl.replace root_idx (Oid.index r) ()) t.roots;
   List.fold_left
     (fun n i ->
-      if Hashtbl.mem t.objects i && not (is_root i) then begin
+      if Hashtbl.mem t.objects i && not (Hashtbl.mem root_idx i) then begin
         Hashtbl.remove t.objects i;
         n + 1
       end

@@ -4,6 +4,7 @@ type graph = {
   g_site : Site_id.t;
   g_mem : Oid.t -> bool;
   g_fields : Oid.t -> Oid.t list;
+  g_dense : Dense.t;
 }
 
 let of_heap heap =
@@ -11,6 +12,7 @@ let of_heap heap =
     g_site = Heap.site heap;
     g_mem = (fun oid -> Heap.mem heap oid);
     g_fields = (fun oid -> Heap.fields heap oid);
+    g_dense = Dense.of_heap heap;
   }
 
 let of_snapshot snap =
@@ -18,43 +20,100 @@ let of_snapshot snap =
     g_site = Snapshot.site snap;
     g_mem = (fun oid -> Snapshot.mem snap oid);
     g_fields = (fun oid -> Snapshot.fields snap oid);
+    g_dense = Dense.of_snapshot snap;
   }
 
 let is_local g oid = Site_id.equal (Oid.site oid) g.g_site
 
+exception Found
+
 let closure g ~from =
+  let d = g.g_dense in
+  let bound = d.Dense.d_bound in
+  let visited = Bytes.make (max bound 1) '\000' in
   let locals = ref Oid.Set.empty in
   let remotes = ref Oid.Set.empty in
   let stack = ref [] in
-  let visit r =
-    if is_local g r then begin
-      if g.g_mem r && not (Oid.Set.mem r !locals) then begin
-        locals := Oid.Set.add r !locals;
-        stack := r :: !stack
-      end
+  let visit_idx i =
+    if Bytes.get visited i = '\000' then begin
+      Bytes.set visited i '\001';
+      locals := Oid.Set.add (Oid.make ~site:g.g_site ~index:i) !locals;
+      stack := i :: !stack
     end
-    else remotes := Oid.Set.add r !remotes
   in
-  List.iter visit from;
+  List.iter
+    (fun r ->
+      if is_local g r then begin
+        let i = Oid.index r in
+        if Dense.present d i then visit_idx i
+      end
+      else remotes := Oid.Set.add r !remotes)
+    from;
   let rec drain () =
     match !stack with
     | [] -> ()
-    | r :: tl ->
+    | i :: tl ->
         stack := tl;
-        List.iter visit (g.g_fields r);
+        for k = d.Dense.d_start.(i) to d.Dense.d_start.(i + 1) - 1 do
+          let c = d.Dense.d_codes.(k) in
+          if c >= 0 then begin
+            if Bytes.get d.Dense.d_present c <> '\000' then visit_idx c
+          end
+          else begin
+            let r = d.Dense.d_pool.(-c - 1) in
+            if not (is_local g r) then remotes := Oid.Set.add r !remotes
+          end
+        done;
         drain ()
   in
   drain ();
   (!locals, !remotes)
 
+(* Membership-test DFS with early exit: [dst] is reachable iff it is
+   [src], or occurs among the fields of some locally-reachable present
+   object (that covers present locals — they are visited via a field —
+   dangling locals, and remotes alike). *)
 let reaches g ~src ~dst =
   if Oid.equal src dst then true
   else begin
-    let locals, remotes = closure g ~from:[ src ] in
-    if is_local g dst then
-      Oid.Set.mem dst locals
-      || List.exists
-           (fun o -> List.exists (Oid.equal dst) (g.g_fields o))
-           (Oid.Set.elements locals)
-    else Oid.Set.mem dst remotes
+    let d = g.g_dense in
+    let bound = d.Dense.d_bound in
+    if not (is_local g src && Dense.present d (Oid.index src)) then false
+    else begin
+      (* dst as a code: a local in-bound target compares by index, any
+         other target compares by oid against the pool. *)
+      let dst_idx =
+        if is_local g dst && Oid.index dst >= 0 && Oid.index dst < bound then
+          Oid.index dst
+        else -1
+      in
+      let visited = Bytes.make (max bound 1) '\000' in
+      let stack = ref [ Oid.index src ] in
+      Bytes.set visited (Oid.index src) '\001';
+      try
+        let rec drain () =
+          match !stack with
+          | [] -> false
+          | i :: tl ->
+              stack := tl;
+              for k = d.Dense.d_start.(i) to d.Dense.d_start.(i + 1) - 1 do
+                let c = d.Dense.d_codes.(k) in
+                if c >= 0 then begin
+                  if c = dst_idx then raise Found;
+                  if
+                    Bytes.get d.Dense.d_present c <> '\000'
+                    && Bytes.get visited c = '\000'
+                  then begin
+                    Bytes.set visited c '\001';
+                    stack := c :: !stack
+                  end
+                end
+                else if dst_idx < 0 && Oid.equal d.Dense.d_pool.(-c - 1) dst
+                then raise Found
+              done;
+              drain ()
+        in
+        drain ()
+      with Found -> true
+    end
   end

@@ -11,6 +11,11 @@ type graph = {
   g_site : Site_id.t;
   g_mem : Oid.t -> bool;  (** object is present locally *)
   g_fields : Oid.t -> Oid.t list;
+  g_dense : Dense.t;
+      (** dense export used by the traversal hot paths. Captured when
+          the graph is built: with [of_heap], later heap mutations show
+          through [g_mem]/[g_fields] but not here — build the graph
+          immediately before computing over it. *)
 }
 
 val of_heap : Heap.t -> graph
@@ -25,4 +30,5 @@ val closure : graph -> from:Oid.t list -> Oid.Set.t * Oid.Set.t
 
 val reaches : graph -> src:Oid.t -> dst:Oid.t -> bool
 (** [reaches g ~src ~dst]: [dst] is locally reachable from [src]
-    (including [src = dst]). *)
+    (including [src = dst]). Early-exit membership test — does not
+    materialize the closure. *)

@@ -32,3 +32,4 @@ let indices t =
 let persistent_roots t = t.roots
 let alloc_clock t = t.clock
 let object_count t = Hashtbl.length t.edges
+let iter_edges t f = Hashtbl.iter f t.edges

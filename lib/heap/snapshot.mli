@@ -25,3 +25,7 @@ val alloc_clock : t -> int
     with [birth >= alloc_clock t] were created after the snapshot. *)
 
 val object_count : t -> int
+
+val iter_edges : t -> (int -> Oid.t list -> unit) -> unit
+(** [f index fields] for every object, in unspecified order; field
+    order within an object is the captured one. *)

@@ -214,8 +214,7 @@ let rec base_handlers =
                   Metrics.hist_observe t.metrics "barrier.move_stall_ms"
                     stall_ms;
                   Metrics.hist_observe t.metrics
-                    (Printf.sprintf "barrier.move_stall_ms{site=%d}"
-                       (Site_id.to_int dst))
+                    (Site.metric_label (site t dst) "barrier.move_stall_ms")
                     stall_ms;
                   send t ~src:dst ~dst:w.reply_to (Protocol.Move_ack { token })
                 end));

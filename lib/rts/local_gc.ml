@@ -6,12 +6,13 @@ let run eng site =
   let tables = site.Site.tables in
   let metrics = Engine.metrics eng in
   Metrics.incr metrics "gc.local_traces";
-  let inref_roots =
-    List.filter_map
-      (fun ir ->
-        if ir.Ioref.ir_flagged then None else Some ir.Ioref.ir_target)
-      (Tables.inrefs tables)
-  in
+  (* Unsorted iteration: the roots feed a closure (sets), so table
+     order is not observable here. *)
+  let inref_roots = ref [] in
+  Tables.iter_inrefs tables (fun ir ->
+      if not ir.Ioref.ir_flagged then
+        inref_roots := ir.Ioref.ir_target :: !inref_roots);
+  let inref_roots = !inref_roots in
   let roots =
     Heap.persistent_roots heap
     @ Engine.app_roots eng site.Site.id
@@ -62,7 +63,7 @@ let run eng site =
       Engine.send eng ~src:site.Site.id ~dst
         (Protocol.Update { removals = !q; dists = [] }))
     by_site;
-  List.iter (fun ir -> ir.Ioref.ir_fresh <- false) (Tables.inrefs tables);
+  Tables.iter_inrefs tables (fun ir -> ir.Ioref.ir_fresh <- false);
   site.Site.trace_epoch <- site.Site.trace_epoch + 1
 
 let install eng =

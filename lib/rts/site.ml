@@ -15,6 +15,7 @@ type t = {
   mutable crashed : bool;
   mutable trace_epoch : int;
   pin_tbl : (int, Oid.t list) Hashtbl.t;
+  labels : (string, string) Hashtbl.t;
   hooks : hooks;
 }
 
@@ -26,6 +27,7 @@ let create id =
     crashed = false;
     trace_epoch = 0;
     pin_tbl = Hashtbl.create 8;
+    labels = Hashtbl.create 8;
     hooks =
       {
         h_ref_arrived = (fun _ -> ());
@@ -37,6 +39,14 @@ let create id =
   }
 
 let is_local t r = Site_id.equal (Oid.site r) t.id
+
+let metric_label t base =
+  match Hashtbl.find_opt t.labels base with
+  | Some s -> s
+  | None ->
+      let s = Printf.sprintf "%s{site=%d}" base (Site_id.to_int t.id) in
+      Hashtbl.add t.labels base s;
+      s
 
 let pin t ~token refs =
   Hashtbl.replace t.pin_tbl token refs;

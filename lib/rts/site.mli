@@ -32,10 +32,16 @@ type t = {
   mutable crashed : bool;
   mutable trace_epoch : int;  (** completed local traces *)
   pin_tbl : (int, Oid.t list) Hashtbl.t;
+  labels : (string, string) Hashtbl.t;  (** interned metric names *)
   hooks : hooks;
 }
 
 val create : Site_id.t -> t
+
+val metric_label : t -> string -> string
+(** [metric_label t base] is ["base{site=N}"], formatted once per base
+    and cached — metric emission on hot paths should not allocate a
+    fresh label string per event. *)
 
 val pin : t -> token:int -> Oid.t list -> unit
 (** Retain [refs] until {!unpin} with the same token: local refs become

@@ -16,8 +16,16 @@ val ensure_inref : t -> Oid.t -> Ioref.inref
     the oid is not local to this site. *)
 
 val remove_inref : t -> Oid.t -> unit
+
 val iter_inrefs : t -> (Ioref.inref -> unit) -> unit
+(** Unspecified order, no allocation — prefer this on hot paths where
+    order is not observable (closures, mark sets, flag resets). *)
+
 val inrefs : t -> Ioref.inref list
+(** Sorted by target oid. Use where traversal order is observable:
+    pretty-printing, snapshots, conformance checks, and anything that
+    feeds deterministic statistics or tie-breaks. *)
+
 val inref_count : t -> int
 
 (** {1 Outrefs} *)
@@ -29,8 +37,13 @@ val ensure_outref : t -> ?dist:int -> Oid.t -> Ioref.outref * bool
     [Invalid_argument] if the oid is local to this site. *)
 
 val remove_outref : t -> Oid.t -> unit
+
 val iter_outrefs : t -> (Ioref.outref -> unit) -> unit
+(** Unspecified order; see {!iter_inrefs}. *)
+
 val outrefs : t -> Ioref.outref list
+(** Sorted by target oid; see {!inrefs}. *)
+
 val outref_count : t -> int
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,157 @@
+(* Golden outcomes for the local trace.
+
+   [Local_trace.compute] is pure, and nothing in this repo is allowed
+   to change what it computes silently: the hot paths may be rewritten
+   for speed, but the outcome — dead set, out/in results, and the
+   cost-model stats — must stay byte-identical. This test pins the
+   outcomes of figs 1-6 under all three modes by digesting the
+   marshalled value (without sharing, so only the abstract value
+   matters, not its in-memory shape).
+
+   If a deliberate semantic change shifts these, regenerate with
+
+     GOLDEN_DUMP=1 dune exec test/test_golden_trace.exe
+
+   and paste the printed table over [expected]. *)
+
+open Dgc_simcore
+open Dgc_rts
+open Dgc_core
+open Dgc_workload
+
+let cfg_atomic =
+  {
+    Config.default with
+    Config.delta = 3;
+    threshold2 = 6;
+    trace_duration = Sim_time.zero;
+  }
+
+let suspect_everything eng =
+  Array.iter
+    (fun s ->
+      Tables.iter_inrefs s.Site.tables (fun ir ->
+          List.iter
+            (fun src -> Ioref.set_source_dist ir src.Ioref.src_site ~dist:50)
+            ir.Ioref.ir_sources))
+    (Engine.sites eng)
+
+let figs : (string * (unit -> Sim.t)) list =
+  [
+    ("fig1", fun () -> (Scenario.fig1 ~cfg:cfg_atomic ()).Scenario.f1_sim);
+    ("fig2", fun () -> (Scenario.fig2 ~cfg:cfg_atomic ()).Scenario.f2_sim);
+    ("fig3", fun () -> (Scenario.fig3 ~cfg:cfg_atomic ()).Scenario.f3_sim);
+    ("fig4", fun () -> (Scenario.fig4 ~cfg:cfg_atomic ()).Scenario.f4_sim);
+    ("fig5", fun () -> (Scenario.fig5 ~cfg:cfg_atomic ()).Scenario.f5_sim);
+    ("fig6", fun () -> (fst (Scenario.fig6 ~cfg:cfg_atomic ())).Scenario.f5_sim);
+  ]
+
+let modes =
+  [
+    ("bottom_up", Local_trace.Bottom_up);
+    ("independent", Local_trace.Independent);
+    ("naive", Local_trace.Naive_bottom_up);
+  ]
+
+(* One digest per (fig, mode): the concatenation of the marshalled
+   outcome of every site, in site order. [No_sharing] is essential —
+   two structurally equal outcomes must digest equally even if their
+   heap representations share differently. *)
+let digest_of sim mode =
+  let eng = sim.Sim.eng in
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun s ->
+      let inp = Local_trace.input_of_site eng s in
+      let outcome = Local_trace.compute ~mode inp in
+      Buffer.add_string buf (Marshal.to_string outcome [ Marshal.No_sharing ]))
+    (Engine.sites eng);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Two table states per figure: "fresh" (conservative initial
+   distances, as drawn) and "settled" (4 trace rounds converged the
+   distances, then every inref re-suspected). Fresh is where fig4's
+   naive mode visibly diverges from the SCC-correct one. *)
+let compute_all () =
+  List.concat_map
+    (fun (fig, build) ->
+      List.concat_map
+        (fun (vname, rounds) ->
+          let sim = build () in
+          Scenario.settle sim ~rounds;
+          suspect_everything sim.Sim.eng;
+          List.map
+            (fun (mname, mode) ->
+              ((fig ^ "." ^ vname, mname), digest_of sim mode))
+            modes)
+        [ ("fresh", 0); ("settled", 4) ])
+    figs
+
+let expected =
+  [
+    (("fig1.fresh", "bottom_up"), "791b04e02f343d51e9fe5cf447e8c06c");
+    (("fig1.fresh", "independent"), "791b04e02f343d51e9fe5cf447e8c06c");
+    (("fig1.fresh", "naive"), "791b04e02f343d51e9fe5cf447e8c06c");
+    (("fig1.settled", "bottom_up"), "3630620fe328cb4c527b541dfaa1a455");
+    (("fig1.settled", "independent"), "3630620fe328cb4c527b541dfaa1a455");
+    (("fig1.settled", "naive"), "3630620fe328cb4c527b541dfaa1a455");
+    (("fig2.fresh", "bottom_up"), "c786e5e634743e058372987feeb5e229");
+    (("fig2.fresh", "independent"), "f9fe454f27adc1d42200025b24f914c0");
+    (("fig2.fresh", "naive"), "c786e5e634743e058372987feeb5e229");
+    (("fig2.settled", "bottom_up"), "c786e5e634743e058372987feeb5e229");
+    (("fig2.settled", "independent"), "f9fe454f27adc1d42200025b24f914c0");
+    (("fig2.settled", "naive"), "c786e5e634743e058372987feeb5e229");
+    (("fig3.fresh", "bottom_up"), "f4a64692c693dbad09c95c24516e2035");
+    (("fig3.fresh", "independent"), "32cef45b0ea5ac4a544a1ed4a1d2e30e");
+    (("fig3.fresh", "naive"), "f4a64692c693dbad09c95c24516e2035");
+    (("fig3.settled", "bottom_up"), "f4a64692c693dbad09c95c24516e2035");
+    (("fig3.settled", "independent"), "32cef45b0ea5ac4a544a1ed4a1d2e30e");
+    (("fig3.settled", "naive"), "f4a64692c693dbad09c95c24516e2035");
+    (("fig4.fresh", "bottom_up"), "e2d61b30b4ba162a46349d3c3870ab6d");
+    (("fig4.fresh", "independent"), "ba6f411076411a1ed74341563e081aab");
+    (("fig4.fresh", "naive"), "447fac5603fe1182ea1716f74be69f6d");
+    (("fig4.settled", "bottom_up"), "b675c4947413ab80a863586d2f1db1ca");
+    (("fig4.settled", "independent"), "b675c4947413ab80a863586d2f1db1ca");
+    (("fig4.settled", "naive"), "b675c4947413ab80a863586d2f1db1ca");
+    (("fig5.fresh", "bottom_up"), "187e4d4145d83e70de5442356c0a4410");
+    (("fig5.fresh", "independent"), "187e4d4145d83e70de5442356c0a4410");
+    (("fig5.fresh", "naive"), "187e4d4145d83e70de5442356c0a4410");
+    (("fig5.settled", "bottom_up"), "187e4d4145d83e70de5442356c0a4410");
+    (("fig5.settled", "independent"), "187e4d4145d83e70de5442356c0a4410");
+    (("fig5.settled", "naive"), "187e4d4145d83e70de5442356c0a4410");
+    (("fig6.fresh", "bottom_up"), "683bc5b6e5afbf8d1e4d9ab7b2acb913");
+    (("fig6.fresh", "independent"), "ec4b8cb252fa084316d1d7029522c181");
+    (("fig6.fresh", "naive"), "683bc5b6e5afbf8d1e4d9ab7b2acb913");
+    (("fig6.settled", "bottom_up"), "683bc5b6e5afbf8d1e4d9ab7b2acb913");
+    (("fig6.settled", "independent"), "ec4b8cb252fa084316d1d7029522c181");
+    (("fig6.settled", "naive"), "683bc5b6e5afbf8d1e4d9ab7b2acb913");
+  ]
+
+let dump () =
+  List.iter
+    (fun ((fig, mode), d) ->
+      Printf.printf "    ((%S, %S), %S);\n" fig mode d)
+    (compute_all ())
+
+let test_golden () =
+  let got = compute_all () in
+  List.iter
+    (fun ((fig, mode), want) ->
+      match List.assoc_opt (fig, mode) got with
+      | None -> Alcotest.failf "%s/%s: no digest computed" fig mode
+      | Some d ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s outcome digest" fig mode)
+            want d)
+    expected;
+  Alcotest.(check int)
+    "digest count" (List.length expected) (List.length got)
+
+let () =
+  if Sys.getenv_opt "GOLDEN_DUMP" = Some "1" then dump ()
+  else
+    Alcotest.run "golden_trace"
+      [
+        ( "golden",
+          [ Alcotest.test_case "figs 1-6, all modes" `Quick test_golden ] );
+      ]

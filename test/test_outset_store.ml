@@ -105,6 +105,58 @@ let prop_canonical =
       in
       of_list xs = of_list (List.rev xs))
 
+(* Property: union is idempotent, commutative and associative at the
+   id level (canonical ids make set equality id equality). *)
+let prop_set_algebra =
+  QCheck2.Test.make ~name:"union idempotent/commutative/associative"
+    ~count:200
+    ~print:QCheck2.Print.(triple (list int) (list int) (list int))
+    QCheck2.Gen.(
+      triple
+        (list_size (int_bound 8) (int_bound 15))
+        (list_size (int_bound 8) (int_bound 15))
+        (list_size (int_bound 8) (int_bound 15)))
+    (fun (xs, ys, zs) ->
+      let st = Outset_store.create () in
+      let of_list l =
+        List.fold_left
+          (fun acc i -> Outset_store.add st acc (oid i))
+          (Outset_store.empty st) l
+      in
+      let a = of_list xs and b = of_list ys and c = of_list zs in
+      let u = Outset_store.union st in
+      u a a = a && u a b = u b a && u (u a b) c = u a (u b c))
+
+(* Property: an arbitrary union tree computes the same elements with
+   the memo on and off (the §5.2 ablation invariant, randomized). *)
+let prop_memo_ablation =
+  QCheck2.Test.make ~name:"memo on/off identical on random unions"
+    ~count:200
+    ~print:QCheck2.Print.(list (list int))
+    QCheck2.Gen.(list_size (int_bound 10) (list_size (int_bound 8) (int_bound 15)))
+    (fun lists ->
+      let run memoize =
+        let st = Outset_store.create ~memoize () in
+        let of_list l =
+          List.fold_left
+            (fun acc i -> Outset_store.add st acc (oid i))
+            (Outset_store.empty st) l
+        in
+        let ids = List.map of_list lists in
+        (* union every pair, then fold the lot together *)
+        let pairs =
+          List.concat_map (fun x -> List.map (fun y -> Outset_store.union st x y) ids)
+            ids
+        in
+        let all =
+          List.fold_left (Outset_store.union st) (Outset_store.empty st) pairs
+        in
+        ( Outset_store.elements st all,
+          List.map (Outset_store.elements st) pairs )
+      in
+      let with_memo = run true and without = run false in
+      with_memo = without)
+
 let () =
   Alcotest.run "outset_store"
     [
@@ -120,5 +172,10 @@ let () =
         ] );
       ( "properties",
         List.map (fun t -> QCheck_alcotest.to_alcotest t)
-          [ prop_union_is_set_union; prop_canonical ] );
+          [
+            prop_union_is_set_union;
+            prop_canonical;
+            prop_set_algebra;
+            prop_memo_ablation;
+          ] );
     ]
