@@ -30,6 +30,14 @@ let close ~tol a b =
 
 let obj_fields = function Some (Json.Obj fields) -> fields | _ -> []
 
+(* retry.* and chaos.* counters come from the delivery-hardening and
+   fault-injection channels: they appear only in runs that exercised
+   them, so their absence is judged against 0 rather than flagged as a
+   disappearance. *)
+let optional_counter k =
+  String.starts_with ~prefix:"retry." k
+  || String.starts_with ~prefix:"chaos." k
+
 let compare_counters ~tol ~exact base fresh =
   let bc = obj_fields (Json.member "counters" base) in
   let fc = obj_fields (Json.member "counters" fresh) in
@@ -39,6 +47,10 @@ let compare_counters ~tol ~exact base fresh =
       | None -> ()
       | Some b -> (
           match Option.bind (List.assoc_opt k fc) Json.to_int_opt with
+          | None when optional_counter k ->
+              (* fault-channel counters only exist when faults fired *)
+              if not (close ~tol (float_of_int b) 0.) then
+                complain "counter %s: baseline %d, now absent" k b
           | None -> complain "counter %s disappeared (baseline %d)" k b
           | Some f ->
               if exact then begin

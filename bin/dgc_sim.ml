@@ -485,6 +485,210 @@ let run_inspect scenario rounds out =
     out;
   0
 
+(* --- chaos subcommand: fault-plan campaigns ----------------------------- *)
+
+module Chaos = Dgc_chaos
+
+let print_chaos_outcome oc =
+  let open Chaos.Campaign in
+  match oc.oc_failure with
+  | None ->
+      say "PASS %s (%d fault windows, %.0fs simulated)" oc.oc_case.cs_name
+        oc.oc_injected oc.oc_sim_seconds
+  | Some f -> say "FAIL %s: %s" oc.oc_case.cs_name (failure_to_string f)
+
+let write_chaos_artifact ~out json =
+  Run_artifact.write ~path:out json;
+  say "wrote chaos artifact to %s" out
+
+(* Replay one plan file against a workload; the bit-determinism surface
+   (same --workload/--seed/--plan ⇒ byte-identical --out artifact). *)
+let chaos_replay ~tweak ~workload ~seed ~horizon_ms ~shrink ~out path =
+  match Chaos.Plan.load ~path with
+  | Error m ->
+      say "cannot load plan %s: %s" path m;
+      2
+  | Ok plan ->
+      let case =
+        {
+          Chaos.Campaign.cs_name = Printf.sprintf "%s-%d" workload seed;
+          cs_workload = workload;
+          cs_seed = seed;
+          cs_horizon_ms = horizon_ms;
+          cs_plan = plan;
+        }
+      in
+      say "chaos: replaying %s (%d events) against %s, seed %d" path
+        (Chaos.Plan.length plan) workload seed;
+      let oc = Chaos.Campaign.run_case ~tweak case in
+      print_chaos_outcome oc;
+      let shrunk =
+        match oc.Chaos.Campaign.oc_failure with
+        | Some f when shrink ->
+            let p, replays = Chaos.Campaign.shrink_case ~tweak case f in
+            say "shrunk to %d fault events in %d replays:" (Chaos.Plan.length p)
+              replays;
+            say "%a" Chaos.Plan.pp p;
+            Some (p, replays)
+        | _ -> None
+      in
+      Option.iter
+        (fun out -> write_chaos_artifact ~out (Chaos.Campaign.artifact ?shrunk oc))
+        out;
+      if Option.is_none oc.Chaos.Campaign.oc_failure then 0 else 1
+
+let chaos_campaign ~tweak ~workload ~seed ~cases ~horizon_ms ~events ~out () =
+  if not (Chaos.Workloads.mem workload) then begin
+    say "unknown workload %S (try %s)" workload
+      (String.concat ", " Chaos.Workloads.names);
+    2
+  end
+  else begin
+    say "chaos: %d seeded plans x %s, horizon %.0fms, %d events each" cases
+      workload horizon_ms events;
+    let seeds = List.init cases (fun i -> seed + i) in
+    let s =
+      Chaos.Campaign.run ~tweak ~workload ~seeds ~horizon_ms
+        ~events_per_plan:events ()
+    in
+    List.iter print_chaos_outcome s.Chaos.Campaign.sm_outcomes;
+    List.iter
+      (fun (oc, p, replays) ->
+        let case = oc.Chaos.Campaign.oc_case in
+        say "reproducer for %s (%d events, %d replays):"
+          case.Chaos.Campaign.cs_name (Chaos.Plan.length p) replays;
+        say "%a" Chaos.Plan.pp p;
+        Option.iter
+          (fun prefix ->
+            let path =
+              Printf.sprintf "%s.%s.json" prefix case.Chaos.Campaign.cs_name
+            in
+            Chaos.Plan.save ~path p;
+            say "wrote reproducer plan to %s" path;
+            write_chaos_artifact ~out:(prefix ^ "." ^ case.Chaos.Campaign.cs_name ^ ".artifact.json")
+              (Chaos.Campaign.artifact ~shrunk:(p, replays) oc))
+          out)
+      s.Chaos.Campaign.sm_failures;
+    let failed = List.length s.Chaos.Campaign.sm_failures in
+    say "chaos: %d/%d cases passed" (cases - failed) cases;
+    if failed = 0 then 0 else 1
+  end
+
+(* The deterministic CI smoke campaign: tiny fixed plans over two
+   contrasting workloads; everything must stay safe and complete. *)
+let chaos_smoke ~tweak () =
+  let ok =
+    List.for_all
+      (fun (w, seeds) ->
+        let s =
+          Chaos.Campaign.run ~tweak ~shrink:false ~workload:w ~seeds
+            ~horizon_ms:30_000. ~events_per_plan:3 ()
+        in
+        List.iter print_chaos_outcome s.Chaos.Campaign.sm_outcomes;
+        s.Chaos.Campaign.sm_failures = [])
+      [ ("fig1", [ 1; 2 ]); ("ring", [ 3 ]) ]
+  in
+  if ok then begin
+    say "chaos smoke: all cases safe and complete";
+    0
+  end
+  else 1
+
+let run_chaos workload seed cases horizon_ms events plan out shrink broken
+    smoke =
+  let tweak cfg =
+    if broken then { cfg with Config.enable_transfer_barrier = false } else cfg
+  in
+  if smoke then chaos_smoke ~tweak ()
+  else
+    match plan with
+    | Some path ->
+        chaos_replay ~tweak ~workload ~seed ~horizon_ms ~shrink ~out path
+    | None ->
+        chaos_campaign ~tweak ~workload ~seed ~cases ~horizon_ms ~events ~out
+          ()
+
+let chaos_cmd =
+  let doc =
+    "run deterministic fault-plan campaigns: seeded chaos schedules \
+     (crashes, partitions, drop/dup bursts, latency storms) against a \
+     workload, with oracle safety checked at every sweep, completeness \
+     demanded after quiescence, and failing plans shrunk to minimal \
+     reproducers"
+  in
+  let workload =
+    Arg.(
+      value
+      & opt string "churn"
+      & info [ "workload" ]
+          ~doc:
+            "Workload: $(b,fig1)..$(b,fig6), $(b,race), $(b,ring), \
+             $(b,hypertext), $(b,churn).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~doc:"Base seed (campaign uses seed, seed+1, ...).")
+  in
+  let cases =
+    Arg.(
+      value & opt int 5
+      & info [ "cases" ] ~doc:"Seeded plans to run in campaign mode.")
+  in
+  let horizon =
+    Arg.(
+      value
+      & opt float 60_000.
+      & info [ "horizon-ms" ] ~doc:"Chaos-phase length in simulated ms.")
+  in
+  let events =
+    Arg.(
+      value & opt int 4
+      & info [ "events" ] ~doc:"Fault windows per generated plan.")
+  in
+  let plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ]
+          ~doc:
+            "Replay this $(b,dgc.plan/1) JSON file instead of generating \
+             plans.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ]
+          ~doc:
+            "Replay: write the $(b,dgc.chaos/1) artifact here. Campaign: \
+             prefix for reproducer plans/artifacts of failing cases.")
+  in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"On replay failure, shrink the plan to a minimal reproducer.")
+  in
+  let broken =
+    Arg.(
+      value & flag
+      & info [ "broken-transfer-barrier" ]
+          ~doc:
+            "Plant the §6.1 bug: disable the transfer barrier, so the \
+             campaign must catch the resulting unsafe sweep.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Run the small fixed CI campaign (fig1 + ring) and exit.")
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run_chaos $ workload $ seed $ cases $ horizon $ events $ plan
+      $ out $ shrink $ broken $ smoke)
+
 (* --- cmdliner ----------------------------------------------------------- *)
 
 let opts_term =
@@ -727,6 +931,6 @@ let cmd =
   let doc = "simulate distributed cyclic garbage collection by back tracing" in
   Cmd.group ~default:Term.(const (fun o -> run o) $ opts_term)
     (Cmd.info "dgc-sim" ~doc)
-    [ run_cmd; trace_cmd; metrics_cmd; audit_cmd; inspect_cmd ]
+    [ run_cmd; trace_cmd; metrics_cmd; audit_cmd; inspect_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' cmd)

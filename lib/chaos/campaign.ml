@@ -1,0 +1,224 @@
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_rts
+open Dgc_core
+open Dgc_workload
+module Tel = Dgc_telemetry
+module Json = Tel.Json
+module Oracle = Dgc_oracle.Oracle
+module Audit = Dgc_observe.Audit
+module Shrink = Dgc_analysis.Shrink
+
+type failure =
+  | Safety of string
+  | Liveness of int
+  | Invariant of string
+  | Table of string
+
+let failure_to_string = function
+  | Safety m -> "safety: " ^ m
+  | Liveness n -> Printf.sprintf "liveness: %d garbage objects survived" n
+  | Invariant m -> "invariant: " ^ m
+  | Table m -> "table: " ^ m
+
+let same_kind a b =
+  match (a, b) with
+  | Safety _, Safety _
+  | Liveness _, Liveness _
+  | Invariant _, Invariant _
+  | Table _, Table _ ->
+      true
+  | (Safety _ | Liveness _ | Invariant _ | Table _), _ -> false
+
+type case = {
+  cs_name : string;
+  cs_workload : string;
+  cs_seed : int;
+  cs_horizon_ms : float;
+  cs_plan : Plan.t;
+}
+
+type outcome = {
+  oc_case : case;
+  oc_failure : failure option;
+  oc_sim_seconds : float;
+  oc_injected : int;
+  oc_journal : string list;
+  oc_counters : (string * int) list;
+  oc_run : Json.t;
+}
+
+let schema = "dgc.chaos/1"
+
+let base_cfg case =
+  {
+    Config.default with
+    Config.n_sites = Workloads.sites case.cs_workload;
+    seed = case.cs_seed;
+    trace_interval = Sim_time.of_seconds 10.;
+    trace_jitter = Sim_time.of_seconds 2.;
+    trace_duration = Sim_time.zero;
+    delta = 3;
+    threshold2 = 6;
+    threshold_bump = 4;
+    latency = Latency.Uniform (Sim_time.of_millis 1., Sim_time.of_millis 20.);
+    retry_limit = 2;
+    oracle_checks = true;
+  }
+
+let run_case ?(tweak = fun c -> c) case =
+  let cfg = tweak (base_cfg case) in
+  let wrng = Rng.create ~seed:((case.cs_seed * 7) + 1) in
+  let spec = Workloads.build ~name:case.cs_workload ~cfg ~rng:wrng in
+  let sim = spec.Workloads.sim in
+  let eng = sim.Sim.eng in
+  let journal = Journal.create ~capacity:8192 () in
+  Engine.attach_journal eng journal;
+  Engine.attach_tracer eng (Tel.Tracer.create ());
+  if not spec.Workloads.settled then Scenario.settle sim ~rounds:5;
+  Sim.start sim;
+  let inj = Inject.arm eng case.cs_plan in
+  let failure = ref None in
+  let catchf f =
+    try f () with
+    | Oracle.Safety_violation m -> failure := Some (Safety m)
+    | Invariants.Violation vs ->
+        failure :=
+          Some
+            (Invariant
+               (match Invariants.strings vs with v :: _ -> v | [] -> "?"))
+  in
+  catchf (fun () -> Sim.run_for sim (Sim_time.of_millis case.cs_horizon_ms));
+  Inject.quiesce inj;
+  spec.Workloads.stop ();
+  if Option.is_none !failure then
+    catchf (fun () ->
+        (* grace: parked base messages land, in-flight travels finish *)
+        Sim.run_for sim (Sim_time.of_minutes 1.);
+        if not (Sim.collect_all sim ~max_rounds:80 ()) then
+          failure := Some (Liveness (Oracle.garbage_count eng))
+        else begin
+          Scenario.settle sim ~rounds:6;
+          (match Invariants.strings (Invariants.check_all eng) with
+          | v :: _ -> failure := Some (Invariant v)
+          | [] -> ());
+          if Option.is_none !failure then
+            match Oracle.table_violations eng with
+            | v :: _ -> failure := Some (Table v)
+            | [] -> ()
+        end);
+  let sim_seconds = Sim_time.to_seconds (Engine.now eng) in
+  let audit = Audit.to_json (Audit.run sim.Sim.col) in
+  let run =
+    Tel.Run_artifact.make ~name:case.cs_name ~sim_seconds ~audit
+      (Engine.metrics eng)
+  in
+  {
+    oc_case = case;
+    oc_failure = !failure;
+    oc_sim_seconds = sim_seconds;
+    oc_injected = Inject.injected inj;
+    oc_journal =
+      List.map
+        (fun e -> Format.asprintf "%a" Journal.pp_entry e)
+        (Journal.entries journal);
+    oc_counters =
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Metrics.counters (Engine.metrics eng));
+    oc_run = run;
+  }
+
+let shrink_case ?tweak case failure0 =
+  let evs = Array.of_list case.cs_plan.Plan.events in
+  let plan_of devs =
+    {
+      Plan.events =
+        List.map (fun (i, _) -> evs.(i)) (List.sort compare devs);
+    }
+  in
+  let reproduces devs =
+    match (run_case ?tweak { case with cs_plan = plan_of devs }).oc_failure with
+    | Some f -> same_kind f failure0
+    | None -> false
+  in
+  let initial = List.mapi (fun i _ -> (i, 1)) case.cs_plan.Plan.events in
+  let devs, replays = Shrink.minimize ~reproduces initial in
+  (plan_of devs, replays)
+
+let artifact ?shrunk oc =
+  let case = oc.oc_case in
+  Json.Obj
+    ([
+       ("schema", Json.Str schema);
+       ( "case",
+         Json.Obj
+           [
+             ("name", Json.Str case.cs_name);
+             ("workload", Json.Str case.cs_workload);
+             ("seed", Json.Int case.cs_seed);
+             ("horizon_ms", Json.Float case.cs_horizon_ms);
+           ] );
+       ("plan", Plan.to_json case.cs_plan);
+       ( "outcome",
+         match oc.oc_failure with
+         | None -> Json.Obj [ ("status", Json.Str "pass") ]
+         | Some f ->
+             Json.Obj
+               [
+                 ("status", Json.Str "fail");
+                 ("failure", Json.Str (failure_to_string f));
+               ] );
+       ("injected", Json.Int oc.oc_injected);
+       ("journal", Json.Arr (List.map (fun s -> Json.Str s) oc.oc_journal));
+       ("run", oc.oc_run);
+     ]
+    @
+    match shrunk with
+    | None -> []
+    | Some (p, replays) ->
+        [
+          ("shrunk_plan", Plan.to_json p);
+          ("shrink_replays", Json.Int replays);
+        ])
+
+type summary = {
+  sm_outcomes : outcome list;
+  sm_failures : (outcome * Plan.t * int) list;
+}
+
+let run ?tweak ?(shrink = true) ~workload ~seeds ~horizon_ms ~events_per_plan
+    () =
+  let outcomes =
+    List.map
+      (fun seed ->
+        let rng = Rng.create ~seed in
+        let plan =
+          Plan.random ~rng ~sites:(Workloads.sites workload) ~horizon_ms
+            ~events:events_per_plan
+        in
+        let case =
+          {
+            cs_name = Printf.sprintf "%s-%d" workload seed;
+            cs_workload = workload;
+            cs_seed = seed;
+            cs_horizon_ms = horizon_ms;
+            cs_plan = plan;
+          }
+        in
+        run_case ?tweak case)
+      seeds
+  in
+  let failures =
+    List.filter_map
+      (fun oc ->
+        match oc.oc_failure with
+        | None -> None
+        | Some f ->
+            if shrink then
+              let p, replays = shrink_case ?tweak oc.oc_case f in
+              Some (oc, p, replays)
+            else Some (oc, oc.oc_case.cs_plan, 0))
+      outcomes
+  in
+  { sm_outcomes = outcomes; sm_failures = failures }

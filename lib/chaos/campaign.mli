@@ -1,0 +1,89 @@
+(** The chaos-campaign driver.
+
+    A {!case} names a workload, a seed, a horizon and a {!Plan.t}; the
+    driver builds the workload, arms the plan, runs the horizon with
+    the oracle checking every sweep, then closes all fault windows and
+    demands completeness: [Sim.collect_all] must reach zero garbage,
+    the §6.1 invariant battery and the oracle's table-integrity check
+    must both come back clean. Any deviation is a {!failure}; on
+    failure the plan can be shrunk (ddmin over its windows, via
+    [Dgc_analysis.Shrink]) to a minimal reproducer.
+
+    Everything is a pure function of the case (plus the optional
+    config tweak), so outcomes — including the ["dgc.chaos/1"]
+    artifact with the full journal — are bit-reproducible. *)
+
+module Json := Dgc_telemetry.Json
+
+type failure =
+  | Safety of string  (** oracle caught an unsafe sweep mid-run *)
+  | Liveness of int
+      (** garbage objects surviving after quiescence and
+          [collect_all] *)
+  | Invariant of string  (** §6.1 invariant battery violation *)
+  | Table of string  (** ioref-table referential integrity violation *)
+
+val failure_to_string : failure -> string
+
+type case = {
+  cs_name : string;
+  cs_workload : string;  (** a {!Workloads.names} entry *)
+  cs_seed : int;
+  cs_horizon_ms : float;  (** chaos phase length *)
+  cs_plan : Plan.t;
+}
+
+type outcome = {
+  oc_case : case;
+  oc_failure : failure option;
+  oc_sim_seconds : float;
+  oc_injected : int;  (** fault windows actually opened *)
+  oc_journal : string list;  (** rendered journal, oldest first *)
+  oc_counters : (string * int) list;  (** sorted *)
+  oc_run : Json.t;  (** embedded ["dgc.run/1"] artifact with audit *)
+}
+
+val schema : string
+(** ["dgc.chaos/1"]. *)
+
+val base_cfg : case -> Dgc_rts.Config.t
+(** The campaign configuration for a case: the case's workload site
+    count and seed, 10s trace intervals, millisecond latencies,
+    [retry_limit = 2] (the hardened delivery defaults), oracle checks
+    on. [run_case]'s [tweak] post-processes it. *)
+
+val run_case : ?tweak:(Dgc_rts.Config.t -> Dgc_rts.Config.t) -> case -> outcome
+(** Deterministic: same case (and tweak) ⇒ identical outcome,
+    including journal and counters. *)
+
+val shrink_case :
+  ?tweak:(Dgc_rts.Config.t -> Dgc_rts.Config.t) ->
+  case ->
+  failure ->
+  Plan.t * int
+(** Minimize the case's plan while [run_case] keeps failing with the
+    same failure constructor; returns the minimal plan and the number
+    of replays spent. The input case must reproduce. *)
+
+val artifact : ?shrunk:Plan.t * int -> outcome -> Json.t
+(** The ["dgc.chaos/1"] document: case, plan, outcome, journal, the
+    embedded run artifact, and the shrunk plan when given. *)
+
+type summary = {
+  sm_outcomes : outcome list;
+  sm_failures : (outcome * Plan.t * int) list;
+      (** failed outcomes with their (shrunk) plans and replay counts *)
+}
+
+val run :
+  ?tweak:(Dgc_rts.Config.t -> Dgc_rts.Config.t) ->
+  ?shrink:bool ->
+  workload:string ->
+  seeds:int list ->
+  horizon_ms:float ->
+  events_per_plan:int ->
+  unit ->
+  summary
+(** One {!Plan.random} per seed (the seed also drives the workload and
+    engine), [run_case] on each; failures are shrunk unless
+    [~shrink:false]. *)

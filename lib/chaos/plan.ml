@@ -1,0 +1,222 @@
+open Dgc_prelude
+module Json = Dgc_telemetry.Json
+
+type event =
+  | Crash of { site : int }
+  | Partition of { groups : int list list }
+  | Drop of { p : float }
+  | Dup of { p : float }
+  | Slow of { factor : float }
+
+type timed = { at_ms : float; dur_ms : float; ev : event }
+type t = { events : timed list }
+
+let schema = "dgc.plan/1"
+let empty = { events = [] }
+let length t = List.length t.events
+
+let kind_name = function
+  | Crash _ -> "crash"
+  | Partition _ -> "partition"
+  | Drop _ -> "drop"
+  | Dup _ -> "dup"
+  | Slow _ -> "slow"
+
+(* ---- encoding -------------------------------------------------------- *)
+
+let event_fields = function
+  | Crash { site } -> [ ("site", Json.Int site) ]
+  | Partition { groups } ->
+      [
+        ( "groups",
+          Json.Arr
+            (List.map
+               (fun g -> Json.Arr (List.map (fun s -> Json.Int s) g))
+               groups) );
+      ]
+  | Drop { p } -> [ ("p", Json.Float p) ]
+  | Dup { p } -> [ ("p", Json.Float p) ]
+  | Slow { factor } -> [ ("factor", Json.Float factor) ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ( "events",
+        Json.Arr
+          (List.map
+             (fun e ->
+               Json.Obj
+                 ([
+                    ("kind", Json.Str (kind_name e.ev));
+                    ("at_ms", Json.Float e.at_ms);
+                    ("dur_ms", Json.Float e.dur_ms);
+                  ]
+                 @ event_fields e.ev))
+             t.events) );
+    ]
+
+(* ---- decoding -------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let num name j =
+  let* v = field name j in
+  match Json.to_float_opt v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S: expected a number" name)
+
+let str name j =
+  let* v = field name j in
+  match Json.to_str_opt v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S: expected a string" name)
+
+let int_field name j =
+  let* v = field name j in
+  match Json.to_int_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "field %S: expected an integer" name)
+
+let groups_of_json j =
+  let* v = field "groups" j in
+  match Json.to_list_opt v with
+  | None -> Error "field \"groups\": expected an array"
+  | Some gs ->
+      List.fold_left
+        (fun acc g ->
+          let* acc = acc in
+          match Json.to_list_opt g with
+          | None -> Error "partition group: expected an array of sites"
+          | Some sites ->
+              let* sites =
+                List.fold_left
+                  (fun acc s ->
+                    let* acc = acc in
+                    match Json.to_int_opt s with
+                    | Some i -> Ok (i :: acc)
+                    | None -> Error "partition group: expected integer sites")
+                  (Ok []) sites
+              in
+              Ok (List.rev sites :: acc))
+        (Ok []) gs
+      |> Result.map List.rev
+
+let event_of_json j =
+  let* kind = str "kind" j in
+  let* at_ms = num "at_ms" j in
+  let* dur_ms = num "dur_ms" j in
+  let* ev =
+    match kind with
+    | "crash" ->
+        let* site = int_field "site" j in
+        Ok (Crash { site })
+    | "partition" ->
+        let* groups = groups_of_json j in
+        Ok (Partition { groups })
+    | "drop" ->
+        let* p = num "p" j in
+        Ok (Drop { p })
+    | "dup" ->
+        let* p = num "p" j in
+        Ok (Dup { p })
+    | "slow" ->
+        let* factor = num "factor" j in
+        Ok (Slow { factor })
+    | other -> Error (Printf.sprintf "unknown fault kind %S" other)
+  in
+  if at_ms < 0. || dur_ms < 0. then Error "at_ms/dur_ms must be non-negative"
+  else Ok { at_ms; dur_ms; ev }
+
+let of_json j =
+  let* s = str "schema" j in
+  if not (String.equal s schema) then
+    Error (Printf.sprintf "expected schema %S, got %S" schema s)
+  else
+    let* evs = field "events" j in
+    match Json.to_list_opt evs with
+    | None -> Error "field \"events\": expected an array"
+    | Some l ->
+        let rec go i acc = function
+          | [] -> Ok { events = List.rev acc }
+          | e :: tl -> (
+              match event_of_json e with
+              | Ok e -> go (i + 1) (e :: acc) tl
+              | Error m -> Error (Printf.sprintf "event %d: %s" i m))
+        in
+        go 0 [] l
+
+let of_string s =
+  let* j = Json.parse s in
+  of_json j
+
+let save ~path t =
+  let oc = open_out path in
+  output_string oc (Json.to_string (to_json t));
+  output_char oc '\n';
+  close_out oc
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | s -> of_string s
+
+(* ---- generation ------------------------------------------------------ *)
+
+let random_event rng ~sites =
+  match Rng.int rng 5 with
+  | 0 -> Crash { site = Rng.int rng sites }
+  | 1 ->
+      let all = List.init sites Fun.id in
+      let left = List.filter (fun _ -> Rng.bool rng) all in
+      let left = if left = [] then [ 0 ] else left in
+      let right = List.filter (fun s -> not (List.mem s left)) all in
+      Partition { groups = (if right = [] then [ left ] else [ left; right ]) }
+  | 2 -> Drop { p = Rng.float_in rng 0.3 1.0 }
+  | 3 -> Dup { p = Rng.float_in rng 0.2 0.8 }
+  | _ -> Slow { factor = Rng.float_in rng 2. 10. }
+
+let random ~rng ~sites ~horizon_ms ~events =
+  (* explicit loop: List.init's application order is unspecified and
+     the rng stream must be reproducible *)
+  let rec draw n acc =
+    if n = 0 then acc
+    else
+      let at_ms = Rng.float_in rng 0. (0.75 *. horizon_ms) in
+      let dur_ms = Rng.float_in rng (horizon_ms /. 20.) (horizon_ms /. 4.) in
+      let ev = random_event rng ~sites in
+      draw (n - 1) ({ at_ms; dur_ms; ev } :: acc)
+  in
+  let evs = draw (max 0 events) [] in
+  { events = List.stable_sort (fun a b -> Float.compare a.at_ms b.at_ms) evs }
+
+(* ---- printing -------------------------------------------------------- *)
+
+let pp_event ppf = function
+  | Crash { site } -> Format.fprintf ppf "crash site %d" site
+  | Partition { groups } ->
+      Format.fprintf ppf "partition %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "|")
+           (fun ppf g ->
+             Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+               Format.pp_print_int ppf g))
+        groups
+  | Drop { p } -> Format.fprintf ppf "drop p=%.2f" p
+  | Dup { p } -> Format.fprintf ppf "dup p=%.2f" p
+  | Slow { factor } -> Format.fprintf ppf "slow x%.1f" factor
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%7.0fms +%5.0fms  %a" e.at_ms e.dur_ms pp_event e.ev)
+    t.events;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,69 @@
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_rts
+open Dgc_core
+open Dgc_workload
+
+type spec = { sim : Sim.t; settled : bool; stop : unit -> unit }
+
+let nothing () = ()
+
+let names =
+  [
+    "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "race"; "ring";
+    "hypertext"; "churn";
+  ]
+
+let mem n = List.mem n names
+
+let sites = function
+  | "fig1" | "fig2" | "fig4" -> 3
+  | "fig3" | "fig5" | "fig6" | "race" -> 4
+  | _ -> 5
+
+let static sim = { sim; settled = false; stop = nothing }
+
+let all_sites eng =
+  Array.to_list (Array.map (fun s -> s.Site.id) (Engine.sites eng))
+
+let build ~name ~cfg ~rng =
+  match name with
+  | "fig1" -> static (Scenario.fig1 ~cfg ()).Scenario.f1_sim
+  | "fig2" -> static (Scenario.fig2 ~cfg ()).Scenario.f2_sim
+  | "fig3" -> static (Scenario.fig3 ~cfg ()).Scenario.f3_sim
+  | "fig4" -> static (Scenario.fig4 ~cfg ()).Scenario.f4_sim
+  | "fig5" -> static (Scenario.fig5 ~cfg ()).Scenario.f5_sim
+  | "fig6" -> static (fst (Scenario.fig6 ~cfg ())).Scenario.f5_sim
+  | "race" ->
+      (* armed §6.4 race: the builder settles distances and schedules
+         the walk, the deletion and the back trace itself *)
+      let f, _verdict = Scenario.fig5_race_arm ~cfg () in
+      { sim = f.Scenario.f5_sim; settled = true; stop = nothing }
+  | "ring" ->
+      let sim = Sim.make ~cfg () in
+      let eng = sim.Sim.eng in
+      let sites = all_sites eng in
+      ignore (Graph_gen.chain eng ~sites ~per_site:2 ~rooted:true);
+      ignore (Graph_gen.ring eng ~sites ~per_site:2 ~rooted:false);
+      static sim
+  | "hypertext" ->
+      let sim = Sim.make ~cfg () in
+      ignore
+        (Graph_gen.hypertext sim.Sim.eng ~rng ~docs_per_site:2
+           ~pages_per_doc:4 ~cross_links:6 ~rooted_frac:0.5);
+      static sim
+  | "churn" ->
+      let sim = Sim.make ~cfg () in
+      let eng = sim.Sim.eng in
+      Array.iter
+        (fun st -> ignore (Builder.root_obj eng st.Site.id))
+        (Engine.sites eng);
+      ignore
+        (Graph_gen.random_graph eng ~rng ~objects_per_site:8 ~out_degree:1.3
+           ~remote_frac:0.35 ~root_frac:0.1);
+      let churn =
+        Churn.start sim ~rng:(Rng.split rng) ~agents:3
+          ~mean_op_gap:(Sim_time.of_millis 500.)
+      in
+      { sim; settled = false; stop = (fun () -> Churn.stop churn) }
+  | other -> invalid_arg ("unknown chaos workload: " ^ other)

@@ -1,0 +1,36 @@
+(** The campaign workload catalog.
+
+    Every workload builds a ready-to-run {!Dgc_core.Sim.t}: the
+    paper's figure scenarios (figs 1–6 and the armed §6.4 race), the
+    synthetic ring and hypertext graphs, and the randomized churn
+    workload. The campaign driver injects faults into whichever one a
+    case names, so each plan exercises the same fault schedule against
+    very different object graphs and mutator behaviours. *)
+
+open Dgc_prelude
+open Dgc_rts
+open Dgc_core
+
+type spec = {
+  sim : Sim.t;
+  settled : bool;
+      (** the builder already converged distances (and possibly armed
+          its own schedule): the driver must not call [Scenario.settle]
+          again *)
+  stop : unit -> unit;  (** stop mutators before the completeness phase *)
+}
+
+val names : string list
+(** ["fig1"] … ["fig6"], ["race"], ["ring"], ["hypertext"], ["churn"]. *)
+
+val mem : string -> bool
+
+val sites : string -> int
+(** Sites the workload runs on — what [Config.n_sites] and
+    {!Plan.random}'s [~sites] should use. (The figure builders force
+    their own site count regardless.) *)
+
+val build : name:string -> cfg:Config.t -> rng:Rng.t -> spec
+(** [rng] seeds the graph generators and churn agents; the engine has
+    its own stream from [cfg.seed]. Raises [Invalid_argument] on an
+    unknown name. *)

@@ -59,6 +59,16 @@ type site_state = {
   (* iorefs this site has marked visited, per trace, for the report
      phase and the TTL cleanup *)
   visited_refs : (Trace_id.t, Oid.t list ref) Hashtbl.t;
+  (* Receiver-side idempotency memo for at-least-once [Back_call]
+     delivery, keyed by (trace, caller site, caller call seq) — the
+     nonce the caller minted for the call. [None] while the call is
+     still being traced (a duplicate is ignored; the eventual reply
+     answers both copies); [Some reply] afterwards (a duplicate
+     replays the cached reply verbatim). Entries are dropped when the
+     trace's outcome report arrives, and the FIFO bounds the table
+     when reports are lost. *)
+  call_memo : (Trace_id.t * Site_id.t * int, Protocol.ext option) Hashtbl.t;
+  memo_fifo : (Trace_id.t * Site_id.t * int) Queue.t;
 }
 
 type trace_stat = {
@@ -96,6 +106,8 @@ let create eng =
             next_call = 0;
             next_trace = 0;
             visited_refs = Hashtbl.create 8;
+            call_memo = Hashtbl.create 32;
+            memo_fifo = Queue.create ();
           })
         (Engine.sites eng);
     tstats = Hashtbl.create 16;
@@ -114,6 +126,18 @@ let send_back sh ~src ~dst trace ext =
   bump_stat sh trace (fun s -> s.ts_msgs <- s.ts_msgs + 1);
   Metrics.incr (Engine.metrics sh.eng) "back.msgs";
   Engine.send sh.eng ~src ~dst (Protocol.Ext ext)
+
+(* Cap on memoized calls per site: entries normally die with the
+   trace's report, but a lost report would otherwise leak them. *)
+let memo_cap = 8192
+
+let memo_add st key v =
+  if not (Hashtbl.mem st.call_memo key) then begin
+    Queue.push key st.memo_fifo;
+    if Queue.length st.memo_fifo > memo_cap then
+      Hashtbl.remove st.call_memo (Queue.pop st.memo_fifo)
+  end;
+  Hashtbl.replace st.call_memo key v
 
 let self_id st = st.ss_site.Site.id
 let tables st = st.ss_site.Site.tables
@@ -261,15 +285,18 @@ let rec finish sh st fr v =
             ("dst", jsite site);
             ("verdict", jstr (Verdict.to_string v));
           ];
-        send_back sh ~src:(self_id st) ~dst:site fr.fr_trace
-          (Back_reply
-             {
-               trace = fr.fr_trace;
-               reply_frame = frame;
-               call_seq;
-               verdict = v;
-               participants = parts;
-             })
+        let reply =
+          Back_reply
+            {
+              trace = fr.fr_trace;
+              reply_frame = frame;
+              call_seq;
+              verdict = v;
+              participants = parts;
+            }
+        in
+        memo_add st (fr.fr_trace, site, call_seq) (Some reply);
+        send_back sh ~src:(self_id st) ~dst:site fr.fr_trace reply
     | P_initiator -> conclude sh st fr.fr_trace v parts
   end
 
@@ -307,9 +334,12 @@ and return_to sh st trace parent v =
           ("dst", jsite site);
           ("verdict", jstr (Verdict.to_string v));
         ];
-      send_back sh ~src:(self_id st) ~dst:site trace
-        (Back_reply
-           { trace; reply_frame = frame; call_seq; verdict = v; participants = parts })
+      let reply =
+        Back_reply
+          { trace; reply_frame = frame; call_seq; verdict = v; participants = parts }
+      in
+      memo_add st (trace, site, call_seq) (Some reply);
+      send_back sh ~src:(self_id st) ~dst:site trace reply
   | P_initiator -> conclude sh st trace v parts
 
 and conclude sh st trace outcome parts =
@@ -365,6 +395,28 @@ and conclude sh st trace outcome parts =
           (Back_report { trace; outcome })
       end)
     parts;
+  (let cfg = Engine.config sh.eng in
+   if cfg.Config.retry_limit > 0 then begin
+     (* Blind redundancy for the §4.5 fan-out: the protocol has no
+        report acks, but [apply_report] is idempotent, so re-sending
+        each report on the retry schedule means a dropped copy no
+        longer strands participants until the visited TTL. *)
+     let base = Sim_time.to_seconds cfg.Config.back_call_timeout in
+     Site_id.Set.iter
+       (fun p ->
+         if not (Site_id.equal p (self_id st)) then
+           for k = 1 to cfg.Config.retry_limit do
+             let delay =
+               Sim_time.of_seconds
+                 (base *. (cfg.Config.retry_backoff ** float_of_int (k - 1)))
+             in
+             Engine.schedule sh.eng ~delay (fun () ->
+                 Metrics.incr (Engine.metrics sh.eng) "retry.back_report";
+                 send_back sh ~src:(self_id st) ~dst:p trace
+                   (Back_report { trace; outcome }))
+           done)
+       parts
+   end);
   apply_report sh st trace outcome
 
 and apply_report sh st trace outcome =
@@ -408,7 +460,17 @@ and apply_report sh st trace outcome =
           Hashtbl.remove st.frames id;
           finish_frame_span sh fr [ ("aborted", Tel.Json.Bool true) ]
       | None -> ())
-    leftovers
+    leftovers;
+  (* The trace is settled at this site: forget its call memo (any
+     further duplicates are stale and will be re-answered from the
+     tables, which now reflect the outcome). *)
+  let stale_memo =
+    Hashtbl.fold
+      (fun ((tr, _, _) as k) _ acc ->
+        if Trace_id.equal tr trace then k :: acc else acc)
+      st.call_memo []
+  in
+  List.iter (Hashtbl.remove st.call_memo) stale_memo
 
 and record_visit sh st trace r =
   match Hashtbl.find_opt st.visited_refs trace with
@@ -416,7 +478,26 @@ and record_visit sh st trace r =
   | None ->
       let l = ref [ r ] in
       Hashtbl.add st.visited_refs trace l;
-      let ttl = (Engine.config sh.eng).Config.visited_ttl in
+      let cfg = Engine.config sh.eng in
+      let ttl = cfg.Config.visited_ttl in
+      (* With retries enabled the §4.6 give-up can land well after the
+         configured TTL; stretch the TTL past the whole backoff
+         schedule so a retried call can still settle the trace instead
+         of being aborted under it. Single-shot runs keep the exact
+         configured TTL (and their event stream). *)
+      let ttl =
+        if cfg.Config.retry_limit <= 0 then ttl
+        else begin
+          let base = Sim_time.to_seconds cfg.Config.back_call_timeout in
+          let span = ref base in
+          for k = 0 to cfg.Config.retry_limit do
+            span := !span +. (base *. (cfg.Config.retry_backoff ** float_of_int k))
+          done;
+          if Sim_time.(ttl < Sim_time.of_seconds !span) then
+            Sim_time.of_seconds !span
+          else ttl
+        end
+      in
       Engine.schedule sh.eng ~delay:ttl (fun () ->
           if Hashtbl.mem st.visited_refs trace then begin
             (* Never heard the outcome: assume Live (§4.6). *)
@@ -495,41 +576,80 @@ and step_remote sh st trace i parent =
                     ("dst", jsite q);
                     ("ref", jstr (Oid.to_string i));
                   ];
-                send_back sh ~src:(self_id st) ~dst:q trace
-                  (Back_call
-                     {
-                       trace;
-                       r = i;
-                       reply_site = self_id st;
-                       reply_frame = fr.fr_id;
-                       call_seq = seq;
-                     });
-                let timeout = (Engine.config sh.eng).Config.back_call_timeout in
-                Engine.schedule sh.eng ~delay:timeout (fun () ->
-                    match Hashtbl.find_opt st.frames fr.fr_id with
-                    | Some fr'
-                      when (not fr'.fr_done) && Int_set.mem seq fr'.fr_calls ->
-                        fr'.fr_calls <- Int_set.remove seq fr'.fr_calls;
-                        (* No reply: assume Live (§4.6). *)
-                        Metrics.incr (Engine.metrics sh.eng)
-                          "back.call_timeout";
-                        finish_msg_span sh
-                          (call_key trace ~caller:(self_id st) ~callee:q seq)
-                          [ ("timeout", Tel.Json.Bool true) ];
-                        (match tracer sh with
-                        | None -> ()
-                        | Some tr ->
-                            ignore
-                              (Tel.Tracer.event tr
-                                 ?parent:
-                                   (if fr'.fr_span >= 0 then Some fr'.fr_span
-                                    else None)
-                                 ~trace:(tkey trace) ~name:"timeout.call"
-                                 ~site:(Site_id.to_int (self_id st))
-                                 ~at:(now_s sh)
-                                 [ ("dst", jsite q) ]));
-                        child_done sh st fr' Verdict.Live Site_id.Set.empty
-                    | _ -> ()))
+                let send_call () =
+                  send_back sh ~src:(self_id st) ~dst:q trace
+                    (Back_call
+                       {
+                         trace;
+                         r = i;
+                         reply_site = self_id st;
+                         reply_frame = fr.fr_id;
+                         call_seq = seq;
+                       })
+                in
+                let cfg = Engine.config sh.eng in
+                let base = Sim_time.to_seconds cfg.Config.back_call_timeout in
+                (* Attempt [k] waits timeout·backoff^k, then either
+                   re-sends the call (k < retry_limit — the receiver
+                   memo makes duplicates harmless) or finally assumes
+                   Live (§4.6). [retry_limit = 0] is the paper's
+                   single-shot timeout, event-for-event. *)
+                let rec arm attempt =
+                  let delay =
+                    if attempt = 0 then cfg.Config.back_call_timeout
+                    else
+                      Sim_time.of_seconds
+                        (base
+                        *. (cfg.Config.retry_backoff ** float_of_int attempt))
+                  in
+                  Engine.schedule sh.eng ~delay (fun () ->
+                      match Hashtbl.find_opt st.frames fr.fr_id with
+                      | Some fr'
+                        when (not fr'.fr_done) && Int_set.mem seq fr'.fr_calls
+                        ->
+                          if attempt < cfg.Config.retry_limit then begin
+                            Metrics.incr (Engine.metrics sh.eng)
+                              "retry.back_call";
+                            Engine.jlog sh.eng ~level:Journal.Debug
+                              ~cat:"retry"
+                              "%a call %d to %a unanswered: retry %d/%d"
+                              Trace_id.pp trace seq Site_id.pp q (attempt + 1)
+                              cfg.Config.retry_limit;
+                            send_call ();
+                            arm (attempt + 1)
+                          end
+                          else begin
+                            fr'.fr_calls <- Int_set.remove seq fr'.fr_calls;
+                            (* No reply: assume Live (§4.6). *)
+                            if cfg.Config.retry_limit > 0 then
+                              Metrics.incr (Engine.metrics sh.eng)
+                                "retry.exhausted";
+                            Metrics.incr (Engine.metrics sh.eng)
+                              "back.call_timeout";
+                            finish_msg_span sh
+                              (call_key trace ~caller:(self_id st) ~callee:q
+                                 seq)
+                              [ ("timeout", Tel.Json.Bool true) ];
+                            (match tracer sh with
+                            | None -> ()
+                            | Some tr ->
+                                ignore
+                                  (Tel.Tracer.event tr
+                                     ?parent:
+                                       (if fr'.fr_span >= 0 then
+                                          Some fr'.fr_span
+                                        else None)
+                                     ~trace:(tkey trace) ~name:"timeout.call"
+                                     ~site:(Site_id.to_int (self_id st))
+                                     ~at:(now_s sh)
+                                     [ ("dst", jsite q) ]));
+                            child_done sh st fr' Verdict.Live
+                              Site_id.Set.empty
+                          end
+                      | _ -> ())
+                in
+                send_call ();
+                arm 0)
               sources
       end
 
@@ -571,8 +691,28 @@ let handle_ext sh site_id ~src ext =
       finish_msg_span sh
         (call_key trace ~caller:reply_site ~callee:site_id call_seq)
         [];
-      step_local sh st trace r
-        (P_remote { site = reply_site; frame = reply_frame; call_seq });
+      let key = (trace, reply_site, call_seq) in
+      (match Hashtbl.find_opt st.call_memo key with
+      | Some (Some reply) ->
+          (* Duplicate of a call already answered: replay the cached
+             reply verbatim (at-least-once delivery, exactly-once
+             tracing). *)
+          Metrics.incr (Engine.metrics sh.eng) "back.call_replayed";
+          Engine.jlog sh.eng ~level:Journal.Debug ~cat:"back"
+            "%a duplicate call %d from %a: replaying cached reply"
+            Trace_id.pp trace call_seq Site_id.pp reply_site;
+          send_back sh ~src:site_id ~dst:reply_site trace reply
+      | Some None ->
+          (* Duplicate of a call still being traced: the eventual
+             reply answers both copies. *)
+          Metrics.incr (Engine.metrics sh.eng) "back.dup_call_ignored";
+          Engine.jlog sh.eng ~level:Journal.Debug ~cat:"back"
+            "%a duplicate call %d from %a ignored (in progress)"
+            Trace_id.pp trace call_seq Site_id.pp reply_site
+      | None ->
+          memo_add st key None;
+          step_local sh st trace r
+            (P_remote { site = reply_site; frame = reply_frame; call_seq }));
       true
   | Back_reply { trace; reply_frame; call_seq; verdict; participants } ->
       finish_msg_span sh

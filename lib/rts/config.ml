@@ -15,6 +15,9 @@ type t = {
   trace_duration : Sim_time.t;
   latency : Latency.t;
   ext_drop : float;
+  ext_dup : float;
+  retry_limit : int;
+  retry_backoff : float;
   defer_interval : Sim_time.t;
   delta : int;
   threshold2 : int;
@@ -40,6 +43,9 @@ let default =
     trace_duration = Sim_time.of_seconds 2.;
     latency = Latency.Uniform (Sim_time.of_millis 1., Sim_time.of_millis 10.);
     ext_drop = 0.;
+    ext_dup = 0.;
+    retry_limit = 0;
+    retry_backoff = 2.;
     defer_interval = Sim_time.zero;
     delta = 3;
     threshold2 = 8;
@@ -59,9 +65,10 @@ let default =
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>sites=%d seed=%d Δ=%d Δ2=%d bump=%d interval=%a window=%a \
-     latency=%a drop=%.2f barriers(t=%b,c=%b,i=%b) checks=%s@]"
+     latency=%a drop=%.2f dup=%.2f retries=%d barriers(t=%b,c=%b,i=%b) \
+     checks=%s@]"
     t.n_sites t.seed t.delta t.threshold2 t.threshold_bump Sim_time.pp
     t.trace_interval Sim_time.pp t.trace_duration Latency.pp t.latency
-    t.ext_drop t.enable_transfer_barrier t.enable_clean_rule
-    t.enable_insert_barrier
+    t.ext_drop t.ext_dup t.retry_limit t.enable_transfer_barrier
+    t.enable_clean_rule t.enable_insert_barrier
     (check_level_name t.check_level)

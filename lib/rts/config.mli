@@ -36,6 +36,22 @@ type t = {
       (** drop probability for collector (Ext) messages only; the base
           protocol (moves, inserts, updates) is reliable, back-trace
           traffic tolerates loss via timeouts (§4.6) *)
+  ext_dup : float;
+      (** duplicate-delivery probability for collector (Ext) messages
+          only: the message is delivered once more with an independent
+          latency. The base protocol stays exactly-once; the collector
+          handlers are idempotent (dedup by trace id / call nonce), so
+          duplication is a pure fault-model knob *)
+  retry_limit : int;
+      (** §4.6 hardening: how many times a back call whose reply has
+          not arrived is re-sent before the caller finally assumes
+          Live. [0] restores the paper's single-shot timeout. Reports
+          are re-sent the same number of times (blind redundancy —
+          receivers are idempotent), so a dropped report no longer
+          strands a suspect until the next threshold bump *)
+  retry_backoff : float;
+      (** multiplier on [back_call_timeout] between successive retry
+          attempts (attempt k waits timeout·backoff^k) *)
   defer_interval : Dgc_simcore.Sim_time.t;
       (** batch collector messages per destination and flush them on
           this period, modeling §4.7's "deferred and piggybacked"

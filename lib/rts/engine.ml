@@ -29,6 +29,14 @@ type t = {
   mutable part_parked : (Site_id.t * Site_id.t * Protocol.payload) list;
   (* §4.7 deferral: queued collector messages per (src, dst) pair *)
   defer_queues : (Site_id.t * Site_id.t, Protocol.payload list ref) Hashtbl.t;
+  (* chaos fault channels: runtime overrides of the configured Ext
+     lossiness/duplication, plus a multiplier on sampled latencies.
+     [None]/[1.0] defer to the configuration — the extra randomness is
+     only drawn when a channel is actually hot, so runs with the
+     channels cold are bit-identical to runs without them. *)
+  mutable chaos_drop : float option;
+  mutable chaos_dup : float option;
+  mutable latency_factor : float;
   mutable journal : Journal.t option;
   mutable tracer : Dgc_telemetry.Tracer.t option;
   mutable msg_monitor :
@@ -65,6 +73,9 @@ let create cfg =
     partition_of = Array.make cfg.Config.n_sites 0;
     part_parked = [];
     defer_queues = Hashtbl.create 16;
+      chaos_drop = None;
+      chaos_dup = None;
+      latency_factor = 1.0;
       journal = None;
       tracer = None;
       msg_monitor = None;
@@ -107,6 +118,17 @@ let jlog t ?level ~cat fmt =
   match t.journal with
   | Some j -> Journal.recordf j ?level ~at:t.now ~cat fmt
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let set_chaos_drop t p = t.chaos_drop <- p
+let set_chaos_dup t p = t.chaos_dup <- p
+let set_latency_factor t f = t.latency_factor <- Float.max 0. f
+let ext_drop_p t = match t.chaos_drop with Some p -> p | None -> t.cfg.Config.ext_drop
+let ext_dup_p t = match t.chaos_dup with Some p -> p | None -> t.cfg.Config.ext_dup
+
+let sample_latency t =
+  let l = Latency.sample t.rng t.cfg.Config.latency in
+  if t.latency_factor = 1.0 then l
+  else Sim_time.of_seconds (Sim_time.to_seconds l *. t.latency_factor)
 
 let config t = t.cfg
 let sites t = t.sites
@@ -247,6 +269,22 @@ and deliver t ~src ~dst payload =
 
 (* --- sending -------------------------------------------------------- *)
 
+(* A parked Move or Move_ack stalls the §6.1.2 insert barrier: the
+   sender keeps its pins until the ack lands, which can starve mutators
+   for the whole partition/outage. Journal the cause so the watchdog's
+   starvation verdicts can name it, and count it for the campaigns. *)
+and note_move_stalled t ~why payload =
+  match payload with
+  | Protocol.Move { token; _ } ->
+      Metrics.incr t.metrics "barrier.move_stalled";
+      jlog t ~level:Journal.Warn ~cat:"barrier"
+        "move (token %d) parked by %s: insert barrier stalled" token why
+  | Protocol.Move_ack { token } ->
+      Metrics.incr t.metrics "barrier.move_stalled";
+      jlog t ~level:Journal.Warn ~cat:"barrier"
+        "move-ack (token %d) parked by %s: sender pins held" token why
+  | _ -> ()
+
 and send_now t ~src ~dst payload =
   let kind = Protocol.kind payload in
   let bytes = Protocol.approx_bytes payload in
@@ -260,11 +298,14 @@ and send_now t ~src ~dst payload =
     Metrics.incr t.metrics "msg.dropped.crashed"
   else if is_ext && not (reachable t src dst) then
     Metrics.incr t.metrics "msg.dropped.partition"
-  else if is_ext && Rng.chance t.rng t.cfg.Config.ext_drop then
+  else if is_ext && Rng.chance t.rng (ext_drop_p t) then
     Metrics.incr t.metrics "msg.dropped.lossy"
-  else if not (reachable t src dst) then
+  else if not (reachable t src dst) then begin
+    note_move_stalled t ~why:"partition" payload;
     t.part_parked <- (src, dst, payload) :: t.part_parked
+  end
   else if dst_site.Site.crashed then begin
+    note_move_stalled t ~why:"crash" payload;
     let q =
       match Hashtbl.find_opt t.parked dst with
       | Some q -> q
@@ -276,35 +317,50 @@ and send_now t ~src ~dst payload =
     q := (src, payload) :: !q
   end
   else begin
-    let id = t.next_msg_id in
-    t.next_msg_id <- id + 1;
-    (match Protocol.refs_carried payload with
-    | [] -> ()
-    | refs -> Hashtbl.replace t.in_flight id refs);
-    let delay = Latency.sample t.rng t.cfg.Config.latency in
-    schedule t ~delay (fun () ->
-        Hashtbl.remove t.in_flight id;
-        if not (reachable t src dst) then begin
-          (* Partitioned while the message was in flight. *)
-          if is_ext then Metrics.incr t.metrics "msg.dropped.partition"
-          else t.part_parked <- (src, dst, payload) :: t.part_parked
-        end
-        else if (site t dst).Site.crashed then begin
-          (* Crashed while the message was in flight. *)
-          if is_ext then Metrics.incr t.metrics "msg.dropped.crashed"
-          else begin
-            let q =
-              match Hashtbl.find_opt t.parked dst with
-              | Some q -> q
-              | None ->
-                  let q = ref [] in
-                  Hashtbl.add t.parked dst q;
-                  q
-            in
-            q := (src, payload) :: !q
+    let fly () =
+      let id = t.next_msg_id in
+      t.next_msg_id <- id + 1;
+      (match Protocol.refs_carried payload with
+      | [] -> ()
+      | refs -> Hashtbl.replace t.in_flight id refs);
+      let delay = sample_latency t in
+      schedule t ~delay (fun () ->
+          Hashtbl.remove t.in_flight id;
+          if not (reachable t src dst) then begin
+            (* Partitioned while the message was in flight. *)
+            if is_ext then Metrics.incr t.metrics "msg.dropped.partition"
+            else begin
+              note_move_stalled t ~why:"partition" payload;
+              t.part_parked <- (src, dst, payload) :: t.part_parked
+            end
           end
-        end
-        else deliver t ~src ~dst payload)
+          else if (site t dst).Site.crashed then begin
+            (* Crashed while the message was in flight. *)
+            if is_ext then Metrics.incr t.metrics "msg.dropped.crashed"
+            else begin
+              note_move_stalled t ~why:"crash" payload;
+              let q =
+                match Hashtbl.find_opt t.parked dst with
+                | Some q -> q
+                | None ->
+                    let q = ref [] in
+                    Hashtbl.add t.parked dst q;
+                    q
+              in
+              q := (src, payload) :: !q
+            end
+          end
+          else deliver t ~src ~dst payload)
+    in
+    fly ();
+    (* Duplicate-delivery fault channel: a second, independent copy of
+       a collector message, with its own latency. Only Ext payloads —
+       the base protocol stays exactly-once. The [ext_dup_p t > 0.]
+       guard keeps the rng stream untouched when the channel is cold. *)
+    if is_ext && ext_dup_p t > 0. && Rng.chance t.rng (ext_dup_p t) then begin
+      Metrics.incr t.metrics "msg.duplicated";
+      fly ()
+    end
   end
 
 (* One wire message carrying a whole batch of deferred collector
@@ -324,15 +380,24 @@ and flush_batch t ~src ~dst payloads =
     payloads;
   if (site t dst).Site.crashed || not (reachable t src dst) then
     Metrics.add t.metrics "msg.dropped.crashed" (List.length payloads)
-  else if Rng.chance t.rng t.cfg.Config.ext_drop then
+  else if Rng.chance t.rng (ext_drop_p t) then
     Metrics.add t.metrics "msg.dropped.lossy" (List.length payloads)
   else begin
-    let delay = Latency.sample t.rng t.cfg.Config.latency in
-    schedule t ~delay (fun () ->
-        if reachable t src dst && not (site t dst).Site.crashed then
-          List.iter (fun p -> deliver t ~src ~dst p) payloads
-        else
-          Metrics.add t.metrics "msg.dropped.crashed" (List.length payloads))
+    let fly () =
+      let delay = sample_latency t in
+      schedule t ~delay (fun () ->
+          if reachable t src dst && not (site t dst).Site.crashed then
+            List.iter (fun p -> deliver t ~src ~dst p) payloads
+          else
+            Metrics.add t.metrics "msg.dropped.crashed" (List.length payloads))
+    in
+    fly ();
+    (* Whole-batch duplication: deferred collector batches are one wire
+       message, so the fault channel duplicates the wire message. *)
+    if ext_dup_p t > 0. && Rng.chance t.rng (ext_dup_p t) then begin
+      Metrics.add t.metrics "msg.duplicated" (List.length payloads);
+      fly ()
+    end
   end
 
 and send t ~src ~dst payload =
@@ -382,11 +447,14 @@ let partition t groups =
    unavailable again when it lands, re-park it rather than lose it —
    the base protocol must be reliable. *)
 let redeliver_parked t ~src ~dst payload =
-  let delay = Latency.sample t.rng t.cfg.Config.latency in
+  let delay = sample_latency t in
   schedule t ~delay (fun () ->
-      if not (reachable t src dst) then
+      if not (reachable t src dst) then begin
+        note_move_stalled t ~why:"partition" payload;
         t.part_parked <- (src, dst, payload) :: t.part_parked
+      end
       else if (site t dst).Site.crashed then begin
+        note_move_stalled t ~why:"crash" payload;
         let q =
           match Hashtbl.find_opt t.parked dst with
           | Some q -> q

@@ -90,6 +90,21 @@ val app_roots : t -> Site_id.t -> Oid.t list
 val crash : t -> Site_id.t -> unit
 val recover : t -> Site_id.t -> unit
 
+val set_chaos_drop : t -> float option -> unit
+(** Override the configured [ext_drop] probability for collector
+    messages ([None] restores the configuration). The chaos injector
+    drives loss bursts through this. *)
+
+val set_chaos_dup : t -> float option -> unit
+(** Override the configured [ext_dup] duplicate-delivery probability:
+    an affected collector message is delivered once more with an
+    independent latency. Base-protocol messages are never duplicated. *)
+
+val set_latency_factor : t -> float -> unit
+(** Multiply every sampled message latency by this factor (default
+    [1.0]); the chaos injector models latency storms with it. Clamped
+    to be non-negative. *)
+
 val partition : t -> Site_id.t list list -> unit
 (** Split the network into the given groups (sites not listed form one
     implicit extra group). Base-protocol messages across a partition

@@ -1,0 +1,49 @@
+(* The soak tier: long randomized chaos campaigns over every workload.
+   Run with `dune build @soak`; excluded from tier-1 `dune runtest`.
+
+   Each workload gets a block of seeded random fault plans at a longer
+   horizon than the smoke campaign. Any failure is shrunk to a minimal
+   reproducer and printed as a ready-to-commit corpus plan. *)
+
+open Dgc_chaos
+
+let seeds_per_workload = 8
+let horizon_ms = 90_000.
+let events_per_plan = 5
+
+let () =
+  let failures = ref 0 in
+  let cases = ref 0 in
+  List.iter
+    (fun workload ->
+      let seeds =
+        List.init seeds_per_workload (fun i -> (1000 * (i + 1)) + 7)
+      in
+      let summary =
+        Campaign.run ~workload ~seeds ~horizon_ms ~events_per_plan ()
+      in
+      cases := !cases + List.length summary.Campaign.sm_outcomes;
+      List.iter
+        (fun (oc, shrunk, replays) ->
+          incr failures;
+          let case = oc.Campaign.oc_case in
+          Printf.printf "FAIL %s: %s\n" case.Campaign.cs_name
+            (match oc.Campaign.oc_failure with
+            | Some f -> Campaign.failure_to_string f
+            | None -> "?");
+          Format.printf
+            "  minimal reproducer (%d replays):@.  @[%a@]@.  replay: dgc-sim \
+             chaos --workload %s --seed %d --plan <saved>@."
+            replays Plan.pp shrunk case.Campaign.cs_workload
+            case.Campaign.cs_seed)
+        summary.Campaign.sm_failures;
+      Printf.printf "soak %-10s %d/%d ok\n%!" workload
+        (List.length summary.Campaign.sm_outcomes
+        - List.length summary.Campaign.sm_failures)
+        (List.length summary.Campaign.sm_outcomes))
+    Workloads.names;
+  if !failures > 0 then begin
+    Printf.printf "soak: %d/%d cases FAILED\n" !failures !cases;
+    exit 1
+  end
+  else Printf.printf "soak: all %d cases safe and complete\n" !cases

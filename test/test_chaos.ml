@@ -1,0 +1,507 @@
+(* The chaos tier: fault plans as values, deterministic injection, the
+   hardened Ext delivery (idempotent handlers, bounded retry with
+   backoff), the campaign driver's ddmin shrinker, the committed
+   regression corpus, and the differential comparison against the
+   baseline collectors under identical fault plans. *)
+
+open Dgc_prelude
+open Dgc_simcore
+open Dgc_rts
+open Dgc_core
+open Dgc_workload
+open Dgc_chaos
+module Json = Dgc_telemetry.Json
+module Oracle = Dgc_oracle.Oracle
+module Shrink = Dgc_analysis.Shrink
+
+let s k = Site_id.of_int k
+
+let cfg n =
+  {
+    Config.default with
+    Config.n_sites = n;
+    delta = 3;
+    threshold2 = 6;
+    threshold_bump = 4;
+    trace_interval = Sim_time.of_seconds 10.;
+    trace_jitter = Sim_time.of_seconds 1.;
+    trace_duration = Sim_time.zero;
+    latency = Latency.Fixed (Sim_time.of_millis 5.);
+  }
+
+(* --- plans: serialization ------------------------------------------------- *)
+
+let all_kinds_plan =
+  {
+    Plan.events =
+      [
+        { Plan.at_ms = 0.; dur_ms = 500.; ev = Plan.Crash { site = 1 } };
+        {
+          Plan.at_ms = 10.;
+          dur_ms = 200.;
+          ev = Plan.Partition { groups = [ [ 0 ]; [ 1; 2 ] ] };
+        };
+        { Plan.at_ms = 20.; dur_ms = 100.; ev = Plan.Drop { p = 0.75 } };
+        { Plan.at_ms = 30.; dur_ms = 50.; ev = Plan.Dup { p = 0.5 } };
+        { Plan.at_ms = 40.; dur_ms = 25.; ev = Plan.Slow { factor = 8. } };
+      ];
+  }
+
+let plan_str p = Json.to_string (Plan.to_json p)
+
+let test_plan_roundtrip () =
+  match Plan.of_string (plan_str all_kinds_plan) with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Alcotest.(check string) "round-trip is the identity"
+        (plan_str all_kinds_plan) (plan_str p);
+      Alcotest.(check int) "all five kinds survive" 5 (Plan.length p)
+
+let test_random_plan_roundtrip () =
+  for seed = 1 to 20 do
+    let rng = Rng.create ~seed in
+    let p = Plan.random ~rng ~sites:4 ~horizon_ms:60_000. ~events:6 in
+    Alcotest.(check int) "requested size" 6 (Plan.length p);
+    match Plan.of_string (plan_str p) with
+    | Error e -> Alcotest.fail e
+    | Ok p' -> Alcotest.(check string) "round-trip" (plan_str p) (plan_str p')
+  done
+
+let test_plan_rejects_garbage () =
+  let bad label text =
+    match Plan.of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+  in
+  bad "wrong schema" {|{"schema":"dgc.run/1","events":[]}|};
+  bad "unknown kind"
+    {|{"schema":"dgc.plan/1","events":[{"kind":"meteor","at_ms":0,"dur_ms":1}]}|};
+  bad "negative time"
+    {|{"schema":"dgc.plan/1","events":[{"kind":"drop","at_ms":-5,"dur_ms":1,"p":0.5}]}|};
+  bad "not json" "]["
+
+(* --- injection determinism ------------------------------------------------ *)
+
+let churn_case seed =
+  {
+    Campaign.cs_name = Printf.sprintf "churn-%d" seed;
+    cs_workload = "churn";
+    cs_seed = seed;
+    cs_horizon_ms = 20_000.;
+    cs_plan =
+      Plan.random ~rng:(Rng.create ~seed) ~sites:5 ~horizon_ms:20_000.
+        ~events:4;
+  }
+
+let test_injection_determinism () =
+  let case = churn_case 42 in
+  let a = Campaign.run_case case in
+  let b = Campaign.run_case case in
+  Alcotest.(check (list string)) "journals identical" a.Campaign.oc_journal
+    b.Campaign.oc_journal;
+  Alcotest.(check (list (pair string int)))
+    "counters identical" a.Campaign.oc_counters b.Campaign.oc_counters;
+  Alcotest.(check string) "artifacts bit-identical"
+    (Json.to_string (Campaign.artifact a))
+    (Json.to_string (Campaign.artifact b));
+  Alcotest.(check bool) "faults actually injected" true
+    (a.Campaign.oc_injected > 0);
+  (match a.Campaign.oc_failure with
+  | None -> ()
+  | Some f -> Alcotest.fail (Campaign.failure_to_string f))
+
+(* --- idempotent Ext delivery ---------------------------------------------- *)
+
+(* A 2-site garbage ring with distances settled: one cross-site garbage
+   component, ready to trace. *)
+let ring_sim ?(timeout = 10.) ?(tweak = fun c -> c) () =
+  let c =
+    tweak
+      { (cfg 2) with Config.back_call_timeout = Sim_time.of_seconds timeout }
+  in
+  let sim = Sim.make ~cfg:c () in
+  ignore
+    (Graph_gen.ring sim.Sim.eng ~sites:[ s 0; s 1 ] ~per_site:1 ~rooted:false);
+  Scenario.settle sim ~rounds:8;
+  sim
+
+let start_any_trace sim =
+  let started = ref None in
+  Array.iter
+    (fun st ->
+      Tables.iter_outrefs st.Site.tables (fun o ->
+          if !started = None && not (Ioref.outref_clean o) then
+            started :=
+              Collector.start_back_trace sim.Sim.col st.Site.id
+                o.Ioref.or_target))
+    (Engine.sites sim.Sim.eng);
+  match !started with
+  | Some tid -> tid
+  | None -> Alcotest.fail "no dirty outref to trace"
+
+let test_dup_everything_still_garbage () =
+  (* Every collector message is delivered twice; the call memo, the
+     per-frame reply dedup and the idempotent report handler must make
+     the duplicates invisible. *)
+  let sim = ring_sim ~tweak:(fun c -> { c with Config.ext_dup = 1.0 }) () in
+  let outcome = ref None in
+  Back_trace.on_outcome (Collector.back sim.Sim.col) (fun _ v _ ->
+      outcome := Some v);
+  ignore (start_any_trace sim);
+  Sim.run_for sim (Sim_time.of_seconds 30.);
+  (match !outcome with
+  | Some v ->
+      Alcotest.(check bool) "still concludes Garbage" true
+        (Verdict.equal v Verdict.Garbage)
+  | None -> Alcotest.fail "trace never completed");
+  let m = Engine.metrics sim.Sim.eng in
+  Alcotest.(check bool) "duplicates were injected" true
+    (Metrics.get m "msg.duplicated" > 0);
+  Alcotest.(check bool) "duplicate calls deduplicated" true
+    (Metrics.get m "back.dup_call_ignored" + Metrics.get m "back.call_replayed"
+    > 0);
+  Alcotest.(check (list string)) "invariants clean" []
+    (Invariants.strings (Invariants.check_all sim.Sim.eng))
+
+let test_duplicate_report_is_noop () =
+  let sim = ring_sim () in
+  let outcome = ref None in
+  Back_trace.on_outcome (Collector.back sim.Sim.col) (fun _ v _ ->
+      outcome := Some v);
+  let tid = start_any_trace sim in
+  Sim.run_for sim (Sim_time.of_seconds 30.);
+  Alcotest.(check bool) "trace concluded" true (!outcome <> None);
+  let garbage0 = Oracle.garbage_count sim.Sim.eng in
+  (* redeliver the outcome report to a participant, twice *)
+  let back = Collector.back sim.Sim.col in
+  for _ = 1 to 2 do
+    Alcotest.(check bool) "report handled" true
+      (Back_trace.handle_ext back (s 1) ~src:(s 0)
+         (Back_trace.Back_report { trace = tid; outcome = Verdict.Garbage }))
+  done;
+  Sim.run_for sim (Sim_time.of_seconds 5.);
+  Alcotest.(check int) "heap state unchanged" garbage0
+    (Oracle.garbage_count sim.Sim.eng);
+  Alcotest.(check (list string)) "invariants clean" []
+    (Invariants.strings (Invariants.check_all sim.Sim.eng))
+
+let fig_plan =
+  {
+    Plan.events =
+      [
+        { Plan.at_ms = 1_000.; dur_ms = 8_000.; ev = Plan.Drop { p = 0.4 } };
+        { Plan.at_ms = 2_000.; dur_ms = 10_000.; ev = Plan.Dup { p = 0.6 } };
+      ];
+  }
+
+let test_figs_safe_under_dup_drop_retry () =
+  (* The acceptance bar: duplicated and dropped Ext messages, retries
+     enabled (campaign default), over every figure scenario — safe
+     throughout and complete after quiescence. *)
+  List.iter
+    (fun name ->
+      let case =
+        {
+          Campaign.cs_name = name ^ "-harden";
+          cs_workload = name;
+          cs_seed = 5;
+          cs_horizon_ms = 15_000.;
+          cs_plan = fig_plan;
+        }
+      in
+      let oc = Campaign.run_case case in
+      match oc.Campaign.oc_failure with
+      | None -> ()
+      | Some f ->
+          Alcotest.failf "%s: %s" name (Campaign.failure_to_string f))
+    [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6" ]
+
+(* --- retry with backoff --------------------------------------------------- *)
+
+let test_retry_backoff_schedule () =
+  (* Permanent partition: the back call and all three retries are
+     dropped. Attempt 0 times out at +10s; retries re-arm at
+     10·2^k, so the Live give-up lands at +150s exactly. *)
+  let sim =
+    ring_sim
+      ~tweak:(fun c -> { c with Config.retry_limit = 3; retry_backoff = 2. })
+      ()
+  in
+  let eng = sim.Sim.eng in
+  Engine.partition eng [ [ s 0 ]; [ s 1 ] ];
+  let outcome = ref None in
+  Back_trace.on_outcome (Collector.back sim.Sim.col) (fun _ v _ ->
+      outcome := Some v);
+  ignore (start_any_trace sim);
+  let m = Engine.metrics eng in
+  Sim.run_for sim (Sim_time.of_seconds 140.);
+  Alcotest.(check int) "three retries spent" 3 (Metrics.get m "retry.back_call");
+  Alcotest.(check bool) "still waiting at +140s" true (!outcome = None);
+  Sim.run_for sim (Sim_time.of_seconds 20.);
+  (match !outcome with
+  | Some v ->
+      Alcotest.(check bool) "gives up to Live after the last backoff" true
+        (Verdict.equal v Verdict.Live)
+  | None -> Alcotest.fail "no outcome by +160s");
+  Alcotest.(check int) "exhaustion counted" 1 (Metrics.get m "retry.exhausted");
+  Alcotest.(check bool) "garbage preserved (safety first)" true
+    (Oracle.garbage_count eng > 0)
+
+let test_retry_recovers_dropped_call () =
+  (* The call is dropped by a transient partition; the first retry
+     crosses the healed network and the trace still concludes Garbage —
+     a single-shot caller would have timed out to Live. *)
+  let sim =
+    ring_sim ~timeout:5.
+      ~tweak:(fun c -> { c with Config.retry_limit = 2; retry_backoff = 2. })
+      ()
+  in
+  let eng = sim.Sim.eng in
+  Engine.partition eng [ [ s 0 ]; [ s 1 ] ];
+  let outcome = ref None in
+  Back_trace.on_outcome (Collector.back sim.Sim.col) (fun _ v _ ->
+      outcome := Some v);
+  ignore (start_any_trace sim);
+  Sim.run_for sim (Sim_time.of_seconds 2.);
+  Engine.heal eng;
+  Sim.run_for sim (Sim_time.of_seconds 30.);
+  (match !outcome with
+  | Some v ->
+      Alcotest.(check bool) "retry rescued the verdict" true
+        (Verdict.equal v Verdict.Garbage)
+  | None -> Alcotest.fail "trace never completed");
+  let m = Engine.metrics eng in
+  Alcotest.(check bool) "a retry was used" true
+    (Metrics.get m "retry.back_call" >= 1);
+  Alcotest.(check int) "never exhausted" 0 (Metrics.get m "retry.exhausted")
+
+let test_report_redundancy_counted () =
+  (* With retries on, §4.5 reports are blindly re-sent on a backoff
+     schedule (receivers are idempotent). *)
+  let case =
+    {
+      Campaign.cs_name = "fig1-reports";
+      cs_workload = "fig1";
+      cs_seed = 3;
+      cs_horizon_ms = 15_000.;
+      cs_plan = Plan.empty;
+    }
+  in
+  let oc = Campaign.run_case case in
+  (match oc.Campaign.oc_failure with
+  | None -> ()
+  | Some f -> Alcotest.fail (Campaign.failure_to_string f));
+  match List.assoc_opt "retry.back_report" oc.Campaign.oc_counters with
+  | Some n when n > 0 -> ()
+  | _ -> Alcotest.fail "no redundant reports were sent"
+
+(* --- the shrinker --------------------------------------------------------- *)
+
+let test_shrink_recovers_planted_pair () =
+  (* Plant a "bug" that needs exactly events 1 and 4 of a six-event
+     plan, using the same (index, rank) encoding Campaign.shrink_case
+     feeds to ddmin; the shrinker must recover exactly that pair. *)
+  let plan =
+    Plan.random ~rng:(Rng.create ~seed:9) ~sites:4 ~horizon_ms:60_000.
+      ~events:6
+  in
+  let reproduces devs =
+    List.exists (fun (i, _) -> i = 1) devs
+    && List.exists (fun (i, _) -> i = 4) devs
+  in
+  let initial = List.mapi (fun i _ -> (i, 1)) plan.Plan.events in
+  let devs, replays = Shrink.minimize ~reproduces initial in
+  Alcotest.(check (list (pair int int)))
+    "exactly the planted pair"
+    [ (1, 1); (4, 1) ]
+    (List.sort compare devs);
+  Alcotest.(check bool) "spent some replays" true (replays > 0)
+
+let test_planted_bug_caught_and_shrunk () =
+  (* Break the §6.1.1 transfer barrier and run the §6.4 race workload
+     under a random plan: the oracle must catch the unsafe sweep and
+     the shrinker must strip the (irrelevant) fault events down to a
+     tiny reproducer. *)
+  let tweak c = { c with Config.enable_transfer_barrier = false } in
+  let summary =
+    Campaign.run ~tweak ~workload:"race" ~seeds:[ 3 ] ~horizon_ms:30_000.
+      ~events_per_plan:4 ()
+  in
+  match summary.Campaign.sm_failures with
+  | [ (oc, shrunk, replays) ] ->
+      (match oc.Campaign.oc_failure with
+      | Some (Campaign.Safety _) -> ()
+      | Some f ->
+          Alcotest.failf "wrong failure kind: %s"
+            (Campaign.failure_to_string f)
+      | None -> assert false);
+      Alcotest.(check bool) "shrunk to <= 3 fault events" true
+        (Plan.length shrunk <= 3);
+      Alcotest.(check bool) "shrinker replayed the case" true (replays > 0)
+  | [] -> Alcotest.fail "planted safety bug was not caught"
+  | _ -> Alcotest.fail "expected exactly one failing case"
+
+(* --- differential: back tracing vs the baselines -------------------------- *)
+
+let crash_uninvolved_site_plan =
+  (* Site 2 holds no part of the cycle and is down for the whole run. *)
+  {
+    Plan.events =
+      [ { Plan.at_ms = 0.; dur_ms = 600_000.; ev = Plan.Crash { site = 2 } } ];
+  }
+
+let diff_cfg () =
+  { (cfg 3) with Config.oracle_checks = true; seed = 77 }
+
+let test_differential_crashed_bystander () =
+  (* The same plan against three collectors. Back tracing involves only
+     the sites holding the cycle and collects it while site 2 is down;
+     global tracing cannot finish its marking round and Hughes' global
+     threshold stays pinned — exactly the paper's §7 claim, now
+     exercised through the shared fault-plan machinery. *)
+  let module B = Dgc_baselines in
+  (* back tracing *)
+  let sim = Sim.make ~cfg:(diff_cfg ()) () in
+  ignore
+    (Graph_gen.ring sim.Sim.eng ~sites:[ s 0; s 1 ] ~per_site:1 ~rooted:false);
+  let inj = Inject.arm sim.Sim.eng crash_uninvolved_site_plan in
+  Sim.start sim;
+  let ok = Sim.collect_all sim ~max_rounds:40 () in
+  Alcotest.(check bool) "back tracing collects despite the crash" true ok;
+  Alcotest.(check int) "no garbage left" 0 (Oracle.garbage_count sim.Sim.eng);
+  Alcotest.(check bool) "the bystander really was down" true
+    (Inject.active inj = 1);
+  Inject.quiesce inj;
+  (* global tracing *)
+  let eng2 = Engine.create (diff_cfg ()) in
+  let gt = B.Global_trace.install eng2 in
+  ignore (Graph_gen.ring eng2 ~sites:[ s 0; s 1 ] ~per_site:1 ~rooted:false);
+  let inj2 = Inject.arm eng2 crash_uninvolved_site_plan in
+  let done_ = ref false in
+  B.Global_trace.collect gt ~on_done:(fun ~freed:_ ~rounds:_ -> done_ := true) ();
+  Engine.run_for eng2 (Sim_time.of_seconds 300.);
+  Alcotest.(check bool) "global trace stalls" false !done_;
+  Alcotest.(check bool) "global trace leaves the cycle" true
+    (Oracle.garbage_count eng2 > 0);
+  Inject.quiesce inj2;
+  (* Hughes timestamps *)
+  let eng3 = Engine.create (diff_cfg ()) in
+  let h = B.Hughes.install eng3 ~slack:(Sim_time.of_seconds 60.) in
+  ignore (Graph_gen.ring eng3 ~sites:[ s 0; s 1 ] ~per_site:1 ~rooted:false);
+  let inj3 = Inject.arm eng3 crash_uninvolved_site_plan in
+  Engine.start_gc_schedule eng3;
+  for _ = 1 to 20 do
+    Engine.run_for eng3 (Sim_time.of_seconds 15.);
+    B.Hughes.run_threshold_round h ()
+  done;
+  Alcotest.(check (float 1e-9)) "Hughes threshold pinned" 0.
+    (B.Hughes.threshold h);
+  Alcotest.(check bool) "Hughes leaves the cycle" true
+    (Oracle.garbage_count eng3 > 0);
+  Inject.quiesce inj3
+
+(* --- the committed corpus ------------------------------------------------- *)
+
+(* cwd is the test's build directory under `dune runtest` (the corpus
+   is declared as a dep) but the workspace root under `dune exec`. *)
+let corpus_dir () =
+  match List.find_opt Sys.file_exists [ "corpus"; "test/corpus" ] with
+  | Some d -> d
+  | None -> Alcotest.fail "corpus directory not found"
+
+let corpus_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".json")
+  |> List.sort String.compare
+
+let corpus_case path =
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let doc =
+    match Json.parse text with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "%s: %s" path e
+  in
+  let plan =
+    match Plan.of_json doc with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "%s: %s" path e
+  in
+  let str name d = Option.bind (Json.member name d) Json.to_str_opt in
+  let int name d = Option.bind (Json.member name d) Json.to_int_opt in
+  let flt name d = Option.bind (Json.member name d) Json.to_float_opt in
+  {
+    Campaign.cs_name = Filename.remove_extension (Filename.basename path);
+    cs_workload = Option.value ~default:"churn" (str "workload" doc);
+    cs_seed = Option.value ~default:1 (int "seed" doc);
+    cs_horizon_ms = Option.value ~default:60_000. (flt "horizon_ms" doc);
+    cs_plan = plan;
+  }
+
+let test_corpus_replays_clean () =
+  let dir = corpus_dir () in
+  let files = corpus_files dir in
+  Alcotest.(check bool) "corpus is non-empty" true (List.length files >= 5);
+  List.iter
+    (fun f ->
+      let case = corpus_case (Filename.concat dir f) in
+      Alcotest.(check bool)
+        (f ^ ": known workload") true
+        (Workloads.mem case.Campaign.cs_workload);
+      let oc = Campaign.run_case case in
+      match oc.Campaign.oc_failure with
+      | None -> ()
+      | Some fl -> Alcotest.failf "%s: %s" f (Campaign.failure_to_string fl))
+    files
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "all kinds round-trip" `Quick test_plan_roundtrip;
+          Alcotest.test_case "random plans round-trip" `Quick
+            test_random_plan_roundtrip;
+          Alcotest.test_case "malformed plans rejected" `Quick
+            test_plan_rejects_garbage;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed+plan, identical journals" `Quick
+            test_injection_determinism;
+        ] );
+      ( "idempotency",
+        [
+          Alcotest.test_case "duplicate everything, still Garbage" `Quick
+            test_dup_everything_still_garbage;
+          Alcotest.test_case "duplicate report is a no-op" `Quick
+            test_duplicate_report_is_noop;
+          Alcotest.test_case "figures safe under dup+drop+retry" `Quick
+            test_figs_safe_under_dup_drop_retry;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "backoff schedule and bounded give-up" `Quick
+            test_retry_backoff_schedule;
+          Alcotest.test_case "retry rescues a dropped call" `Quick
+            test_retry_recovers_dropped_call;
+          Alcotest.test_case "report redundancy counted" `Quick
+            test_report_redundancy_counted;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "recovers a planted 2-event plan" `Quick
+            test_shrink_recovers_planted_pair;
+          Alcotest.test_case "planted barrier bug caught and shrunk" `Quick
+            test_planted_bug_caught_and_shrunk;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "crashed bystander: back vs baselines" `Quick
+            test_differential_crashed_bystander;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "committed plans replay clean" `Quick
+            test_corpus_replays_clean;
+        ] );
+    ]

@@ -40,6 +40,8 @@ let test_reachability () =
 
 let test_partition_parks_base_messages () =
   let eng = Engine.create (cfg 2) in
+  let journal = Journal.create ~capacity:256 () in
+  Engine.attach_journal eng journal;
   Local_gc.install eng;
   let muts = Mutator.manager eng in
   let root0 = Builder.root_obj eng (s 0) in
@@ -56,9 +58,61 @@ let test_partition_parks_base_messages () =
   (* the carried references still count as roots for the oracle *)
   Alcotest.(check bool) "parked refs are oracle roots" true
     (Engine.in_flight_refs eng <> []);
+  (* the stalled insert barrier is journaled, not silent *)
+  Alcotest.(check bool) "barrier.move_stalled counted" true
+    (Metrics.get (Engine.metrics eng) "barrier.move_stalled" >= 1);
+  let stalls = Journal.entries ~cat:"barrier" ~min_level:Journal.Warn journal in
+  Alcotest.(check bool) "move stall journaled at Warn" true
+    (List.exists
+       (fun e -> String.length e.Journal.text >= 4
+                 && String.sub e.Journal.text 0 4 = "move")
+       stalls);
   Engine.heal eng;
   Engine.run_for eng (Sim_time.of_seconds 2.);
   Alcotest.(check bool) "delivered after heal" true !arrived
+
+let test_partition_move_ack_stall_journaled () =
+  (* The §6.1.2 ack leg: the Move itself lands before the partition,
+     but the Move_ack releasing the sender's pins is in flight when the
+     partition hits. The stall must land in the journal (Warn, cat
+     "barrier") and in [barrier.move_stalled] — previously the ack was
+     parked silently. *)
+  let eng = Engine.create (cfg 2) in
+  let journal = Journal.create ~capacity:256 () in
+  Engine.attach_journal eng journal;
+  Local_gc.install eng;
+  let muts = Mutator.manager eng in
+  let root0 = Builder.root_obj eng (s 0) in
+  let target = Builder.root_obj eng (s 1) in
+  Builder.link eng ~src:root0 ~dst:target;
+  let a = Mutator.spawn muts ~at:(s 0) in
+  ignore (Mutator.load_root a ~dst:"r");
+  ignore (Mutator.read_field a ~obj:"r" ~idx:0 ~dst:"t");
+  (* Carry only the destination-local ref so the arrival needs no
+     Insert round and the ack goes straight back. *)
+  ignore (Mutator.drop a "r");
+  (* Fixed 5ms latency: the Move delivers at +5ms, its ack would land
+     at +10ms; partition at +7ms catches the ack in flight. *)
+  Engine.schedule eng ~delay:(Sim_time.of_millis 7.) (fun () ->
+      Engine.partition eng [ [ s 0 ]; [ s 1 ] ]);
+  let arrived = ref false in
+  ignore (Mutator.travel a ~via:"t" ~k:(fun () -> arrived := true));
+  Engine.run_for eng (Sim_time.of_seconds 2.);
+  Alcotest.(check bool) "mutator landed before the partition" true !arrived;
+  Alcotest.(check bool) "ack stall counted" true
+    (Metrics.get (Engine.metrics eng) "barrier.move_stalled" >= 1);
+  let stalls = Journal.entries ~cat:"barrier" ~min_level:Journal.Warn journal in
+  Alcotest.(check bool) "ack stall names the pins" true
+    (List.exists
+       (fun e ->
+         String.length e.Journal.text >= 8
+         && String.sub e.Journal.text 0 8 = "move-ack")
+       stalls);
+  (* sender pins survive until the heal lets the ack through *)
+  Engine.heal eng;
+  Engine.run_for eng (Sim_time.of_seconds 2.);
+  Alcotest.(check bool) "pins released after heal" true
+    (Engine.in_flight_refs eng = [])
 
 let test_partition_delays_cycle_collection () =
   let sim = Sim.make ~cfg:(cfg 4) () in
@@ -296,6 +350,8 @@ let () =
           Alcotest.test_case "reachability" `Quick test_reachability;
           Alcotest.test_case "base messages park" `Quick
             test_partition_parks_base_messages;
+          Alcotest.test_case "in-flight move-ack stall is journaled" `Quick
+            test_partition_move_ack_stall_journaled;
           Alcotest.test_case "cycle collection localized" `Quick
             test_partition_delays_cycle_collection;
           Alcotest.test_case "in-flight parked" `Quick
