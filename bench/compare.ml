@@ -30,13 +30,14 @@ let close ~tol a b =
 
 let obj_fields = function Some (Json.Obj fields) -> fields | _ -> []
 
-(* retry.* and chaos.* counters come from the delivery-hardening and
-   fault-injection channels: they appear only in runs that exercised
-   them, so their absence is judged against 0 rather than flagged as a
-   disappearance. *)
+(* retry.*, chaos.* and san.* counters come from the delivery-hardening,
+   fault-injection and sanitizer channels: they appear only in runs that
+   exercised them, so their absence is judged against 0 rather than
+   flagged as a disappearance. *)
 let optional_counter k =
   String.starts_with ~prefix:"retry." k
   || String.starts_with ~prefix:"chaos." k
+  || String.starts_with ~prefix:"san." k
 
 let compare_counters ~tol ~exact base fresh =
   let bc = obj_fields (Json.member "counters" base) in

@@ -176,10 +176,19 @@ let phase_bench m ~tier ~n ~reps =
 
 (* --- ring bench -------------------------------------------------------- *)
 
-let ring_bench m ~tier ~n =
-  let cfg = { cfg_base with Config.n_sites = 4; seed = 2000 + n } in
+let ring_bench ?(sanitize = false) m ~tier ~n =
+  let cfg =
+    { cfg_base with Config.n_sites = 4; seed = 2000 + n; sanitize }
+  in
   let sim = Sim.make ~cfg () in
   let eng = sim.Sim.eng in
+  (* The sanitizer's capsules piggyback on every delivery but must not
+     perturb the schedule: the sanitized pass reproduces the plain
+     pass's rounds exactly, so the only delta is wall clock. *)
+  if sanitize then begin
+    let san = Dgc_sanitize.Sanitizer.install eng in
+    Dgc_sanitize.Sanitizer.set_shared san (Collector.back sim.Sim.col)
+  end;
   let sites4 = [ site 0; site 1; site 2; site 3 ] in
   (* Rooted filler: the per-round trace cost each site must pay. *)
   let filler = max 8 (n / 4) in
@@ -209,15 +218,18 @@ let ring_bench m ~tier ~n =
   in
   Sim.start sim;
   let max_rounds = 15 in
+  let wall_ms = ref 0. in
   let rec loop k =
     if all_freed () then (k, true)
     else if k >= max_rounds then (k, false)
     else begin
       let t0 = now_ms () in
       Sim.run_rounds sim 1;
+      let dt = now_ms () -. t0 in
+      wall_ms := !wall_ms +. dt;
       Metrics.hist_observe m
         (Printf.sprintf "scale.round_ms{tier=%s}" tier)
-        (now_ms () -. t0);
+        dt;
       loop (k + 1)
     end
   in
@@ -229,7 +241,7 @@ let ring_bench m ~tier ~n =
   say "  %-6s rings %s in %d rounds" tier
     (if collected then "collected" else "NOT collected")
     rounds;
-  Sim_time.to_seconds (Engine.now eng)
+  (Sim_time.to_seconds (Engine.now eng), !wall_ms)
 
 (* --- driver ------------------------------------------------------------ *)
 
@@ -249,12 +261,27 @@ let () =
   in
   let m = Metrics.create () in
   let sim_secs = ref 0. in
+  let ring_wall = Hashtbl.create 4 in
   List.iter
     (fun (tier, n, reps) ->
       say "tier %s: %d objects/site" tier n;
       phase_bench m ~tier ~n ~reps;
-      sim_secs := !sim_secs +. ring_bench m ~tier ~n)
+      let secs, wall = ring_bench m ~tier ~n in
+      Hashtbl.replace ring_wall tier wall;
+      sim_secs := !sim_secs +. secs)
     tiers;
+  (* dgc-san overhead probe: re-run the t10k ring with the sanitizer's
+     vector clocks riding every delivery. Wall clock only — the
+     schedule (and so every counter) must be identical — and purely
+     informational in the artifact (compare.exe treats san.* and
+     fresh-only keys as optional). *)
+  say "tier t10k + dgc-san: sanitize overhead probe";
+  let secs_san, wall_san = ring_bench ~sanitize:true m ~tier:"t10k_san" ~n:10_000 in
+  sim_secs := !sim_secs +. secs_san;
+  let wall_off = Hashtbl.find ring_wall "t10k" in
+  let ratio = if wall_off > 0. then wall_san /. wall_off else nan in
+  say "  sanitize ring wall: off=%.1fms on=%.1fms ratio=%.2fx" wall_off
+    wall_san ratio;
   let art =
     Dgc_telemetry.Run_artifact.make ~name:"scale-bench"
       ~sim_seconds:!sim_secs
@@ -262,6 +289,14 @@ let () =
         [
           ("full", if full then Dgc_telemetry.Json.Bool true
                    else Dgc_telemetry.Json.Bool false);
+          ( "san_overhead",
+            Dgc_telemetry.Json.Obj
+              [
+                ("tier", Dgc_telemetry.Json.Str "t10k");
+                ("ring_wall_ms_off", Dgc_telemetry.Json.Float wall_off);
+                ("ring_wall_ms_on", Dgc_telemetry.Json.Float wall_san);
+                ("ratio", Dgc_telemetry.Json.Float ratio);
+              ] );
         ]
       m
   in

@@ -394,12 +394,17 @@ let inject_fault sim fault =
   | F_partition ->
       when_tracing (fun () -> Engine.partition eng [ [ Site_id.of_int 0 ] ])
 
-let audit_one ~fault ~rounds name =
+let audit_one ~fault ~rounds ~sanitize name =
   let sim = scenario_sim name in
   let eng = sim.Sim.eng in
   attach_journal (Engine.config eng) eng;
   Engine.attach_tracer eng (Tracer.create ());
   let wd = Obs.Watchdog.attach sim.Sim.col in
+  if sanitize then begin
+    let san = Dgc_sanitize.Sanitizer.install eng in
+    Dgc_sanitize.Sanitizer.set_shared san (Collector.back sim.Sim.col);
+    Obs.Watchdog.set_leak_probe wd (Dgc_sanitize.Sanitizer.leak_verdict san)
+  end;
   inject_fault sim fault;
   Sim.start sim;
   Sim.run_rounds sim rounds;
@@ -415,9 +420,11 @@ let audit_one ~fault ~rounds name =
            (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) counts)));
   (name, report)
 
-let run_audit scenarios fault rounds strict out =
+let run_audit scenarios fault rounds strict sanitize out =
   let names = match scenarios with [] -> all_figs | l -> l in
-  let reports = List.map (fun n -> audit_one ~fault ~rounds n) names in
+  let reports =
+    List.map (fun n -> audit_one ~fault ~rounds ~sanitize n) names
+  in
   Option.iter
     (fun path ->
       let j =
@@ -595,9 +602,17 @@ let chaos_smoke ~tweak () =
   else 1
 
 let run_chaos workload seed cases horizon_ms events plan out shrink broken
-    smoke =
+    sanitize no_timeouts no_oracle smoke =
   let tweak cfg =
-    if broken then { cfg with Config.enable_transfer_barrier = false } else cfg
+    let cfg =
+      if broken then { cfg with Config.enable_transfer_barrier = false }
+      else cfg
+    in
+    let cfg = if sanitize then { cfg with Config.sanitize = true } else cfg in
+    let cfg =
+      if no_timeouts then { cfg with Config.enable_timeouts = false } else cfg
+    in
+    if no_oracle then { cfg with Config.oracle_checks = false } else cfg
   in
   if smoke then chaos_smoke ~tweak ()
   else
@@ -678,6 +693,32 @@ let chaos_cmd =
             "Plant the §6.1 bug: disable the transfer barrier, so the \
              campaign must catch the resulting unsafe sweep.")
   in
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Run dgc-san inside every case: harmful races and proved lost \
+             traces become first-class campaign failures (and shrink like \
+             any other).")
+  in
+  let no_timeouts =
+    Arg.(
+      value & flag
+      & info [ "no-timeouts" ]
+          ~doc:
+            "Plant the §4.6 bug: never arm call timeouts or visited TTLs, \
+             so a crash mid-trace loses the trace forever.")
+  in
+  let no_oracle =
+    Arg.(
+      value & flag
+      & info [ "no-oracle" ]
+          ~doc:
+            "Disable the oracle's per-sweep safety check; useful with \
+             $(b,--sanitize) to let dgc-san be the detector that catches a \
+             planted defect.")
+  in
   let smoke =
     Arg.(
       value & flag
@@ -687,7 +728,7 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run_chaos $ workload $ seed $ cases $ horizon $ events $ plan
-      $ out $ shrink $ broken $ smoke)
+      $ out $ shrink $ broken $ sanitize $ no_timeouts $ no_oracle $ smoke)
 
 (* --- cmdliner ----------------------------------------------------------- *)
 
@@ -894,6 +935,16 @@ let audit_cmd =
             "Exit non-zero if any surviving component is Unexplained or \
              carries no evidence.")
   in
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Run dgc-san alongside the audit: the watchdog cites the leak \
+             detector's causal proof for stuck frames/traces instead of its \
+             age heuristic, and Trace_incomplete verdicts cite the \
+             sanitizer's journal evidence.")
+  in
   let out =
     Arg.(
       value
@@ -901,7 +952,8 @@ let audit_cmd =
       & info [ "out"; "o" ] ~doc:"Write the audit reports as JSON.")
   in
   Cmd.v (Cmd.info "audit" ~doc)
-    Term.(const run_audit $ scenarios $ fault $ rounds $ strict $ out)
+    Term.(
+      const run_audit $ scenarios $ fault $ rounds $ strict $ sanitize $ out)
 
 let inspect_cmd =
   let doc =

@@ -61,5 +61,83 @@ let fig5_race_broken =
       make_race { race_cfg with Config.enable_transfer_barrier = false };
   }
 
-let catalog = [ fig1; fig5_race; fig5_race_broken ]
+(* --- dgc-san SUTs ------------------------------------------------------ *)
+
+(* The sanitizer checks replace the §6.1 battery here so a violation is
+   attributable to the detector under test, not to the oracle. *)
+
+module San = Dgc_sanitize.Sanitizer
+
+let san_instance sim =
+  let san = San.install sim.Dgc_core.Sim.eng in
+  San.set_shared san (Dgc_core.Collector.back sim.Dgc_core.Sim.col);
+  (san, { Explorer.i_sim = sim; i_check = (fun () -> San.check san) })
+
+let san_race_broken =
+  {
+    Explorer.sut_name = "san-race-broken";
+    sut_desc =
+      "the §6.4 race with the transfer barrier disabled, judged by the \
+       happens-before race detector instead of the invariant battery — the \
+       sanitizer must flag the unprotected concurrent transfer";
+    sut_make =
+      (fun () ->
+        let cfg =
+          {
+            race_cfg with
+            Config.enable_transfer_barrier = false;
+            sanitize = true;
+          }
+        in
+        let f, _outcome = Scenario.fig5_race_arm ~cfg () in
+        snd (san_instance f.Scenario.f5_sim));
+  }
+
+let san_lost_trace =
+  {
+    Explorer.sut_name = "san-lost-trace";
+    sut_desc =
+      "a fig2 back trace with the §4.6 timeouts disabled and the callee \
+       crashed while the call is in flight — the planted lost-trace leak \
+       the sanitizer must prove";
+    sut_make =
+      (fun () ->
+        let cfg =
+          {
+            base_cfg with
+            Config.delta = 3;
+            threshold2 = 6;
+            threshold_bump = 4;
+            enable_timeouts = false;
+            sanitize = true;
+          }
+        in
+        let f = Scenario.fig2 ~cfg () in
+        let sim = f.Scenario.f2_sim in
+        let eng = sim.Dgc_core.Sim.eng in
+        (* force the suspected regime so a back trace can start *)
+        Array.iter
+          (fun s ->
+            Dgc_rts.Tables.iter_inrefs s.Site.tables (fun ir ->
+                List.iter
+                  (fun src ->
+                    Dgc_rts.Ioref.set_source_dist ir src.Dgc_rts.Ioref.src_site
+                      ~dist:100)
+                  ir.Dgc_rts.Ioref.ir_sources))
+          (Engine.sites eng);
+        Dgc_core.Collector.force_local_trace_all sim.Dgc_core.Sim.col;
+        let _san, inst = san_instance sim in
+        (* arm: the trace from outref c at Q, then crash c's owner while
+           the first back call is still in flight — with no timeouts the
+           initiator's frame can never settle *)
+        ignore
+          (Dgc_core.Collector.start_back_trace sim.Dgc_core.Sim.col
+             (Dgc_heap.Oid.site f.Scenario.f2_a)
+             f.Scenario.f2_c);
+        Engine.schedule eng ~delay:(Sim_time.of_millis 1.) (fun () ->
+            Engine.crash eng (Dgc_heap.Oid.site f.Scenario.f2_c));
+        inst);
+  }
+
+let catalog = [ fig1; fig5_race; fig5_race_broken; san_race_broken; san_lost_trace ]
 let find name = List.find_opt (fun s -> s.Explorer.sut_name = name) catalog

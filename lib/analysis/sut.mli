@@ -15,5 +15,15 @@ val fig5_race_broken : Explorer.sut
 (** The §6.4 race with the transfer barrier disabled — the seeded bug;
     exploration must produce a counterexample. *)
 
+val san_race_broken : Explorer.sut
+(** The §6.4 race with the transfer barrier disabled, judged by the
+    dgc-san happens-before race detector instead of the invariant
+    battery — the sanitizer must rediscover the seeded bug. *)
+
+val san_lost_trace : Explorer.sut
+(** A fig2 back trace with the §4.6 timeouts disabled and the callee
+    crashed mid-call — the planted lost-trace leak the sanitizer's
+    detector must prove. *)
+
 val catalog : Explorer.sut list
 val find : string -> Explorer.sut option

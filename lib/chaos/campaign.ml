@@ -14,21 +14,28 @@ type failure =
   | Liveness of int
   | Invariant of string
   | Table of string
+  | Race of string
+  | Leak of string
 
 let failure_to_string = function
   | Safety m -> "safety: " ^ m
   | Liveness n -> Printf.sprintf "liveness: %d garbage objects survived" n
   | Invariant m -> "invariant: " ^ m
   | Table m -> "table: " ^ m
+  | Race m -> "race: " ^ m
+  | Leak m -> "leak: " ^ m
 
 let same_kind a b =
   match (a, b) with
   | Safety _, Safety _
   | Liveness _, Liveness _
   | Invariant _, Invariant _
-  | Table _, Table _ ->
+  | Table _, Table _
+  | Race _, Race _
+  | Leak _, Leak _ ->
       true
-  | (Safety _ | Liveness _ | Invariant _ | Table _), _ -> false
+  | (Safety _ | Liveness _ | Invariant _ | Table _ | Race _ | Leak _), _ ->
+      false
 
 type case = {
   cs_name : string;
@@ -75,6 +82,17 @@ let run_case ?(tweak = fun c -> c) case =
   let journal = Journal.create ~capacity:8192 () in
   Engine.attach_journal eng journal;
   Engine.attach_tracer eng (Tel.Tracer.create ());
+  (* dgc-san rides along when the (tweaked) config asks for it; the
+     detectors' verdicts become first-class failures below, so ddmin
+     shrinks race and leak reports like any other. *)
+  let san =
+    if cfg.Config.sanitize then begin
+      let s = Dgc_sanitize.Sanitizer.install eng in
+      Dgc_sanitize.Sanitizer.set_shared s (Collector.back sim.Sim.col);
+      Some s
+    end
+    else None
+  in
   if not spec.Workloads.settled then Scenario.settle sim ~rounds:5;
   Sim.start sim;
   let inj = Inject.arm eng case.cs_plan in
@@ -107,10 +125,34 @@ let run_case ?(tweak = fun c -> c) case =
             | v :: _ -> failure := Some (Table v)
             | [] -> ()
         end);
+  (* The sanitizer's verdicts outrank the liveness/table judgments — a
+     proved lost trace explains a liveness miss better than a garbage
+     count — but never a safety or invariant exception. *)
+  (match san with
+  | Some s
+    when (match !failure with
+         | None | Some (Liveness _) | Some (Table _) -> true
+         | Some _ -> false) -> (
+      ignore (Dgc_sanitize.Sanitizer.check_leaks s);
+      match
+        ( Dgc_sanitize.Sanitizer.harmful_races s,
+          Dgc_sanitize.Sanitizer.leaks s )
+      with
+      | r :: _, _ ->
+          failure := Some (Race (Dgc_sanitize.Sanitizer.race_message r))
+      | [], l :: _ ->
+          failure := Some (Leak (Dgc_sanitize.Sanitizer.leak_message l))
+      | [], [] -> ())
+  | _ -> ());
   let sim_seconds = Sim_time.to_seconds (Engine.now eng) in
   let audit = Audit.to_json (Audit.run sim.Sim.col) in
+  let extra =
+    match san with
+    | Some s -> [ ("san", Dgc_sanitize.Sanitizer.to_json s) ]
+    | None -> []
+  in
   let run =
-    Tel.Run_artifact.make ~name:case.cs_name ~sim_seconds ~audit
+    Tel.Run_artifact.make ~name:case.cs_name ~sim_seconds ~extra ~audit
       (Engine.metrics eng)
   in
   {

@@ -22,6 +22,13 @@ type failure =
           [collect_all] *)
   | Invariant of string  (** §6.1 invariant battery violation *)
   | Table of string  (** ioref-table referential integrity violation *)
+  | Race of string
+      (** dgc-san: a causally-concurrent transfer/trace conflict with
+          no barrier protection (runs only when [cfg.sanitize]) *)
+  | Leak of string
+      (** dgc-san: a lost trace — resident frames/memo with no message
+          in flight and no armed timer (runs only when
+          [cfg.sanitize]) *)
 
 val failure_to_string : failure -> string
 

@@ -28,6 +28,35 @@ let () =
     | Back_report _ -> Some "back_report"
     | _ -> None)
 
+(* How each back-trace message survives the fault model (§4.6): calls
+   are memoized at the receiver (duplicates re-answered), replies are
+   deduplicated by call nonce, reports are idempotent broadcasts; the
+   crash edge is the sender timeout for the call channel and the
+   visited-marks TTL for reports. The dgc-san lint audits these. *)
+let () =
+  Protocol.(
+    List.iter declare
+      [
+        {
+          d_kind = "back_call";
+          d_dup = Dup_memo;
+          d_crash = Crash_timeout;
+          d_commutes = "memoized-rpc";
+        };
+        {
+          d_kind = "back_reply";
+          d_dup = Dup_dedup;
+          d_crash = Crash_timeout;
+          d_commutes = "dedup-by-nonce";
+        };
+        {
+          d_kind = "back_report";
+          d_dup = Dup_idempotent;
+          d_crash = Crash_ttl;
+          d_commutes = "idempotent-broadcast";
+        };
+      ])
+
 module Int_set = Set.Make (Int)
 
 type parent =
@@ -169,6 +198,14 @@ let reply_key trace ~replier ~target seq =
 
 let report_key trace participant =
   Printf.sprintf "report/%s/%d" (tkey trace) (Site_id.to_int participant)
+
+(* Stable labels for the §4.6 timers, shared with the sanitizer's
+   armed-timer registry (a lost-trace verdict cites them). *)
+let timer_key_call trace ~site seq =
+  Printf.sprintf "back_call/%s/%d/%d" (tkey trace) (Site_id.to_int site) seq
+
+let timer_key_ttl trace ~site =
+  Printf.sprintf "visited_ttl/%s/%d" (tkey trace) (Site_id.to_int site)
 
 let root_span sh trace = Hashtbl.find_opt sh.t_spans trace
 
@@ -498,7 +535,11 @@ and record_visit sh st trace r =
           else ttl
         end
       in
-      Engine.schedule sh.eng ~delay:ttl (fun () ->
+      if not cfg.Config.enable_timeouts then ()
+      else
+      Engine.schedule sh.eng
+        ~san:(fun () -> (self_id st, timer_key_ttl trace ~site:(self_id st)))
+        ~delay:ttl (fun () ->
           if Hashtbl.mem st.visited_refs trace then begin
             (* Never heard the outcome: assume Live (§4.6). *)
             Metrics.incr (Engine.metrics sh.eng) "back.visited_ttl_expired";
@@ -602,7 +643,10 @@ and step_remote sh st trace i parent =
                         (base
                         *. (cfg.Config.retry_backoff ** float_of_int attempt))
                   in
-                  Engine.schedule sh.eng ~delay (fun () ->
+                  Engine.schedule sh.eng
+                    ~san:(fun () ->
+                      (self_id st, timer_key_call trace ~site:(self_id st) seq))
+                    ~delay (fun () ->
                       match Hashtbl.find_opt st.frames fr.fr_id with
                       | Some fr'
                         when (not fr'.fr_done) && Int_set.mem seq fr'.fr_calls
@@ -649,7 +693,11 @@ and step_remote sh st trace i parent =
                       | _ -> ())
                 in
                 send_call ();
-                arm 0)
+                (* The [enable_timeouts] ablation plants the lost-trace
+                   defect: the call goes out but silence is never read
+                   as Live, so a crashed callee strands this frame (and
+                   the memo entries behind it) forever. *)
+                if cfg.Config.enable_timeouts then arm 0)
               sources
       end
 
@@ -758,6 +806,11 @@ let on_cleaned sh site_id r =
 
 let active_frames sh site_id = Hashtbl.length (state sh site_id).frames
 
+type parent_info =
+  | Pi_initiator
+  | Pi_local of int
+  | Pi_remote of { site : Site_id.t; frame : int; call_seq : int }
+
 type frame_info = {
   fi_id : int;
   fi_trace : Trace_id.t;
@@ -766,6 +819,8 @@ type frame_info = {
   fi_pending : int;
   fi_started : Sim_time.t;
   fi_span : int option;
+  fi_parent : parent_info;
+  fi_calls : int list;
 }
 
 let open_frames sh site_id =
@@ -781,10 +836,63 @@ let open_frames sh site_id =
           fi_pending = fr.fr_pending;
           fi_started = fr.fr_started;
           fi_span = (if fr.fr_span >= 0 then Some fr.fr_span else None);
+          fi_parent =
+            (match fr.fr_parent with
+            | P_initiator -> Pi_initiator
+            | P_local id -> Pi_local id
+            | P_remote { site; frame; call_seq } ->
+                Pi_remote { site; frame; call_seq });
+          fi_calls = Int_set.elements fr.fr_calls;
         }
         :: acc)
     (state sh site_id).frames []
   |> List.sort (fun a b -> Int.compare a.fi_id b.fi_id)
+
+type residue = { rs_frames : int; rs_memo : int; rs_visited : int }
+
+let residue sh =
+  let acc : (Trace_id.t, (Site_id.t * residue) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  Array.iter
+    (fun st ->
+      let per : (Trace_id.t, residue) Hashtbl.t = Hashtbl.create 8 in
+      let bump tr f =
+        let r =
+          Option.value
+            (Hashtbl.find_opt per tr)
+            ~default:{ rs_frames = 0; rs_memo = 0; rs_visited = 0 }
+        in
+        Hashtbl.replace per tr (f r)
+      in
+      Hashtbl.iter
+        (fun _ fr ->
+          if not fr.fr_done then
+            bump fr.fr_trace (fun r -> { r with rs_frames = r.rs_frames + 1 }))
+        st.frames;
+      Hashtbl.iter
+        (fun (tr, _, _) _ ->
+          bump tr (fun r -> { r with rs_memo = r.rs_memo + 1 }))
+        st.call_memo;
+      Hashtbl.iter
+        (fun tr l ->
+          bump tr (fun r ->
+              { r with rs_visited = r.rs_visited + List.length !l }))
+        st.visited_refs;
+      Hashtbl.iter
+        (fun tr r ->
+          match Hashtbl.find_opt acc tr with
+          | Some l -> l := (self_id st, r) :: !l
+          | None -> Hashtbl.add acc tr (ref [ (self_id st, r) ]))
+        per)
+    sh.states;
+  Hashtbl.fold
+    (fun tr l out ->
+      ( tr,
+        List.sort (fun (a, _) (b, _) -> Site_id.compare a b) !l )
+      :: out)
+    acc []
+  |> List.sort (fun (a, _) (b, _) -> Trace_id.compare a b)
 
 let stats sh =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) sh.tstats []

@@ -77,6 +77,12 @@ val on_cleaned : shared -> Site_id.t -> Oid.t -> unit
 
 val active_frames : shared -> Site_id.t -> int
 
+type parent_info =
+  | Pi_initiator  (** the trace root at the initiator *)
+  | Pi_local of int  (** parent frame id at the same site *)
+  | Pi_remote of { site : Site_id.t; frame : int; call_seq : int }
+      (** awaited by [frame] at [site] as its call [call_seq] *)
+
 type frame_info = {
   fi_id : int;
   fi_trace : Trace_id.t;
@@ -85,12 +91,23 @@ type frame_info = {
   fi_pending : int;  (** outstanding child calls *)
   fi_started : Sim_time.t;
   fi_span : int option;  (** telemetry span id when a tracer is attached *)
+  fi_parent : parent_info;
+  fi_calls : int list;  (** outstanding remote call sequence numbers *)
 }
 
 val open_frames : shared -> Site_id.t -> frame_info list
 (** Still-open activation frames at a site, oldest first. The state
     inspector dumps these; the watchdog flags ones open beyond a
     multiple of the §4.7 timeout. *)
+
+type residue = { rs_frames : int; rs_memo : int; rs_visited : int }
+(** Per-site footprint a trace still occupies: open activation frames,
+    call-memo entries, visited marks. *)
+
+val residue : shared -> (Trace_id.t * (Site_id.t * residue) list) list
+(** Every trace with non-zero footprint anywhere, sorted by trace id
+    (sites sorted within). The lost-trace leak detector asks this and
+    then proves no continuation path can ever clear the footprint. *)
 
 val stats : shared -> (Trace_id.t * trace_stat) list
 (** Sorted by trace id. *)
@@ -100,3 +117,11 @@ val find_stat : shared -> Trace_id.t -> trace_stat option
 val on_outcome : shared -> (Trace_id.t -> Verdict.t -> Site_id.Set.t -> unit) -> unit
 (** Register an observer called at the initiator when a trace
     completes (before reports are delivered). *)
+
+val timer_key_call : Trace_id.t -> site:Site_id.t -> int -> string
+(** Stable sanitizer label of the §4.6 per-call timeout the caller
+    [site] arms for call sequence number [seq] of the trace. *)
+
+val timer_key_ttl : Trace_id.t -> site:Site_id.t -> string
+(** Stable sanitizer label of the visited-marks TTL a participant
+    [site] arms for the trace. *)

@@ -364,9 +364,13 @@ let decide eng back si objects cs =
     in
     match st.Back_trace.ts_outcome with
     | None ->
-        (* Started, never concluded: crash or partition ate the trace. *)
+        (* Started, never concluded: crash or partition ate the trace.
+           The "san" category carries dgc-san's lost-trace proofs, so
+           when a sanitizer ran the verdict cites causal evidence (no
+           in-flight message, no armed timer) rather than heuristics. *)
         let ev =
           List.map (e_span ~note:"still open") open_spans
+          @ take_n 2 (jev ~cats:[ "san" ] ())
           @ take_n 4 (jev ~cats:[ "back"; "fault" ] ())
           @ [
               E_state
@@ -397,6 +401,7 @@ let decide eng back si objects cs =
           ( Trace_incomplete,
             List.map (e_span ~note:"report undelivered") (named "report")
             @ List.map (fun sp -> e_span sp) (named "timeout.visited_ttl")
+            @ take_n 2 (jev ~cats:[ "san" ] ())
             @ take_n 4 (jev ~cats:[ "back"; "fault" ] ())
             @ [
                 E_state

@@ -21,6 +21,7 @@ type t = {
   seen : (string, unit) Hashtbl.t;  (** one alert per subject *)
   first_seen_garbage : (Oid.t, int) Hashtbl.t;  (** oid -> round first seen *)
   mutable rev_alerts : alert list;
+  mutable leak_probe : (Trace_id.t -> string option) option;
 }
 
 let eng t = Collector.engine t.col
@@ -56,16 +57,36 @@ let check_stuck_frames t =
       List.iter
         (fun (fi : Back_trace.frame_info) ->
           let age = now -. Sim_time.to_seconds fi.Back_trace.fi_started in
-          if age > limit then
-            once t
-              (Format.asprintf "frame/%a/%a/%d" Site_id.pp id Trace_id.pp
-                 fi.Back_trace.fi_trace fi.Back_trace.fi_id)
-              (fun () ->
-                raise_alert t ~kind:"stuck_frame" ~site:id
-                  "frame #%d (%s) of %a on %a open for %.1fs (> %.1fs)"
-                  fi.Back_trace.fi_id fi.Back_trace.fi_kind Trace_id.pp
-                  fi.Back_trace.fi_trace Oid.pp fi.Back_trace.fi_ioref age
-                  limit))
+          (* Prefer the leak detector's proof when a sanitizer is wired
+             in: a proved lost trace is reported at once with its causal
+             evidence; the age heuristic is only the fallback. *)
+          let verdict =
+            match t.leak_probe with
+            | Some probe -> probe fi.Back_trace.fi_trace
+            | None -> None
+          in
+          match verdict with
+          | Some evidence ->
+              once t
+                (Format.asprintf "frame/%a/%a/%d" Site_id.pp id Trace_id.pp
+                   fi.Back_trace.fi_trace fi.Back_trace.fi_id)
+                (fun () ->
+                  raise_alert t ~kind:"stuck_frame" ~site:id
+                    "frame #%d (%s) of %a on %a can never settle — %s"
+                    fi.Back_trace.fi_id fi.Back_trace.fi_kind Trace_id.pp
+                    fi.Back_trace.fi_trace Oid.pp fi.Back_trace.fi_ioref
+                    evidence)
+          | None ->
+              if age > limit then
+                once t
+                  (Format.asprintf "frame/%a/%a/%d" Site_id.pp id Trace_id.pp
+                     fi.Back_trace.fi_trace fi.Back_trace.fi_id)
+                  (fun () ->
+                    raise_alert t ~kind:"stuck_frame" ~site:id
+                      "frame #%d (%s) of %a on %a open for %.1fs (> %.1fs)"
+                      fi.Back_trace.fi_id fi.Back_trace.fi_kind Trace_id.pp
+                      fi.Back_trace.fi_trace Oid.pp fi.Back_trace.fi_ioref
+                      age limit))
         (Back_trace.open_frames (Collector.back t.col) id))
     (Engine.sites e)
 
@@ -77,17 +98,33 @@ let check_stuck_traces t =
     (fun (trace, (st : Back_trace.trace_stat)) ->
       match st.Back_trace.ts_outcome with
       | Some _ -> ()
-      | None ->
+      | None -> (
           let age = now -. Sim_time.to_seconds st.Back_trace.ts_started in
-          if age > limit then
-            once t
-              (Format.asprintf "trace/%a" Trace_id.pp trace)
-              (fun () ->
-                raise_alert t ~kind:"stuck_trace"
-                  ~site:st.Back_trace.ts_initiator
-                  "%a (root %a) no outcome after %.1fs (> %.1fs): never \
-                   reached the report phase"
-                  Trace_id.pp trace Oid.pp st.Back_trace.ts_root age limit))
+          let verdict =
+            match t.leak_probe with
+            | Some probe -> probe trace
+            | None -> None
+          in
+          match verdict with
+          | Some evidence ->
+              once t
+                (Format.asprintf "trace/%a" Trace_id.pp trace)
+                (fun () ->
+                  raise_alert t ~kind:"stuck_trace"
+                    ~site:st.Back_trace.ts_initiator
+                    "%a (root %a) can never report — %s" Trace_id.pp trace
+                    Oid.pp st.Back_trace.ts_root evidence)
+          | None ->
+              if age > limit then
+                once t
+                  (Format.asprintf "trace/%a" Trace_id.pp trace)
+                  (fun () ->
+                    raise_alert t ~kind:"stuck_trace"
+                      ~site:st.Back_trace.ts_initiator
+                      "%a (root %a) no outcome after %.1fs (> %.1fs): never \
+                       reached the report phase"
+                      Trace_id.pp trace Oid.pp st.Back_trace.ts_root age
+                      limit)))
     (Back_trace.stats (Collector.back t.col))
 
 let check_starved_thresholds t =
@@ -183,6 +220,7 @@ let attach ?(stuck_factor = 3.0) ?(starvation_bumps = 4) ?(survive_rounds = 3)
       seen = Hashtbl.create 64;
       first_seen_garbage = Hashtbl.create 64;
       rev_alerts = [];
+      leak_probe = None;
     }
   in
   Engine.add_step_watcher e (fun () ->
@@ -193,6 +231,8 @@ let attach ?(stuck_factor = 3.0) ?(starvation_bumps = 4) ?(survive_rounds = 3)
         ignore (run_checks t)
       end);
   t
+
+let set_leak_probe t probe = t.leak_probe <- Some probe
 
 let alerts t = List.rev t.rev_alerts
 

@@ -46,6 +46,13 @@ val attach :
   Collector.t ->
   t
 
+val set_leak_probe : t -> (Trace_id.t -> string option) -> unit
+(** Wire in a leak oracle (in practice dgc-san's lost-trace detector,
+    passed as a closure so the watchdog stays sanitizer-agnostic). When
+    the probe returns [Some evidence] for a trace, stuck_frame and
+    stuck_trace alerts for it fire immediately and cite that causal
+    evidence instead of waiting out the [stuck_factor] age heuristic. *)
+
 val check_now : t -> alert list
 (** Run every check immediately (regardless of the interval); returns
     the alerts newly raised by this check. *)

@@ -29,8 +29,10 @@ type t = {
   enable_transfer_barrier : bool;
   enable_clean_rule : bool;
   enable_insert_barrier : bool;
+  enable_timeouts : bool;
   oracle_checks : bool;
   check_level : check_level;
+  sanitize : bool;
   journal_capacity : int;
 }
 
@@ -57,8 +59,10 @@ let default =
     enable_transfer_barrier = true;
     enable_clean_rule = true;
     enable_insert_barrier = true;
+    enable_timeouts = true;
     oracle_checks = true;
     check_level = Check_final;
+    sanitize = false;
     journal_capacity = 2048;
   }
 

@@ -74,12 +74,29 @@ type t = {
   enable_transfer_barrier : bool;
   enable_clean_rule : bool;
   enable_insert_barrier : bool;
+  enable_timeouts : bool;
+      (** the §4.6 silence-means-Live machinery: per-call timeouts
+          (with their retry schedule) and the visited-marks TTL.
+          Disabling it is an ablation that plants the "lost trace"
+          defect — a crash then strands activation frames and memo
+          entries forever, which the sanitizer's leak detector must
+          prove (no continuation path: no reply in flight, no armed
+          timer, callee down) *)
   (* verification *)
   oracle_checks : bool;  (** assert oracle safety at every sweep *)
   check_level : check_level;
       (** how aggressively the §6.1 invariants are checked during a
           run; {!Check_step} is wired up by [Sim.make] through the
           engine's step hook *)
+  sanitize : bool;
+      (** arm the happens-before sanitizer (dgc-san): the engine
+          piggybacks vector-clock capsules on every delivery and
+          labels §4.6 timers so the race and lost-trace detectors can
+          order events causally. Off by default; when off the engine
+          makes no sanitizer calls at all and runs are bit-identical
+          to builds without the hooks. The layers that can see
+          [lib/sanitize] (campaigns, the explorer SUTs, the CLI) read
+          this flag to decide whether to install the detectors *)
   journal_capacity : int;
       (** ring-buffer size of the journal the CLI attaches by default
           ({!Journal.create}'s [capacity]) *)

@@ -8,6 +8,26 @@ type move_wait = {
   wait_since : Sim_time.t;  (** insert-barrier stall start (§6.1.2) *)
 }
 
+(* Sanitizer hooks (dgc-san). When installed, the engine piggybacks an
+   opaque capsule (minted by [san_send]) on every payload so the
+   sanitizer can carry vector clocks from send to delivery, reports
+   the fate of every copy (delivered, dropped, duplicated), and labels
+   §4.6 timers. When absent — the default — none of these are called,
+   no capsule state exists, and the event/rng stream is bit-identical
+   to a build without the hooks. *)
+type san_hooks = {
+  san_send : src:Site_id.t -> dst:Site_id.t -> Protocol.payload -> int;
+      (** a logical send: returns the capsule to ride with the payload
+          (one in-flight copy is implied) *)
+  san_copy : int -> unit;  (** another in-flight copy (dup channel) *)
+  san_dropped : int -> reason:string -> unit;
+      (** one copy destroyed without delivery *)
+  san_deliver :
+    src:Site_id.t -> dst:Site_id.t -> capsule:int -> Protocol.payload -> unit;
+  san_timer_armed : site:Site_id.t -> key:string -> at:Sim_time.t -> int;
+  san_timer_fired : int -> unit;
+}
+
 type t = {
   cfg : Config.t;
   rng : Rng.t;
@@ -18,7 +38,8 @@ type t = {
   mutable next_token : int;
   mutable next_msg_id : int;
   in_flight : (int, Oid.t list) Hashtbl.t;
-  parked : (Site_id.t, (Site_id.t * Protocol.payload) list ref) Hashtbl.t;
+  parked :
+    (Site_id.t, (Site_id.t * Protocol.payload * int) list ref) Hashtbl.t;
   (* per destination site: (ref being inserted -> waiting move token) *)
   awaiting_insert : (Site_id.t * Oid.t, int) Hashtbl.t;
   move_waits : (int, move_wait) Hashtbl.t;
@@ -26,9 +47,10 @@ type t = {
   mutable extra_roots : Site_id.t -> Oid.t list;
   mutable gc_running : bool;
   mutable partition_of : int array;  (** site -> partition group *)
-  mutable part_parked : (Site_id.t * Site_id.t * Protocol.payload) list;
+  mutable part_parked : (Site_id.t * Site_id.t * Protocol.payload * int) list;
   (* §4.7 deferral: queued collector messages per (src, dst) pair *)
-  defer_queues : (Site_id.t * Site_id.t, Protocol.payload list ref) Hashtbl.t;
+  defer_queues :
+    (Site_id.t * Site_id.t, (Protocol.payload * int) list ref) Hashtbl.t;
   (* chaos fault channels: runtime overrides of the configured Ext
      lossiness/duplication, plus a multiplier on sampled latencies.
      [None]/[1.0] defer to the configuration — the extra randomness is
@@ -48,6 +70,7 @@ type t = {
     option;
   mutable on_step : (unit -> unit) option;
   mutable step_watchers : (unit -> unit) list;  (** run after [on_step] *)
+  mutable sanitizer : san_hooks option;
 }
 
 exception Metrics_bucket_mismatch of string
@@ -81,6 +104,7 @@ let create cfg =
       msg_monitor = None;
       on_step = None;
       step_watchers = [];
+      sanitizer = None;
     }
   in
   (* A ?buckets spec that disagrees with a histogram's existing bounds
@@ -103,6 +127,27 @@ let set_on_step t f = t.on_step <- Some f
 let clear_on_step t = t.on_step <- None
 
 let add_step_watcher t f = t.step_watchers <- t.step_watchers @ [ f ]
+let set_sanitizer t h = t.sanitizer <- Some h
+let clear_sanitizer t = t.sanitizer <- None
+let sanitizing t = t.sanitizer <> None
+
+let san_send t ~src ~dst payload =
+  match t.sanitizer with
+  | Some h -> h.san_send ~src ~dst payload
+  | None -> -1
+
+let san_copy t capsule =
+  match t.sanitizer with Some h -> h.san_copy capsule | None -> ()
+
+let san_dropped t capsule ~reason =
+  match t.sanitizer with
+  | Some h -> h.san_dropped capsule ~reason
+  | None -> ()
+
+let san_deliver t ~src ~dst ~capsule payload =
+  match t.sanitizer with
+  | Some h -> h.san_deliver ~src ~dst ~capsule payload
+  | None -> ()
 
 let monitor_msg t ~phase ~src ~dst payload =
   match t.msg_monitor with
@@ -137,8 +182,24 @@ let now t = t.now
 let rng t = t.rng
 let metrics t = t.metrics
 
-let schedule t ~delay f =
-  Event_queue.push t.queue ~at:(Sim_time.add t.now delay) f
+(* [?san] labels the scheduled closure as a protocol timer for the
+   sanitizer: the thunk (forced only when a sanitizer is installed)
+   names the owning site and a stable key, so the lost-trace detector
+   can see that a continuation path is still armed. Plain closures
+   (mutator steps, trace schedule ticks) stay unlabeled. *)
+let schedule t ?san ~delay f =
+  let at = Sim_time.add t.now delay in
+  let f =
+    match (t.sanitizer, san) with
+    | Some h, Some info ->
+        let site, key = info () in
+        let id = h.san_timer_armed ~site ~key ~at in
+        fun () ->
+          h.san_timer_fired id;
+          f ()
+    | _ -> f
+  in
+  Event_queue.push t.queue ~at f
 
 let fresh_token t =
   let tok = t.next_token in
@@ -157,12 +218,14 @@ let app_roots t id =
 let in_flight_refs t =
   let flying = Hashtbl.fold (fun _ refs acc -> refs @ acc) t.in_flight [] in
   let part =
-    List.concat_map (fun (_, _, p) -> Protocol.refs_carried p) t.part_parked
+    List.concat_map
+      (fun (_, _, p, _) -> Protocol.refs_carried p)
+      t.part_parked
   in
   Hashtbl.fold
     (fun _ msgs acc ->
       List.fold_left
-        (fun acc (_, p) -> Protocol.refs_carried p @ acc)
+        (fun acc (_, p, _) -> Protocol.refs_carried p @ acc)
         acc !msgs)
     t.parked (part @ flying)
 
@@ -263,8 +326,12 @@ let rec base_handlers =
       (fun (t, dst) ~src e -> (site t dst).Site.hooks.h_ext ~src e);
   }
 
-and deliver t ~src ~dst payload =
+(* [san_deliver] runs before dispatch: the receiver's clock must join
+   the capsule first so any message the handler sends in response is
+   causally after this delivery. *)
+and deliver t ~src ~dst ~capsule payload =
   monitor_msg t ~phase:`Deliver ~src ~dst payload;
+  san_deliver t ~src ~dst ~capsule payload;
   Protocol.dispatch base_handlers (t, dst) ~src payload
 
 (* --- sending -------------------------------------------------------- *)
@@ -285,7 +352,7 @@ and note_move_stalled t ~why payload =
         "move-ack (token %d) parked by %s: sender pins held" token why
   | _ -> ()
 
-and send_now t ~src ~dst payload =
+and send_now t ~src ~dst ~capsule payload =
   let kind = Protocol.kind payload in
   let bytes = Protocol.approx_bytes payload in
   Metrics.incr t.metrics ("msg." ^ kind);
@@ -294,15 +361,21 @@ and send_now t ~src ~dst payload =
   Metrics.hist_observe t.metrics ("msg.size." ^ kind) (float_of_int bytes);
   let dst_site = site t dst in
   let is_ext = Protocol.is_ext payload in
-  if is_ext && dst_site.Site.crashed then
-    Metrics.incr t.metrics "msg.dropped.crashed"
-  else if is_ext && not (reachable t src dst) then
-    Metrics.incr t.metrics "msg.dropped.partition"
-  else if is_ext && Rng.chance t.rng (ext_drop_p t) then
-    Metrics.incr t.metrics "msg.dropped.lossy"
+  if is_ext && dst_site.Site.crashed then begin
+    Metrics.incr t.metrics "msg.dropped.crashed";
+    san_dropped t capsule ~reason:"crashed"
+  end
+  else if is_ext && not (reachable t src dst) then begin
+    Metrics.incr t.metrics "msg.dropped.partition";
+    san_dropped t capsule ~reason:"partition"
+  end
+  else if is_ext && Rng.chance t.rng (ext_drop_p t) then begin
+    Metrics.incr t.metrics "msg.dropped.lossy";
+    san_dropped t capsule ~reason:"lossy"
+  end
   else if not (reachable t src dst) then begin
     note_move_stalled t ~why:"partition" payload;
-    t.part_parked <- (src, dst, payload) :: t.part_parked
+    t.part_parked <- (src, dst, payload, capsule) :: t.part_parked
   end
   else if dst_site.Site.crashed then begin
     note_move_stalled t ~why:"crash" payload;
@@ -314,7 +387,7 @@ and send_now t ~src ~dst payload =
           Hashtbl.add t.parked dst q;
           q
     in
-    q := (src, payload) :: !q
+    q := (src, payload, capsule) :: !q
   end
   else begin
     let fly () =
@@ -328,15 +401,21 @@ and send_now t ~src ~dst payload =
           Hashtbl.remove t.in_flight id;
           if not (reachable t src dst) then begin
             (* Partitioned while the message was in flight. *)
-            if is_ext then Metrics.incr t.metrics "msg.dropped.partition"
+            if is_ext then begin
+              Metrics.incr t.metrics "msg.dropped.partition";
+              san_dropped t capsule ~reason:"partition"
+            end
             else begin
               note_move_stalled t ~why:"partition" payload;
-              t.part_parked <- (src, dst, payload) :: t.part_parked
+              t.part_parked <- (src, dst, payload, capsule) :: t.part_parked
             end
           end
           else if (site t dst).Site.crashed then begin
             (* Crashed while the message was in flight. *)
-            if is_ext then Metrics.incr t.metrics "msg.dropped.crashed"
+            if is_ext then begin
+              Metrics.incr t.metrics "msg.dropped.crashed";
+              san_dropped t capsule ~reason:"crashed"
+            end
             else begin
               note_move_stalled t ~why:"crash" payload;
               let q =
@@ -347,10 +426,10 @@ and send_now t ~src ~dst payload =
                     Hashtbl.add t.parked dst q;
                     q
               in
-              q := (src, payload) :: !q
+              q := (src, payload, capsule) :: !q
             end
           end
-          else deliver t ~src ~dst payload)
+          else deliver t ~src ~dst ~capsule payload)
     in
     fly ();
     (* Duplicate-delivery fault channel: a second, independent copy of
@@ -359,6 +438,7 @@ and send_now t ~src ~dst payload =
        guard keeps the rng stream untouched when the channel is cold. *)
     if is_ext && ext_dup_p t > 0. && Rng.chance t.rng (ext_dup_p t) then begin
       Metrics.incr t.metrics "msg.duplicated";
+      san_copy t capsule;
       fly ()
     end
   end
@@ -370,45 +450,62 @@ and flush_batch t ~src ~dst payloads =
   Metrics.incr t.metrics "msg.total";
   Metrics.incr t.metrics "msg.batches";
   Metrics.add t.metrics "msg.bytes"
-    (Dgc_prelude.Util.list_sum Protocol.approx_bytes payloads);
+    (Dgc_prelude.Util.list_sum
+       (fun (p, _) -> Protocol.approx_bytes p)
+       payloads);
   List.iter
-    (fun p ->
+    (fun (p, _) ->
       Metrics.incr t.metrics ("msg." ^ Protocol.kind p);
       Metrics.hist_observe t.metrics
         ("msg.size." ^ Protocol.kind p)
         (float_of_int (Protocol.approx_bytes p)))
     payloads;
-  if (site t dst).Site.crashed || not (reachable t src dst) then
-    Metrics.add t.metrics "msg.dropped.crashed" (List.length payloads)
-  else if Rng.chance t.rng (ext_drop_p t) then
-    Metrics.add t.metrics "msg.dropped.lossy" (List.length payloads)
+  let drop_all reason =
+    List.iter (fun (_, c) -> san_dropped t c ~reason) payloads
+  in
+  if (site t dst).Site.crashed || not (reachable t src dst) then begin
+    Metrics.add t.metrics "msg.dropped.crashed" (List.length payloads);
+    drop_all "crashed"
+  end
+  else if Rng.chance t.rng (ext_drop_p t) then begin
+    Metrics.add t.metrics "msg.dropped.lossy" (List.length payloads);
+    drop_all "lossy"
+  end
   else begin
     let fly () =
       let delay = sample_latency t in
       schedule t ~delay (fun () ->
           if reachable t src dst && not (site t dst).Site.crashed then
-            List.iter (fun p -> deliver t ~src ~dst p) payloads
-          else
-            Metrics.add t.metrics "msg.dropped.crashed" (List.length payloads))
+            List.iter
+              (fun (p, capsule) -> deliver t ~src ~dst ~capsule p)
+              payloads
+          else begin
+            Metrics.add t.metrics "msg.dropped.crashed"
+              (List.length payloads);
+            drop_all "crashed"
+          end)
     in
     fly ();
     (* Whole-batch duplication: deferred collector batches are one wire
        message, so the fault channel duplicates the wire message. *)
     if ext_dup_p t > 0. && Rng.chance t.rng (ext_dup_p t) then begin
       Metrics.add t.metrics "msg.duplicated" (List.length payloads);
+      List.iter (fun (_, c) -> san_copy t c) payloads;
       fly ()
     end
   end
 
 and send t ~src ~dst payload =
   monitor_msg t ~phase:`Send ~src ~dst payload;
+  let capsule = san_send t ~src ~dst payload in
   let defer = t.cfg.Config.defer_interval in
-  if Protocol.is_ext payload && Sim_time.compare defer Sim_time.zero > 0 then begin
+  if Protocol.is_ext payload && Sim_time.compare defer Sim_time.zero > 0
+  then begin
     let key = (src, dst) in
     match Hashtbl.find_opt t.defer_queues key with
-    | Some q -> q := payload :: !q
+    | Some q -> q := (payload, capsule) :: !q
     | None ->
-        let q = ref [ payload ] in
+        let q = ref [ (payload, capsule) ] in
         Hashtbl.add t.defer_queues key q;
         schedule t ~delay:defer (fun () ->
             match Hashtbl.find_opt t.defer_queues key with
@@ -417,7 +514,7 @@ and send t ~src ~dst payload =
                 Hashtbl.remove t.defer_queues key;
                 flush_batch t ~src ~dst (List.rev !q))
   end
-  else send_now t ~src ~dst payload
+  else send_now t ~src ~dst ~capsule payload
 
 (* --- mutator moves --------------------------------------------------- *)
 
@@ -446,12 +543,12 @@ let partition t groups =
 (* Deliver a previously parked base message; if the destination is
    unavailable again when it lands, re-park it rather than lose it —
    the base protocol must be reliable. *)
-let redeliver_parked t ~src ~dst payload =
+let redeliver_parked t ~src ~dst ~capsule payload =
   let delay = sample_latency t in
   schedule t ~delay (fun () ->
       if not (reachable t src dst) then begin
         note_move_stalled t ~why:"partition" payload;
-        t.part_parked <- (src, dst, payload) :: t.part_parked
+        t.part_parked <- (src, dst, payload, capsule) :: t.part_parked
       end
       else if (site t dst).Site.crashed then begin
         note_move_stalled t ~why:"crash" payload;
@@ -463,9 +560,9 @@ let redeliver_parked t ~src ~dst payload =
               Hashtbl.add t.parked dst q;
               q
         in
-        q := (src, payload) :: !q
+        q := (src, payload, capsule) :: !q
       end
-      else deliver t ~src ~dst payload)
+      else deliver t ~src ~dst ~capsule payload)
 
 let heal t =
   jlog t ~level:Journal.Warn ~cat:"fault" "heal";
@@ -473,7 +570,9 @@ let heal t =
   Metrics.incr t.metrics "fault.heal";
   let parked = List.rev t.part_parked in
   t.part_parked <- [];
-  List.iter (fun (src, dst, payload) -> redeliver_parked t ~src ~dst payload)
+  List.iter
+    (fun (src, dst, payload, capsule) ->
+      redeliver_parked t ~src ~dst ~capsule payload)
     parked
 
 let crash t id =
@@ -493,7 +592,8 @@ let recover t id =
         let msgs = List.rev !q in
         Hashtbl.remove t.parked id;
         List.iter
-          (fun (src, payload) -> redeliver_parked t ~src ~dst:id payload)
+          (fun (src, payload, capsule) ->
+            redeliver_parked t ~src ~dst:id ~capsule payload)
           msgs
   end
 

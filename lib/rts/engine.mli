@@ -54,7 +54,13 @@ val jlog :
 
 (** {1 Scheduling and messaging} *)
 
-val schedule : t -> delay:Sim_time.t -> (unit -> unit) -> unit
+val schedule :
+  t -> ?san:(unit -> Site_id.t * string) -> delay:Sim_time.t -> (unit -> unit) -> unit
+(** Schedule a thunk after [delay]. [?san] labels the timer for the
+    sanitizer: a thunk producing the owning site and a stable key (e.g.
+    ["back_call:t3:s1:7"]). It is forced only when a sanitizer is
+    installed — with none, scheduling is exactly the pre-sanitizer
+    code path. *)
 
 val send : t -> src:Site_id.t -> dst:Site_id.t -> Protocol.payload -> unit
 (** Sample a latency and schedule delivery. Base-protocol messages to a
@@ -180,6 +186,39 @@ val set_msg_monitor :
     ordering automata on [`Deliver] events. *)
 
 val clear_msg_monitor : t -> unit
+
+(** {1 Sanitizer hooks}
+
+    The dgc-san happens-before sanitizer (lib/sanitize) installs these
+    to thread vector clocks through message traffic and timers. The
+    engine stays causally faithful but opaque: it mints an [int]
+    capsule at send time via [san_send] and hands it back at delivery,
+    drop, or duplication; it never inspects clock contents. With no
+    sanitizer installed every hook site is a no-op and capsules are
+    [-1] — behaviour, rng draws and event order are identical to a
+    build without the hooks. *)
+
+type san_hooks = {
+  san_send : src:Site_id.t -> dst:Site_id.t -> Protocol.payload -> int;
+      (** mint a capsule snapshotting the sender's clock at send time *)
+  san_copy : int -> unit;
+      (** the capsule's message was duplicated by the fault model *)
+  san_dropped : int -> reason:string -> unit;
+      (** the capsule's message will never be delivered
+          ("crashed" / "partition" / "lossy") *)
+  san_deliver :
+    src:Site_id.t -> dst:Site_id.t -> capsule:int -> Protocol.payload -> unit;
+      (** one delivery of the capsule's message is about to dispatch;
+          runs {e before} the handler so anything the handler sends is
+          causally after the join *)
+  san_timer_armed : site:Site_id.t -> key:string -> at:Sim_time.t -> int;
+      (** a [?san]-labelled timer was armed; returns a timer id *)
+  san_timer_fired : int -> unit;  (** that timer is about to run *)
+}
+
+val set_sanitizer : t -> san_hooks -> unit
+val clear_sanitizer : t -> unit
+val sanitizing : t -> bool
 
 val run_until : t -> Sim_time.t -> unit
 (** Process events with timestamps up to the given absolute time;

@@ -1,0 +1,97 @@
+open Dgc_rts
+
+type finding = { lf_kind : string; lf_check : string; lf_msg : string }
+
+let finding kind check fmt =
+  Format.kasprintf
+    (fun msg -> { lf_kind = kind; lf_check = check; lf_msg = msg })
+    fmt
+
+(* "ext" is the fallback label for unregistered constructors, not a
+   kind of its own; requiring a descriptor for it would be vacuous. *)
+let base = List.filter (fun k -> k <> "ext") Protocol.base_kinds
+
+let run ?descriptors ~ext_kinds () =
+  let ds =
+    match descriptors with Some l -> l | None -> Protocol.descriptors ()
+  in
+  let known = base @ ext_kinds in
+  let declared k = List.exists (fun d -> d.Protocol.d_kind = k) ds in
+  let missing =
+    List.filter_map
+      (fun k ->
+        if declared k then None
+        else
+          Some
+            (finding k "missing-descriptor"
+               "message kind %S has no descriptor: declare its \
+                duplicate-delivery story, crash edge and commutativity class"
+               k))
+      known
+  in
+  let per_descriptor =
+    List.concat_map
+      (fun d ->
+        let k = d.Protocol.d_kind in
+        let is_base = List.mem k base in
+        let unknown =
+          if List.mem k known then []
+          else
+            [
+              finding k "unknown-kind"
+                "descriptor for %S matches no base constructor and no \
+                 registered ext label"
+                k;
+            ]
+        in
+        let dup =
+          if (not is_base) && d.Protocol.d_dup = Protocol.Dup_exactly_once
+          then
+            [
+              finding k "ext-exactly-once"
+                "ext kind %S claims exactly-once delivery, but only the \
+                 reliable base channel never duplicates — it needs a memo, \
+                 dedup or idempotency story"
+                k;
+            ]
+          else []
+        in
+        let crash =
+          match (is_base, d.Protocol.d_crash) with
+          | false, Protocol.Crash_none ->
+              [
+                finding k "ext-no-crash-story"
+                  "ext kind %S has no crash/timeout edge, but collector \
+                   messages to a crashed peer are dropped — silence needs a \
+                   timeout or TTL"
+                  k;
+              ]
+          | true, c when c <> Protocol.Crash_park_redeliver ->
+              [
+                finding k "base-crash-story"
+                  "base kind %S must declare park+redeliver (what the \
+                   engine actually does), not %s"
+                  k
+                  (Protocol.crash_edge_name c);
+              ]
+          | _ -> []
+        in
+        let commutes =
+          if String.trim d.Protocol.d_commutes = "" then
+            [
+              finding k "empty-commutativity"
+                "kind %S declares no commutativity class; name the \
+                 reorderings it tolerates"
+                k;
+            ]
+          else []
+        in
+        unknown @ dup @ crash @ commutes)
+      ds
+  in
+  missing @ per_descriptor
+
+let ok = function [] -> true | _ -> false
+
+let pp_finding ppf f =
+  Format.fprintf ppf "[%s] %s: %s" f.lf_check f.lf_kind f.lf_msg

@@ -1,0 +1,44 @@
+(** The dgc-san static protocol lint.
+
+    Audits the {!Dgc_rts.Protocol} message descriptors against the set
+    of message kinds actually linked into the binary. Handler coverage
+    for the base constructors is already compiler-checked (the one
+    exhaustive match lives in [Protocol.dispatch]); what the compiler
+    cannot check is the {e protocol} story each kind claims — how it
+    survives duplicate delivery, what covers a crashed peer, which
+    reorderings it tolerates. Those are declared as descriptors, and
+    this lint fails closed when one is missing or inconsistent:
+
+    - every kind (base constructor label or registered [ext] label)
+      must declare a descriptor;
+    - an [ext] kind must not claim [Dup_exactly_once] — only the
+      reliable base channel never duplicates — so every collector
+      message needs a real memo / dedup / idempotency story;
+    - an [ext] kind must not claim [Crash_none]: collector messages to
+      a crashed peer are dropped, so silence needs a timeout or TTL;
+    - base kinds must claim [Crash_park_redeliver] (that is what the
+      engine actually does for them);
+    - the commutativity class must be non-empty;
+    - a descriptor for an unknown kind is flagged (typo guard).
+
+    [dgc-check san] runs this and exits non-zero on findings. *)
+
+open Dgc_rts
+
+type finding = {
+  lf_kind : string;  (** the message kind at fault *)
+  lf_check : string;  (** short check id, e.g. ["missing-descriptor"] *)
+  lf_msg : string;
+}
+
+val run :
+  ?descriptors:Protocol.descriptor list -> ext_kinds:string list -> unit ->
+  finding list
+(** Audit [descriptors] (default: the live {!Protocol.descriptors}
+    table) against the base kinds plus [ext_kinds], the [ext] labels
+    registered in this binary. [] = clean. The [?descriptors] override
+    exists for negative tests: pass a mutated table and watch the lint
+    reject it. *)
+
+val ok : finding list -> bool
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,33 @@
+type t = int array
+
+let create n = Array.make n 0
+let size = Array.length
+let copy = Array.copy
+let get c i = c.(i)
+let tick c i = c.(i) <- c.(i) + 1
+
+let join dst src =
+  for i = 0 to Array.length dst - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+let merge a b =
+  let c = copy a in
+  join c b;
+  c
+
+let leq a b =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let equal a b = a = b
+let before a b = leq a b && not (equal a b)
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let pp ppf c =
+  Format.fprintf ppf "[%s]"
+    (String.concat "," (Array.to_list (Array.map string_of_int c)))
+
+let to_list = Array.to_list
+let of_list = Array.of_list

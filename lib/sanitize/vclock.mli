@@ -1,0 +1,48 @@
+(** Vector clocks over a fixed site universe.
+
+    The happens-before core of dgc-san: one integer component per
+    site, ticked on local events (sends, deliveries, timer arms) and
+    joined when a message's send-time snapshot reaches its receiver.
+    Two snapshots are causally ordered iff one dominates the other
+    componentwise; otherwise the events they stamp are concurrent and
+    only a barrier can make their conflict benign.
+
+    Clocks are mutable arrays on the hot path ({!tick}, {!join}); the
+    sanitizer snapshots with {!copy} where it must retain a value. *)
+
+type t
+
+val create : int -> t
+(** All-zero clock over [n] sites. *)
+
+val size : t -> int
+val copy : t -> t
+val get : t -> int -> int
+
+val tick : t -> int -> unit
+(** Advance the site's own component: a new local event. *)
+
+val join : t -> t -> unit
+(** [join dst src] sets [dst] to the componentwise maximum — the
+    receiver learns everything the sender knew. *)
+
+val merge : t -> t -> t
+(** Functional {!join}: a fresh clock, neither argument mutated. *)
+
+val leq : t -> t -> bool
+(** Componentwise [<=]: [leq a b] means every event in [a] is known to
+    [b] — [a] happened before or equals [b]. *)
+
+val equal : t -> t -> bool
+
+val before : t -> t -> bool
+(** Strict happens-before: [leq a b] and not [equal a b]. *)
+
+val concurrent : t -> t -> bool
+(** Neither [leq a b] nor [leq b a]: causally unordered. *)
+
+val pp : Format.formatter -> t -> unit
+(** [[0,3,1,0]]. *)
+
+val to_list : t -> int list
+val of_list : int list -> t
