@@ -63,6 +63,55 @@ let compare_counters ~tol ~exact base fresh =
                 complain "counter %s: baseline %d, now %d" k b f))
     bc
 
+(* The series section ({!Dgc_telemetry.Series.to_json}) carries per-name
+   summaries (n, max, last, total) of the sim-time bucketed series. They
+   are functions of sim time and the deterministic size model — never of
+   wall clock — so they gate with the same tolerance as counters. *)
+let compare_series ~tol base fresh =
+  let section j =
+    match Json.member "series" j with
+    | Some s -> obj_fields (Json.member "series" s)
+    | None -> []
+  in
+  let bs = section base in
+  let fs = section fresh in
+  List.iter
+    (fun (name, bsum) ->
+      match List.assoc_opt name fs with
+      | None -> complain "series %s disappeared" name
+      | Some fsum ->
+          List.iter
+            (fun field ->
+              let get j = Option.bind (Json.member field j) Json.to_float_opt in
+              match (get bsum, get fsum) with
+              | Some b, Some f ->
+                  if not (close ~tol b f) then
+                    complain "series %s.%s: baseline %g, now %g" name field b f
+              | _ -> complain "series %s.%s missing" name field)
+            [ "n"; "max"; "last"; "total" ])
+    bs
+
+(* The flight-recorder overhead gate: the fresh artifact's
+   extra.flight_overhead.ratio (recorder-on wall / recorder-off wall at
+   t10k, min-of-reps both arms) must stay under the limit. Judged on the
+   fresh run only — the walls are machine-dependent, so the committed
+   baseline's ratio proves nothing about this machine. *)
+let gate_flight_ratio ~limit fresh =
+  let ratio =
+    Option.bind (Json.member "extra" fresh) (Json.member "flight_overhead")
+    |> Fun.flip Option.bind (Json.member "ratio")
+    |> Fun.flip Option.bind Json.to_float_opt
+  in
+  match ratio with
+  | None ->
+      complain "extra.flight_overhead.ratio missing (gate --flight-ratio-max)"
+  | Some r when Float.is_nan r ->
+      complain "extra.flight_overhead.ratio is nan (gate --flight-ratio-max)"
+  | Some r ->
+      if r > limit then
+        complain "flight recorder overhead %.3fx exceeds the %.2fx gate" r
+          limit
+
 let compare_hists ~tol base fresh =
   let bh = obj_fields (Json.member "histograms" base) in
   let fh = obj_fields (Json.member "histograms" fresh) in
@@ -87,16 +136,19 @@ let compare_hists ~tol base fresh =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let tol, hist_tol, exact, paths =
-    let rec go tol htol exact paths = function
-      | "--tolerance" :: v :: rest -> go (float_of_string v) htol exact paths rest
+  let tol, hist_tol, exact, flight_max, paths =
+    let rec go tol htol exact fmax paths = function
+      | "--tolerance" :: v :: rest ->
+          go (float_of_string v) htol exact fmax paths rest
       | "--hist-tolerance" :: v :: rest ->
-          go tol (Some (float_of_string v)) exact paths rest
-      | "--exact-counters" :: rest -> go tol htol true paths rest
-      | p :: rest -> go tol htol exact (p :: paths) rest
-      | [] -> (tol, htol, exact, List.rev paths)
+          go tol (Some (float_of_string v)) exact fmax paths rest
+      | "--exact-counters" :: rest -> go tol htol true fmax paths rest
+      | "--flight-ratio-max" :: v :: rest ->
+          go tol htol exact (Some (float_of_string v)) paths rest
+      | p :: rest -> go tol htol exact fmax (p :: paths) rest
+      | [] -> (tol, htol, exact, fmax, List.rev paths)
     in
-    go 0.25 None false [] args
+    go 0.25 None false None [] args
   in
   let hist_tol = Option.value hist_tol ~default:tol in
   let baseline_path, fresh_path =
@@ -105,7 +157,8 @@ let () =
     | _ ->
         prerr_endline
           "usage: compare.exe BASELINE FRESH [--tolerance FRAC] \
-           [--exact-counters] [--hist-tolerance FRAC]";
+           [--exact-counters] [--hist-tolerance FRAC] \
+           [--flight-ratio-max FRAC]";
         exit 2
   in
   let load path =
@@ -124,6 +177,8 @@ let () =
   let fresh = load fresh_path in
   compare_counters ~tol ~exact base fresh;
   compare_hists ~tol:hist_tol base fresh;
+  compare_series ~tol base fresh;
+  Option.iter (fun limit -> gate_flight_ratio ~limit fresh) flight_max;
   match !fail with
   | [] ->
       Printf.printf

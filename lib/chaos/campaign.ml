@@ -53,6 +53,8 @@ type outcome = {
   oc_journal : string list;
   oc_counters : (string * int) list;
   oc_run : Json.t;
+  oc_flight : Json.t option;
+      (** [dgc.flight/1] dump, captured iff the case failed *)
 }
 
 let schema = "dgc.chaos/1"
@@ -145,6 +147,15 @@ let run_case ?(tweak = fun c -> c) case =
       | [], [] -> ())
   | _ -> ());
   let sim_seconds = Sim_time.to_seconds (Engine.now eng) in
+  (* On failure, snapshot the always-on flight recorder before anything
+     else touches the engine: the rings hold the causally-relevant
+     tail — sends, drops with reasons, faults, journal lines, span
+     edges — of exactly the window that produced the verdict. *)
+  let flight =
+    match !failure with
+    | None -> None
+    | Some f -> Engine.dump_flight eng ~reason:(failure_to_string f)
+  in
   let audit = Audit.to_json (Audit.run sim.Sim.col) in
   let extra =
     match san with
@@ -153,7 +164,7 @@ let run_case ?(tweak = fun c -> c) case =
   in
   let run =
     Tel.Run_artifact.make ~name:case.cs_name ~sim_seconds ~extra ~audit
-      (Engine.metrics eng)
+      ~series:(Engine.series eng) (Engine.metrics eng)
   in
   {
     oc_case = case;
@@ -169,6 +180,7 @@ let run_case ?(tweak = fun c -> c) case =
         (fun (a, _) (b, _) -> String.compare a b)
         (Metrics.counters (Engine.metrics eng));
     oc_run = run;
+    oc_flight = flight;
   }
 
 let shrink_case ?tweak case failure0 =
@@ -215,6 +227,9 @@ let artifact ?shrunk oc =
        ("journal", Json.Arr (List.map (fun s -> Json.Str s) oc.oc_journal));
        ("run", oc.oc_run);
      ]
+    @ (match oc.oc_flight with
+      | Some f -> [ ("flight", f) ]
+      | None -> [])
     @
     match shrunk with
     | None -> []

@@ -48,6 +48,12 @@ type outcome = {
   oc_journal : string list;  (** rendered journal, oldest first *)
   oc_counters : (string * int) list;  (** sorted *)
   oc_run : Json.t;  (** embedded ["dgc.run/1"] artifact with audit *)
+  oc_flight : Json.t option;
+      (** ["dgc.flight/1"] ring dump, captured automatically iff the
+          case failed — the causal tail (sends, drops with reasons,
+          faults, journal lines, span edges) of the failing window.
+          Deterministic like everything else here, so a replay of the
+          same case produces a byte-identical dump. *)
 }
 
 val schema : string
@@ -74,7 +80,9 @@ val shrink_case :
 
 val artifact : ?shrunk:Plan.t * int -> outcome -> Json.t
 (** The ["dgc.chaos/1"] document: case, plan, outcome, journal, the
-    embedded run artifact, and the shrunk plan when given. *)
+    embedded run artifact (now carrying a ["series"] section), the
+    ["flight"] dump when the case failed, and the shrunk plan when
+    given. *)
 
 type summary = {
   sm_outcomes : outcome list;

@@ -47,6 +47,13 @@ let skip t =
   Metrics.incr (metrics t) "chaos.skipped";
   fun () -> ()
 
+(* Every injected fault also lands in the [chaos.injected] counter
+   series, so the metrics export shows the fault rate over time next
+   to the retry/drop rates it provokes. *)
+let inject t =
+  t.injected <- t.injected + 1;
+  Engine.series_incr t.eng "chaos.injected"
+
 (* Open a window; returns its closer. *)
 let apply t ev =
   let n = Array.length (Engine.sites t.eng) in
@@ -54,7 +61,7 @@ let apply t ev =
   | Plan.Crash { site } ->
       if site < 0 || site >= n then skip t
       else begin
-        t.injected <- t.injected + 1;
+        inject t;
         let d = t.crash_depth.(site) in
         t.crash_depth.(site) <- d + 1;
         if d = 0 then begin
@@ -83,7 +90,7 @@ let apply t ev =
       match groups with
       | [] -> skip t
       | groups ->
-          t.injected <- t.injected + 1;
+          inject t;
           let id = fresh t in
           t.partitions <- (id, groups) :: t.partitions;
           Metrics.incr (metrics t) "chaos.partition";
@@ -96,7 +103,7 @@ let apply t ev =
             Engine.jlog t.eng ~cat:"chaos" "undo: heal partition";
             refresh_partition t)
   | Plan.Drop { p } ->
-      t.injected <- t.injected + 1;
+      inject t;
       let id = fresh t in
       t.drops <- (id, p) :: t.drops;
       Metrics.incr (metrics t) "chaos.drop_burst";
@@ -107,7 +114,7 @@ let apply t ev =
         Engine.jlog t.eng ~cat:"chaos" "undo: drop burst over";
         refresh_drop t
   | Plan.Dup { p } ->
-      t.injected <- t.injected + 1;
+      inject t;
       let id = fresh t in
       t.dups <- (id, p) :: t.dups;
       Metrics.incr (metrics t) "chaos.dup_burst";
@@ -118,7 +125,7 @@ let apply t ev =
         Engine.jlog t.eng ~cat:"chaos" "undo: dup burst over";
         refresh_dup t
   | Plan.Slow { factor } ->
-      t.injected <- t.injected + 1;
+      inject t;
       let id = fresh t in
       t.slows <- (id, factor) :: t.slows;
       Metrics.incr (metrics t) "chaos.latency_storm";

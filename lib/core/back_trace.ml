@@ -120,6 +120,10 @@ type shared = {
   t_spans : (Trace_id.t, int) Hashtbl.t;
   m_spans : (string, int) Hashtbl.t;
   mutable observers : (Trace_id.t -> Verdict.t -> Site_id.Set.t -> unit) list;
+  (* live totals behind the [back.in_flight] / [back.frames_held]
+     gauge series; counting here keeps the samples O(1) *)
+  mutable in_flight : int;
+  mutable frames_held : int;
 }
 
 let create eng =
@@ -143,7 +147,17 @@ let create eng =
     t_spans = Hashtbl.create 16;
     m_spans = Hashtbl.create 32;
     observers = [];
+    in_flight = 0;
+    frames_held = 0;
   }
+
+let gauge_in_flight sh d =
+  sh.in_flight <- sh.in_flight + d;
+  Engine.series_set sh.eng "back.in_flight" (float_of_int sh.in_flight)
+
+let gauge_frames sh d =
+  sh.frames_held <- sh.frames_held + d;
+  Engine.series_set sh.eng "back.frames_held" (float_of_int sh.frames_held)
 
 let state sh id = sh.states.(Site_id.to_int id)
 let on_outcome sh f = sh.observers <- f :: sh.observers
@@ -277,6 +291,7 @@ let new_frame sh st trace parent ioref ~kind =
   in
   st.next_frame <- st.next_frame + 1;
   Hashtbl.add st.frames fr.fr_id fr;
+  gauge_frames sh 1;
   bump_stat sh trace (fun s -> s.ts_frames <- s.ts_frames + 1);
   (match tracer sh with
   | None -> ()
@@ -303,6 +318,7 @@ let rec finish sh st fr v =
   if not fr.fr_done then begin
     fr.fr_done <- true;
     Hashtbl.remove st.frames fr.fr_id;
+    gauge_frames sh (-1);
     finish_frame_span sh fr [ ("verdict", jstr (Verdict.to_string v)) ];
     let parts = Site_id.Set.add (self_id st) fr.fr_participants in
     match fr.fr_parent with
@@ -388,6 +404,7 @@ and conclude sh st trace outcome parts =
     | Verdict.Garbage -> "back.outcome_garbage"
     | Verdict.Live -> "back.outcome_live");
   bump_stat sh trace (fun s ->
+      if s.ts_outcome = None then gauge_in_flight sh (-1);
       s.ts_outcome <- Some (outcome, Engine.now sh.eng);
       s.ts_participants <- parts;
       let lat_ms =
@@ -449,6 +466,7 @@ and conclude sh st trace outcome parts =
              in
              Engine.schedule sh.eng ~delay (fun () ->
                  Metrics.incr (Engine.metrics sh.eng) "retry.back_report";
+                 Engine.series_incr sh.eng "retry.back_report";
                  send_back sh ~src:(self_id st) ~dst:p trace
                    (Back_report { trace; outcome }))
            done)
@@ -495,6 +513,7 @@ and apply_report sh st trace outcome =
       | Some fr ->
           fr.fr_done <- true;
           Hashtbl.remove st.frames id;
+          gauge_frames sh (-1);
           finish_frame_span sh fr [ ("aborted", Tel.Json.Bool true) ]
       | None -> ())
     leftovers;
@@ -654,6 +673,7 @@ and step_remote sh st trace i parent =
                           if attempt < cfg.Config.retry_limit then begin
                             Metrics.incr (Engine.metrics sh.eng)
                               "retry.back_call";
+                            Engine.series_incr sh.eng "retry.back_call";
                             Engine.jlog sh.eng ~level:Journal.Debug
                               ~cat:"retry"
                               "%a call %d to %a unanswered: retry %d/%d"
@@ -719,6 +739,7 @@ let start sh site_id outref =
           ts_outcome = None;
         };
       Metrics.incr (Engine.metrics sh.eng) "back.traces_started";
+      gauge_in_flight sh 1;
       (match tracer sh with
       | None -> ()
       | Some tr ->
@@ -897,5 +918,21 @@ let residue sh =
 let stats sh =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) sh.tstats []
   |> List.sort (fun (a, _) (b, _) -> Trace_id.compare a b)
+
+(* Fixed size model shared with [Tables.approx_bytes]: 8-byte words,
+   per-record constants for frames and memo entries, list cells for
+   visited refs. Covers the machinery a lost report would leak. *)
+let approx_bytes sh =
+  let word = 8 in
+  let n = ref 0 in
+  Array.iter
+    (fun st ->
+      n := !n + (word * 18 * Hashtbl.length st.frames);
+      n := !n + (word * 6 * Hashtbl.length st.call_memo);
+      Hashtbl.iter
+        (fun _ l -> n := !n + (word * 3 * List.length !l))
+        st.visited_refs)
+    sh.states;
+  !n
 
 let find_stat sh trace = Hashtbl.find_opt sh.tstats trace

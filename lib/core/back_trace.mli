@@ -112,6 +112,13 @@ val residue : shared -> (Trace_id.t * (Site_id.t * residue) list) list
 val stats : shared -> (Trace_id.t * trace_stat) list
 (** Sorted by trace id. *)
 
+val approx_bytes : shared -> int
+(** Estimated bytes of back-trace residue across all sites — open
+    activation frames, call-memo entries, visited marks — under the
+    fixed size model of [Tables.approx_bytes]. Feeds the
+    [bytes.back_trace] gauge; this is exactly the state a lost report
+    would leak, so a flat-lining gauge is the healthy shape. *)
+
 val find_stat : shared -> Trace_id.t -> trace_stat option
 
 val on_outcome : shared -> (Trace_id.t -> Verdict.t -> Site_id.Set.t -> unit) -> unit

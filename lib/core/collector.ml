@@ -111,6 +111,7 @@ let trigger_back_traces t site_id =
   Metrics.hist_observe metrics
     (Site.metric_label c.ctl_site "back.trigger_candidates")
     n_cand;
+  Engine.series_add t.eng "back.trigger_candidates" (List.length candidates);
   (* Deepest first: they are the most likely to be fully suspected. *)
   let sorted =
     List.stable_sort
@@ -129,6 +130,24 @@ let effective_threshold2 t = t.eff_threshold2
 
 (* ---- local traces (§5, §6.2) ----------------------------------------- *)
 
+(* Memory-accounting gauges, sampled once per applied local trace —
+   the moment resident bytes actually move. Taxonomy (DESIGN.md
+   "Observability"): objects ([Heap.bytes_resident]), ioref tables
+   ([Tables.approx_bytes]), back-trace residue
+   ([Back_trace.approx_bytes]), and the trace's transient workspace. *)
+let sample_memory t site_id outcome =
+  let s = (ctl t site_id).ctl_site in
+  let resident =
+    Heap.bytes_resident s.Site.heap + Tables.approx_bytes s.Site.tables
+  in
+  Engine.series_set t.eng
+    (Site.metric_label s "bytes_resident")
+    (float_of_int resident);
+  Engine.series_set t.eng "bytes.back_trace"
+    (float_of_int (Back_trace.approx_bytes t.back));
+  Engine.series_set t.eng "bytes.trace_workspace"
+    (float_of_int outcome.Local_trace.ot_stats.Local_trace.workspace_bytes)
+
 let finish_window t site_id =
   let c = ctl t site_id in
   match c.ctl_window with
@@ -141,6 +160,7 @@ let finish_window t site_id =
           ~window_cleans:(List.rev w.w_cleans)
           ~on_cleaned:(Back_trace.on_cleaned t.back site_id)
           ~oracle_check:(cfg t).Config.oracle_checks;
+        sample_memory t site_id outcome;
         if t.auto_back_traces then ignore (trigger_back_traces t site_id);
         t.after_trace site_id
       end
@@ -156,6 +176,7 @@ let run_scheduled_trace t site_id =
       Local_trace.apply t.eng c.ctl_site outcome ~window_cleans:[]
         ~on_cleaned:(Back_trace.on_cleaned t.back site_id)
         ~oracle_check:conf.Config.oracle_checks;
+      sample_memory t site_id outcome;
       if t.auto_back_traces then ignore (trigger_back_traces t site_id);
       t.after_trace site_id
     end
@@ -178,7 +199,8 @@ let force_local_trace t site_id =
   let outcome = Local_trace.compute input in
   Local_trace.apply t.eng c.ctl_site outcome ~window_cleans:[]
     ~on_cleaned:(Back_trace.on_cleaned t.back site_id)
-    ~oracle_check:(cfg t).Config.oracle_checks
+    ~oracle_check:(cfg t).Config.oracle_checks;
+  sample_memory t site_id outcome
 
 let force_local_trace_all t =
   Array.iter

@@ -78,6 +78,7 @@ type stats = {
   inset_entries : int;
   suspected_inrefs : int;
   suspected_outrefs : int;
+  workspace_bytes : int;
 }
 
 type outcome = {
@@ -582,6 +583,7 @@ let compute ?(mode = Bottom_up) ?probe inp =
       suspected_inrefs = List.length suspects;
       suspected_outrefs =
         List.length (List.filter (fun o -> o.o_suspected) out_results);
+      workspace_bytes = Outset_store.approx_bytes store;
     }
   in
   { out_site = inp.in_site; dead; out_results; in_results; ot_stats }

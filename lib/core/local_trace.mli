@@ -72,6 +72,10 @@ type stats = {
   inset_entries : int;  (** Σ |inset| over suspected outrefs *)
   suspected_inrefs : int;
   suspected_outrefs : int;
+  workspace_bytes : int;
+      (** [Outset_store.approx_bytes] of the trace's (discarded)
+          workspace — the transient component of the memory-accounting
+          taxonomy, sampled into the [bytes.trace_workspace] gauge *)
 }
 
 type outcome = {

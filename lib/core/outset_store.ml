@@ -165,3 +165,14 @@ let stats t =
     memo_hits = t.u_hits;
     elements_stored = !elements_stored;
   }
+
+(* Same fixed size model as [Tables.approx_bytes]: 8-byte words, one
+   word per stored element, small per-entry constants for the interning
+   and memo tables. Deterministic, so gauges built on it are gateable. *)
+let approx_bytes t =
+  let word = 8 in
+  let elems = ref 0 in
+  for i = 0 to t.count - 1 do
+    elems := !elems + Array.length t.sets.(i)
+  done;
+  word * (!elems + (3 * t.count) + (3 * Itbl.length t.memo) + (3 * Oid.Tbl.length t.singl))

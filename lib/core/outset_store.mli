@@ -42,3 +42,9 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val approx_bytes : t -> int
+(** Estimated bytes held by the interned sets and the union memo,
+    under the fixed 8-byte-word size model shared with
+    [Tables.approx_bytes]. The trace-workspace component of the
+    memory-accounting gauges. *)

@@ -5,6 +5,14 @@ type t = { eng : Engine.t; col : Collector.t; muts : Mutator.manager }
 
 let make ?(cfg = Config.default) () =
   let eng = Engine.create cfg in
+  (* The flight recorder is always-on at the Sim layer: every path
+     that can fail (campaigns, the CLI, benches) goes through [make],
+     so any later [Engine.dump_flight] finds a populated ring. It
+     draws no randomness, so runs stay event-identical either way. *)
+  if cfg.Config.flight_capacity > 0 then
+    Engine.attach_flight eng
+      (Dgc_telemetry.Flight.create ~capacity:cfg.Config.flight_capacity
+         ~n_sites:cfg.Config.n_sites ());
   let col = Collector.install eng in
   let muts = Mutator.manager eng in
   (match cfg.Config.check_level with

@@ -12,10 +12,11 @@ type t = {
   objects : (int, obj) Hashtbl.t;
   mutable next_index : int;
   mutable roots : Oid.t list;
+  mutable resident : int;  (** running sum of live object sizes *)
 }
 
 let create site =
-  { site; objects = Hashtbl.create 64; next_index = 0; roots = [] }
+  { site; objects = Hashtbl.create 64; next_index = 0; roots = []; resident = 0 }
 
 let site t = t.site
 
@@ -24,7 +25,10 @@ let alloc ?(size = 1) t =
   t.next_index <- index + 1;
   let oid = Oid.make ~site:t.site ~index in
   Hashtbl.add t.objects index { oid; fields = []; birth = index; size };
+  t.resident <- t.resident + size;
   oid
+
+let bytes_resident t = t.resident
 
 let alloc_clock t = t.next_index
 
@@ -83,11 +87,12 @@ let free t idxs =
   List.iter (fun r -> Hashtbl.replace root_idx (Oid.index r) ()) t.roots;
   List.fold_left
     (fun n i ->
-      if Hashtbl.mem t.objects i && not (Hashtbl.mem root_idx i) then begin
-        Hashtbl.remove t.objects i;
-        n + 1
-      end
-      else n)
+      match Hashtbl.find_opt t.objects i with
+      | Some o when not (Hashtbl.mem root_idx i) ->
+          Hashtbl.remove t.objects i;
+          t.resident <- t.resident - o.size;
+          n + 1
+      | Some _ | None -> n)
     0 idxs
 
 let pp ppf t =

@@ -24,6 +24,11 @@ val site : t -> Site_id.t
 val alloc : ?size:int -> t -> Oid.t
 (** Allocate a fresh object with no fields. [size] defaults to 1. *)
 
+val bytes_resident : t -> int
+(** Sum of the sizes of live objects, maintained incrementally (alloc
+    adds, {!free} subtracts) so sampling it per trace round is O(1).
+    Feeds the [bytes_resident{site=N}] gauge series. *)
+
 val alloc_clock : t -> int
 (** Current allocation sequence number; objects with
     [birth >= alloc_clock] taken at trace start are treated as live by

@@ -34,6 +34,7 @@ type t = {
   check_level : check_level;
   sanitize : bool;
   journal_capacity : int;
+  flight_capacity : int;
 }
 
 let default =
@@ -64,6 +65,7 @@ let default =
     check_level = Check_final;
     sanitize = false;
     journal_capacity = 2048;
+    flight_capacity = 32768;
   }
 
 let pp ppf t =

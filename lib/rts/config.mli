@@ -100,6 +100,12 @@ type t = {
   journal_capacity : int;
       (** ring-buffer size of the journal the CLI attaches by default
           ({!Journal.create}'s [capacity]) *)
+  flight_capacity : int;
+      (** bytes per site for the always-on flight recorder's binary
+          rings ([Sim.make] attaches one when positive; [0] disables
+          it). The recorder draws no randomness and schedules nothing,
+          so runs are event-identical with it on or off — only wall
+          clock moves, which the scale bench gates at ≤ 1.05×. *)
 }
 
 val default : t

@@ -1,6 +1,7 @@
 open Dgc_prelude
 open Dgc_simcore
 open Dgc_heap
+module Tel = Dgc_telemetry
 
 type move_wait = {
   mutable remaining : int;
@@ -61,6 +62,8 @@ type t = {
   mutable latency_factor : float;
   mutable journal : Journal.t option;
   mutable tracer : Dgc_telemetry.Tracer.t option;
+  mutable flight : Tel.Flight.t option;
+  series : Tel.Series.t;
   mutable msg_monitor :
     (phase:[ `Send | `Deliver ] ->
     src:Site_id.t ->
@@ -101,6 +104,8 @@ let create cfg =
       latency_factor = 1.0;
       journal = None;
       tracer = None;
+      flight = None;
+      series = Tel.Series.create ();
       msg_monitor = None;
       on_step = None;
       step_watchers = [];
@@ -150,14 +155,98 @@ let san_deliver t ~src ~dst ~capsule payload =
   | None -> ()
 
 let monitor_msg t ~phase ~src ~dst payload =
+  (match t.flight with
+  | Some f ->
+      let kind, site =
+        match phase with
+        | `Send -> (Tel.Flight.Send, src)
+        | `Deliver -> (Tel.Flight.Deliver, dst)
+      in
+      Tel.Flight.record f ~site:(Site_id.to_int site)
+        ~at:(Sim_time.to_seconds t.now) ~kind ~a:(Site_id.to_int src)
+        ~b:(Site_id.to_int dst) ~tag:(Protocol.kind payload) ()
+  | None -> ());
   match t.msg_monitor with
   | Some f -> f ~phase ~src ~dst payload
   | None -> ()
 
-let attach_journal t j = t.journal <- Some j
+let now_s t = Sim_time.to_seconds t.now
+
+(* Mirror journal entries and span edges into the flight recorder's
+   rings. Wired whenever both halves are attached (in either order). *)
+let wire_flight t =
+  match t.flight with
+  | None -> ()
+  | Some f ->
+      (match t.journal with
+      | Some j ->
+          Journal.set_on_record j (fun e ->
+              Tel.Flight.record f ~site:(-1)
+                ~at:(Sim_time.to_seconds e.Journal.at) ~kind:Tel.Flight.Journal
+                ~a:(Journal.level_rank e.Journal.level) ~tag:e.Journal.cat
+                ~payload:e.Journal.text ())
+      | None -> ());
+      (match t.tracer with
+      | Some tr ->
+          let span_edge kind (sp : Tel.Tracer.span) =
+            let b =
+              match kind with
+              | Tel.Flight.Span_start ->
+                  Option.value ~default:(-1) sp.Tel.Tracer.parent
+              | _ ->
+                  if List.mem_assoc "aborted" sp.Tel.Tracer.attrs then 1 else 0
+            in
+            let at =
+              match kind with
+              | Tel.Flight.Span_start -> sp.Tel.Tracer.start
+              | _ -> Option.value ~default:sp.Tel.Tracer.start sp.Tel.Tracer.finish
+            in
+            Tel.Flight.record f ~site:sp.Tel.Tracer.site ~at ~kind
+              ~a:sp.Tel.Tracer.id ~b ~tag:sp.Tel.Tracer.name
+              ~payload:sp.Tel.Tracer.trace ()
+          in
+          Tel.Tracer.set_span_hooks tr
+            ~on_start:(span_edge Tel.Flight.Span_start)
+            ~on_finish:(span_edge Tel.Flight.Span_end)
+      | None -> ())
+
+let attach_journal t j =
+  t.journal <- Some j;
+  wire_flight t
+
 let journal t = t.journal
-let attach_tracer t tr = t.tracer <- Some tr
+
+let attach_tracer t tr =
+  t.tracer <- Some tr;
+  wire_flight t
+
 let tracer t = t.tracer
+
+let attach_flight t f =
+  t.flight <- Some f;
+  wire_flight t
+
+let flight t = t.flight
+let series t = t.series
+
+let series_add t name n = Tel.Series.add t.series name ~at:(now_s t) n
+let series_incr t name = Tel.Series.incr t.series name ~at:(now_s t)
+let series_set t name v = Tel.Series.set t.series name ~at:(now_s t) v
+
+let flight_drop t ~src ~dst ~reason payload =
+  match t.flight with
+  | None -> ()
+  | Some f ->
+      Tel.Flight.record f ~site:(Site_id.to_int src) ~at:(now_s t)
+        ~kind:Tel.Flight.Drop ~a:(Site_id.to_int src) ~b:(Site_id.to_int dst)
+        ~tag:(Protocol.kind payload) ~payload:reason ()
+
+let flight_fault t ~tag detail =
+  match t.flight with
+  | None -> ()
+  | Some f ->
+      Tel.Flight.record f ~site:(-1) ~at:(now_s t) ~kind:Tel.Flight.Fault ~tag
+        ~payload:detail ()
 
 let jlog t ?level ~cat fmt =
   match t.journal with
@@ -181,6 +270,20 @@ let site t id = t.sites.(Site_id.to_int id)
 let now t = t.now
 let rng t = t.rng
 let metrics t = t.metrics
+
+(* Snapshot the flight rings into a dgc.flight/1 document. Dangling
+   spans are closed first with synthetic [aborted] ends so the span
+   edges in the ring (and any later Perfetto export) are complete. *)
+let dump_flight t ~reason =
+  match t.flight with
+  | None -> None
+  | Some f ->
+      (match t.tracer with
+      | Some tr ->
+          let n = Tel.Tracer.abort_open tr ~at:(now_s t) in
+          if n > 0 then Metrics.add t.metrics "tracer.aborted_spans" n
+      | None -> ());
+      Some (Tel.Flight.to_json (Tel.Flight.dump f ~reason ~at:(now_s t)))
 
 (* [?san] labels the scheduled closure as a protocol timer for the
    sanitizer: the thunk (forced only when a sanitizer is installed)
@@ -363,14 +466,17 @@ and send_now t ~src ~dst ~capsule payload =
   let is_ext = Protocol.is_ext payload in
   if is_ext && dst_site.Site.crashed then begin
     Metrics.incr t.metrics "msg.dropped.crashed";
+    flight_drop t ~src ~dst ~reason:"crashed" payload;
     san_dropped t capsule ~reason:"crashed"
   end
   else if is_ext && not (reachable t src dst) then begin
     Metrics.incr t.metrics "msg.dropped.partition";
+    flight_drop t ~src ~dst ~reason:"partition" payload;
     san_dropped t capsule ~reason:"partition"
   end
   else if is_ext && Rng.chance t.rng (ext_drop_p t) then begin
     Metrics.incr t.metrics "msg.dropped.lossy";
+    flight_drop t ~src ~dst ~reason:"lossy" payload;
     san_dropped t capsule ~reason:"lossy"
   end
   else if not (reachable t src dst) then begin
@@ -403,6 +509,7 @@ and send_now t ~src ~dst ~capsule payload =
             (* Partitioned while the message was in flight. *)
             if is_ext then begin
               Metrics.incr t.metrics "msg.dropped.partition";
+              flight_drop t ~src ~dst ~reason:"partition" payload;
               san_dropped t capsule ~reason:"partition"
             end
             else begin
@@ -414,6 +521,7 @@ and send_now t ~src ~dst ~capsule payload =
             (* Crashed while the message was in flight. *)
             if is_ext then begin
               Metrics.incr t.metrics "msg.dropped.crashed";
+              flight_drop t ~src ~dst ~reason:"crashed" payload;
               san_dropped t capsule ~reason:"crashed"
             end
             else begin
@@ -461,7 +569,11 @@ and flush_batch t ~src ~dst payloads =
         (float_of_int (Protocol.approx_bytes p)))
     payloads;
   let drop_all reason =
-    List.iter (fun (_, c) -> san_dropped t c ~reason) payloads
+    List.iter
+      (fun (p, c) ->
+        flight_drop t ~src ~dst ~reason p;
+        san_dropped t c ~reason)
+      payloads
   in
   if (site t dst).Site.crashed || not (reachable t src dst) then begin
     Metrics.add t.metrics "msg.dropped.crashed" (List.length payloads);
@@ -531,6 +643,7 @@ let move_agent t ~agent ~src ~dst ~refs =
 (* --- fault injection -------------------------------------------------- *)
 
 let partition t groups =
+  flight_fault t ~tag:"partition" (Printf.sprintf "%d groups" (List.length groups));
   jlog t ~level:Journal.Warn ~cat:"fault" "partition into %d groups" (List.length groups);
   let parts = Array.make (Array.length t.sites) (List.length groups) in
   List.iteri
@@ -565,6 +678,7 @@ let redeliver_parked t ~src ~dst ~capsule payload =
       else deliver t ~src ~dst ~capsule payload)
 
 let heal t =
+  flight_fault t ~tag:"heal" "";
   jlog t ~level:Journal.Warn ~cat:"fault" "heal";
   t.partition_of <- Array.make (Array.length t.sites) 0;
   Metrics.incr t.metrics "fault.heal";
@@ -576,11 +690,13 @@ let heal t =
     parked
 
 let crash t id =
+  flight_fault t ~tag:"crash" (string_of_int (Site_id.to_int id));
   jlog t ~level:Journal.Warn ~cat:"fault" "crash %a" Site_id.pp id;
   (site t id).Site.crashed <- true;
   Metrics.incr t.metrics "fault.crash"
 
 let recover t id =
+  flight_fault t ~tag:"recover" (string_of_int (Site_id.to_int id));
   jlog t ~level:Journal.Warn ~cat:"fault" "recover %a" Site_id.pp id;
   let s = site t id in
   if s.Site.crashed then begin

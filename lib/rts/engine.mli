@@ -43,6 +43,39 @@ val attach_tracer : t -> Dgc_telemetry.Tracer.t -> unit
 
 val tracer : t -> Dgc_telemetry.Tracer.t option
 
+val attach_flight : t -> Dgc_telemetry.Flight.t -> unit
+(** Attach a flight recorder. The engine mirrors message sends,
+    deliveries, drops (with the drop reason), crash/recover/partition
+    faults, journal entries and tracer span edges into its binary
+    rings. Wiring works in any attachment order: journal and tracer
+    taps are (re)installed whenever both halves are present. [Sim.make]
+    attaches one automatically when [Config.flight_capacity > 0]. *)
+
+val flight : t -> Dgc_telemetry.Flight.t option
+
+val dump_flight : t -> reason:string -> Dgc_telemetry.Json.t option
+(** Snapshot the flight rings into a [dgc.flight/1] document, or
+    [None] when no recorder is attached. Still-open tracer spans are
+    first closed with synthetic [aborted] ends ({!Tracer.abort_open});
+    the number closed is added to the [tracer.aborted_spans] metric.
+    Campaign failures, watchdog verdicts and [dgc-sim --dump-flight]
+    all come through here. *)
+
+val series : t -> Dgc_telemetry.Series.t
+(** The engine's always-on time-series registry (windowed counters and
+    gauges, simulated-time buckets). Unlike the flight recorder it is
+    unconditionally present: recording costs a hash-table update and
+    draws no randomness. *)
+
+val series_add : t -> string -> int -> unit
+(** Add to a counter series at the current simulated time. *)
+
+val series_incr : t -> string -> unit
+(** [series_add t name 1]. *)
+
+val series_set : t -> string -> float -> unit
+(** Set a gauge series at the current simulated time. *)
+
 val jlog :
   t ->
   ?level:Journal.level ->

@@ -52,6 +52,32 @@ let outrefs t =
 
 let outref_count t = Oid.Tbl.length t.out_tbl
 
+(* Size model for the memory-accounting gauges: words at 8 bytes, one
+   record header plus one word per field, list cells at 3 words, set
+   nodes at 4. An estimate, not a measurement — what matters is that
+   it moves monotonically with the structures it tracks and is exact
+   across runs (deterministic), so the bench can gate on it. *)
+let word = 8
+
+let approx_bytes t =
+  let inref_bytes ir =
+    word
+    * (11
+      + (4 * List.length ir.Ioref.ir_sources)
+      + (4 * Trace_id.Set.cardinal ir.Ioref.ir_visited)
+      + (3 * List.length ir.Ioref.ir_outset))
+  in
+  let outref_bytes o =
+    word
+    * (11
+      + (4 * Trace_id.Set.cardinal o.Ioref.or_visited)
+      + (3 * List.length o.Ioref.or_inset))
+  in
+  let n = ref 0 in
+  Oid.Tbl.iter (fun _ ir -> n := !n + inref_bytes ir) t.in_tbl;
+  Oid.Tbl.iter (fun _ o -> n := !n + outref_bytes o) t.out_tbl;
+  !n
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>tables %a:@," Site_id.pp t.site;
   List.iter (fun ir -> Format.fprintf ppf "  %a@," Ioref.pp_inref ir) (inrefs t);

@@ -46,4 +46,11 @@ val outrefs : t -> Ioref.outref list
 
 val outref_count : t -> int
 
+val approx_bytes : t -> int
+(** Estimated bytes held by the ioref tables under a fixed size model
+    (8-byte words; record headers plus per-element costs for source
+    lists, visited sets and in/outsets). Deterministic across runs —
+    the [bytes_resident{site=N}] gauge and the bench gates rely on
+    that — but an estimate, not a heap measurement. *)
+
 val pp : Format.formatter -> t -> unit

@@ -9,18 +9,23 @@ type t = {
   buf : entry option array;
   mutable next : int;  (** write cursor *)
   mutable total : int;
+  mutable on_record : (entry -> unit) option;
 }
 
 let create ?(capacity = 2048) () =
   if capacity <= 0 then invalid_arg "Journal.create: capacity";
-  { buf = Array.make capacity None; next = 0; total = 0 }
+  { buf = Array.make capacity None; next = 0; total = 0; on_record = None }
 
 let capacity t = Array.length t.buf
+let set_on_record t f = t.on_record <- Some f
+let clear_on_record t = t.on_record <- None
 
 let record t ?(level = Info) ~at ~cat text =
-  t.buf.(t.next) <- Some { at; level; cat; text };
+  let e = { at; level; cat; text } in
+  t.buf.(t.next) <- Some e;
   t.next <- (t.next + 1) mod Array.length t.buf;
-  t.total <- t.total + 1
+  t.total <- t.total + 1;
+  match t.on_record with Some f -> f e | None -> ()
 
 let recordf t ?level ~at ~cat fmt =
   Format.kasprintf (fun s -> record t ?level ~at ~cat s) fmt

@@ -158,11 +158,18 @@ let hist_ref t ?buckets name =
          disagrees would silently measure into the wrong bins. *)
       (match buckets with
       | Some b when b <> h.bounds -> (
+          (* Name both specs in full: a mismatch report that does not
+             say which registration conflicted cannot be acted on. *)
+          let spec a =
+            Array.to_list a |> List.map (Printf.sprintf "%g")
+            |> String.concat "; "
+            |> Printf.sprintf "[%s]"
+          in
           let msg =
             Printf.sprintf
               "histogram %S: ?buckets disagrees with existing bounds \
-               (%d given vs %d in use); keeping the original"
-              name (Array.length b) (Array.length h.bounds)
+               (given %s vs %s in use); keeping the original"
+              name (spec b) (spec h.bounds)
           in
           match t.on_bucket_mismatch with
           | Some f -> f msg

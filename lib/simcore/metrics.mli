@@ -65,8 +65,10 @@ val hist_observe : t -> ?buckets:float array -> string -> float -> unit
 (** [buckets] (strictly increasing upper bounds) is honoured on the
     first observation of the name. On later observations a [buckets]
     that disagrees with the bounds in use is ignored, but reported
-    through the {!set_on_bucket_mismatch} callback — the engine wires
-    this to a Warn journal entry (or a raise under [Check_step]). *)
+    through the {!set_on_bucket_mismatch} callback — the message names
+    both offending specs (the bounds given and the bounds in use) —
+    and the engine wires this to a Warn journal entry (or a raise
+    under [Check_step]). *)
 
 val set_on_bucket_mismatch : t -> (string -> unit) -> unit
 (** Install the handler invoked with a description whenever

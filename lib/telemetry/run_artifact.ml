@@ -14,7 +14,7 @@ let hist_json (st : Metrics.hist_stats) =
       ("p99", Json.Float st.Metrics.p99);
     ]
 
-let make ~name ~sim_seconds ?(extra = []) ?audit metrics =
+let make ~name ~sim_seconds ?(extra = []) ?audit ?series metrics =
   Json.Obj
     ([
        ("schema", Json.Str schema);
@@ -30,9 +30,11 @@ let make ~name ~sim_seconds ?(extra = []) ?audit metrics =
        );
        ("extra", Json.Obj extra);
      ]
+    @ (match series with Some s -> [ ("series", Series.to_json s) ] | None -> [])
     @ match audit with Some a -> [ ("audit", a) ] | None -> [])
 
 let audit_section j = Json.member "audit" j
+let series_section j = Json.member "series" j
 
 let validate ?(require_hists = []) ?(require_counter_prefixes = []) j =
   let ( let* ) r f = Result.bind r f in
@@ -102,6 +104,14 @@ let validate ?(require_hists = []) ?(require_counter_prefixes = []) j =
         | Some "dgc.audit/1" -> Ok ()
         | Some s -> Error (Printf.sprintf "audit schema %S, expected \"dgc.audit/1\"" s)
         | None -> Error "audit section missing its schema field")
+  in
+  let* () =
+    match Json.member "series" j with
+    | None -> Ok ()
+    | Some s -> (
+        match Series.validate s with
+        | Ok () -> Ok ()
+        | Error e -> Error ("series section: " ^ e))
   in
   List.fold_left
     (fun acc prefix ->

@@ -15,14 +15,20 @@ val make :
   sim_seconds:float ->
   ?extra:(string * Json.t) list ->
   ?audit:Json.t ->
+  ?series:Series.t ->
   Dgc_simcore.Metrics.t ->
   Json.t
 (** Counters and histograms are emitted sorted by name. [audit], when
     given, must be a ["dgc.audit/1"] document (the observe library's
-    [Audit.to_json]); it lands under the top-level ["audit"] key. *)
+    [Audit.to_json]); it lands under the top-level ["audit"] key.
+    [series], when given, lands as {!Series.to_json} under ["series"]
+    — the time dimension the point-in-time sections lack. *)
 
 val audit_section : Json.t -> Json.t option
 (** The ["audit"] section of an artifact, if present. *)
+
+val series_section : Json.t -> Json.t option
+(** The ["series"] section of an artifact, if present. *)
 
 val validate :
   ?require_hists:string list ->
@@ -34,7 +40,8 @@ val validate :
     n/sum/min/max/p50/p95/p99. [require_hists] names histograms that
     must exist; [require_counter_prefixes] demands at least one
     counter under each prefix. An ["audit"] section, when present,
-    must carry the ["dgc.audit/1"] schema tag. *)
+    must carry the ["dgc.audit/1"] schema tag; a ["series"] section
+    must pass {!Series.validate}. *)
 
 val write : path:string -> Json.t -> unit
 

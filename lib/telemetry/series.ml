@@ -1,0 +1,275 @@
+type kind = Counter | Gauge
+
+let kind_name = function Counter -> "counter" | Gauge -> "gauge"
+
+type series = {
+  s_kind : kind;
+  buckets : (int, float) Hashtbl.t;
+  mutable lo : int;  (** oldest retained bucket index *)
+  mutable hi : int;  (** newest bucket index written *)
+  mutable any : bool;  (** false until the first write *)
+  mutable s_total : float;  (** counter: cumulative sum; gauge: last *)
+  mutable s_evicted : int;
+}
+
+type t = {
+  win : float;
+  max_buckets : int;
+  tbl : (string, series) Hashtbl.t;
+}
+
+let create ?(window = 1.0) ?(max_buckets = 512) () =
+  if window <= 0. then invalid_arg "Series.create: window";
+  if max_buckets <= 0 then invalid_arg "Series.create: max_buckets";
+  { win = window; max_buckets; tbl = Hashtbl.create 16 }
+
+let window t = t.win
+
+let series_ref t name ~kind =
+  match Hashtbl.find_opt t.tbl name with
+  | Some s ->
+      if s.s_kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Series: %S is a %s, recorded as a %s" name
+             (kind_name s.s_kind) (kind_name kind));
+      s
+  | None ->
+      let s =
+        {
+          s_kind = kind;
+          buckets = Hashtbl.create 32;
+          lo = 0;
+          hi = 0;
+          any = false;
+          s_total = 0.;
+          s_evicted = 0;
+        }
+      in
+      Hashtbl.add t.tbl name s;
+      s
+
+let bucket_of t at = int_of_float (floor (Float.max 0. at /. t.win))
+
+let touch t s i =
+  if not s.any then begin
+    s.any <- true;
+    s.lo <- i;
+    s.hi <- i
+  end
+  else begin
+    if i < s.lo then s.lo <- i;
+    if i > s.hi then s.hi <- i
+  end;
+  (* Evict oldest buckets past the retention bound. The index range is
+     walked rather than the (sparse) table, so eviction stays O(range). *)
+  while s.hi - s.lo + 1 > t.max_buckets do
+    if Hashtbl.mem s.buckets s.lo then begin
+      Hashtbl.remove s.buckets s.lo;
+      s.s_evicted <- s.s_evicted + 1
+    end;
+    s.lo <- s.lo + 1
+  done
+
+let add t name ~at n =
+  let s = series_ref t name ~kind:Counter in
+  let i = bucket_of t at in
+  let v = float_of_int n in
+  Hashtbl.replace s.buckets i
+    (v +. Option.value ~default:0. (Hashtbl.find_opt s.buckets i));
+  s.s_total <- s.s_total +. v;
+  touch t s i
+
+let incr t name ~at = add t name ~at 1
+
+let set t name ~at v =
+  let s = series_ref t name ~kind:Gauge in
+  let i = bucket_of t at in
+  Hashtbl.replace s.buckets i v;
+  s.s_total <- v;
+  touch t s i
+
+let names t =
+  Hashtbl.fold (fun k s acc -> (k, s.s_kind) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let points t name =
+  match Hashtbl.find_opt t.tbl name with
+  | None -> []
+  | Some s ->
+      Hashtbl.fold (fun i v acc -> (i, v) :: acc) s.buckets []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      |> List.map (fun (i, v) -> (float_of_int i *. t.win, v))
+
+let total t name =
+  match Hashtbl.find_opt t.tbl name with Some s -> s.s_total | None -> 0.
+
+let evicted t name =
+  match Hashtbl.find_opt t.tbl name with Some s -> s.s_evicted | None -> 0
+
+(* --- labels ------------------------------------------------------------ *)
+
+(* "bytes_resident{site=2}" -> ("bytes_resident", Some ("site", "2")) *)
+let split_label name =
+  match String.index_opt name '{' with
+  | None -> (name, None)
+  | Some i when String.length name > i + 1 && name.[String.length name - 1] = '}'
+    -> (
+      let inner = String.sub name (i + 1) (String.length name - i - 2) in
+      match String.index_opt inner '=' with
+      | Some j ->
+          ( String.sub name 0 i,
+            Some
+              ( String.sub inner 0 j,
+                String.sub inner (j + 1) (String.length inner - j - 1) ) )
+      | None -> (name, None))
+  | Some _ -> (name, None)
+
+let sanitize base =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    base
+
+(* --- export ------------------------------------------------------------ *)
+
+(* A gauge's running total is its last value, so both kinds expose
+   [s_total] as the final sample. *)
+let last_value t name =
+  match Hashtbl.find_opt t.tbl name with None -> 0. | Some s -> s.s_total
+
+let to_json t =
+  let series =
+    List.map
+      (fun (name, k) ->
+        let pts = points t name in
+        let mx =
+          List.fold_left (fun m (_, v) -> Float.max m v) neg_infinity pts
+        in
+        let last = match List.rev pts with (_, v) :: _ -> v | [] -> 0. in
+        ( name,
+          Json.Obj
+            [
+              ("kind", Json.Str (kind_name k));
+              ("n", Json.Int (List.length pts));
+              ("max", Json.Float (if pts = [] then 0. else mx));
+              ("last", Json.Float last);
+              ("total", Json.Float (total t name));
+              ( "points",
+                Json.Arr
+                  (List.map
+                     (fun (at, v) ->
+                       Json.Arr [ Json.Float at; Json.Float v ])
+                     pts) );
+            ] ))
+      (names t)
+  in
+  Json.Obj [ ("window", Json.Float t.win); ("series", Json.Obj series) ]
+
+let validate j =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    match Option.bind (Json.member "window" j) Json.to_float_opt with
+    | Some w when w > 0. -> Ok ()
+    | Some _ -> Error "series window must be positive"
+    | None -> Error "series missing numeric \"window\""
+  in
+  let* fields =
+    match Json.member "series" j with
+    | Some (Json.Obj fields) -> Ok fields
+    | _ -> Error "series missing object \"series\""
+  in
+  List.fold_left
+    (fun acc (name, s) ->
+      let* () = acc in
+      let* () =
+        match Option.bind (Json.member "kind" s) Json.to_str_opt with
+        | Some ("counter" | "gauge") -> Ok ()
+        | _ -> Error (Printf.sprintf "series %S: bad kind" name)
+      in
+      let* () =
+        List.fold_left
+          (fun acc f ->
+            let* () = acc in
+            match Option.bind (Json.member f s) Json.to_float_opt with
+            | Some _ -> Ok ()
+            | None ->
+                Error (Printf.sprintf "series %S: missing numeric %S" name f))
+          (Ok ())
+          [ "max"; "last"; "total" ]
+      in
+      let* n =
+        match Option.bind (Json.member "n" s) Json.to_int_opt with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "series %S: missing integer n" name)
+      in
+      let* pts =
+        match Json.member "points" s with
+        | Some (Json.Arr pts) -> Ok pts
+        | _ -> Error (Printf.sprintf "series %S: missing points array" name)
+      in
+      let* () =
+        if List.length pts = n then Ok ()
+        else
+          Error
+            (Printf.sprintf "series %S: n=%d but %d points" name n
+               (List.length pts))
+      in
+      List.fold_left
+        (fun acc p ->
+          let* () = acc in
+          match p with
+          | Json.Arr [ a; b ]
+            when Json.to_float_opt a <> None && Json.to_float_opt b <> None ->
+              Ok ()
+          | _ -> Error (Printf.sprintf "series %S: malformed point" name))
+        (Ok ()) pts)
+    (Ok ()) fields
+
+let to_prom t =
+  let b = Buffer.create 1024 in
+  let typed = Hashtbl.create 8 in
+  List.iter
+    (fun (name, k) ->
+      let base, label = split_label name in
+      let metric = "dgc_" ^ sanitize base in
+      if not (Hashtbl.mem typed metric) then begin
+        Hashtbl.replace typed metric ();
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s %s\n" metric (kind_name k))
+      end;
+      let labels =
+        match label with
+        | Some (lk, lv) -> Printf.sprintf "{%s=%S}" lk lv
+        | None -> ""
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%s%s %g\n" metric labels (last_value t name)))
+    (names t);
+  Buffer.contents b
+
+let chrome_counters t =
+  List.concat_map
+    (fun (name, _) ->
+      let base, label = split_label name in
+      let pid =
+        match label with
+        | Some ("site", v) -> ( match int_of_string_opt v with
+                                | Some i -> i
+                                | None -> 0)
+        | _ -> 0
+      in
+      List.map
+        (fun (at, v) ->
+          Json.Obj
+            [
+              ("name", Json.Str base);
+              ("ph", Json.Str "C");
+              ("ts", Json.Float (at *. 1e6));
+              ("pid", Json.Int pid);
+              ("tid", Json.Int 0);
+              ("args", Json.Obj [ ("value", Json.Float v) ]);
+            ])
+        (points t name))
+    (names t)

@@ -17,10 +17,26 @@ type t = {
   mutable next : int;
   mutable opened : int;
   mutable dropped : int;
+  mutable aborted : int;
+  mutable on_start : (span -> unit) option;
+  mutable on_finish : (span -> unit) option;
 }
 
 let create () =
-  { rev_spans = []; tbl = Hashtbl.create 64; next = 0; opened = 0; dropped = 0 }
+  {
+    rev_spans = [];
+    tbl = Hashtbl.create 64;
+    next = 0;
+    opened = 0;
+    dropped = 0;
+    aborted = 0;
+    on_start = None;
+    on_finish = None;
+  }
+
+let set_span_hooks t ~on_start ~on_finish =
+  t.on_start <- Some on_start;
+  t.on_finish <- Some on_finish
 
 let add t sp =
   t.rev_spans <- sp :: t.rev_spans;
@@ -29,8 +45,10 @@ let add t sp =
 let start_span t ?parent ~trace ~name ~site ~at attrs =
   let id = t.next in
   t.next <- id + 1;
-  add t { id; parent; trace; name; site; start = at; finish = None; attrs };
+  let sp = { id; parent; trace; name; site; start = at; finish = None; attrs } in
+  add t sp;
   t.opened <- t.opened + 1;
+  (match t.on_start with Some f -> f sp | None -> ());
   id
 
 let finish_span t id ~at attrs =
@@ -38,8 +56,26 @@ let finish_span t id ~at attrs =
   | Some sp when sp.finish = None ->
       sp.finish <- Some at;
       sp.attrs <- sp.attrs @ attrs;
-      t.opened <- t.opened - 1
+      t.opened <- t.opened - 1;
+      (match t.on_finish with Some f -> f sp | None -> ())
   | Some _ | None -> t.dropped <- t.dropped + 1
+
+(* A flight dump must leave no dangling spans: Perfetto renders an
+   unfinished slice as zero-width, so the open ones are closed with a
+   synthetic end carrying the [aborted] mark. *)
+let abort_open t ~at =
+  let n = ref 0 in
+  List.iter
+    (fun sp ->
+      if sp.finish = None then begin
+        incr n;
+        finish_span t sp.id ~at [ ("aborted", Json.Bool true) ]
+      end)
+    t.rev_spans;
+  t.aborted <- t.aborted + !n;
+  !n
+
+let aborted_spans t = t.aborted
 
 let event t ?parent ~trace ~name ~site ~at attrs =
   let id = start_span t ?parent ~trace ~name ~site ~at attrs in
@@ -141,7 +177,7 @@ let spans_of_jsonl text =
 
 let us x = Json.Float (x *. 1e6)
 
-let to_chrome t =
+let to_chrome ?(counters = []) t =
   let all = spans t in
   (* One lane (tid) per (site, trace) pair so concurrent traces at a
      site stack instead of overlapping. *)
@@ -264,7 +300,10 @@ let to_chrome t =
   in
   Json.Obj
     [
-      ("traceEvents", Json.Arr (meta @ List.sort compare !lane_meta @ complete @ flows));
+      ( "traceEvents",
+        Json.Arr
+          (meta @ List.sort compare !lane_meta @ complete @ flows @ counters)
+      );
       ("displayTimeUnit", Json.Str "ms");
       ( "otherData",
         Json.Obj
@@ -272,6 +311,7 @@ let to_chrome t =
             ("spans", Json.Int (span_count t));
             ("open_spans", Json.Int t.opened);
             ("dropped_finishes", Json.Int t.dropped);
+            ("aborted_spans", Json.Int t.aborted);
           ] );
     ]
 

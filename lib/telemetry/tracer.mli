@@ -71,6 +71,24 @@ val dropped_finishes : t -> int
     already-closed id and were discarded. A non-zero value after a
     clean run points at a span-bookkeeping bug in the caller. *)
 
+val abort_open : t -> at:float -> int
+(** Close every still-open span with a synthetic end at [at] carrying
+    an [("aborted", true)] attribute, so Perfetto renders them as real
+    slices instead of zero-width marks. Returns the number closed; the
+    running count is {!aborted_spans}. The flight recorder calls this
+    on dump (the engine mirrors the count into the
+    [tracer.aborted_spans] metric). *)
+
+val aborted_spans : t -> int
+(** Spans ever closed by {!abort_open}. *)
+
+val set_span_hooks :
+  t -> on_start:(span -> unit) -> on_finish:(span -> unit) -> unit
+(** Install taps invoked at every span start and finish ([on_finish]
+    sees the span with its end time set, including synthetic
+    {!abort_open} ends). One pair at a time; the flight recorder
+    mirrors span edges into its binary ring through these. *)
+
 val pp : Format.formatter -> t -> unit
 (** One summary line (span/open/dropped counts) followed by one line
     per still-open span. *)
@@ -85,11 +103,13 @@ val to_jsonl : t -> string
 
 val spans_of_jsonl : string -> (span list, string) result
 
-val to_chrome : t -> Json.t
+val to_chrome : ?counters:Json.t list -> t -> Json.t
 (** A [{"traceEvents": [...]}] document: per-site processes (pid =
     site id), per-trace lanes (tid), one complete ("X") event per
     span, and flow arrows ("s"/"f") linking parents to children that
-    run on a different site. *)
+    run on a different site. [counters] appends extra trace events —
+    [Series.chrome_counters] produces Perfetto counter tracks in the
+    right shape. *)
 
 val write_jsonl : t -> path:string -> unit
 val write_chrome : t -> path:string -> unit

@@ -89,42 +89,42 @@ let compute_all () =
 
 let expected =
   [
-    (("fig1.fresh", "bottom_up"), "791b04e02f343d51e9fe5cf447e8c06c");
-    (("fig1.fresh", "independent"), "791b04e02f343d51e9fe5cf447e8c06c");
-    (("fig1.fresh", "naive"), "791b04e02f343d51e9fe5cf447e8c06c");
-    (("fig1.settled", "bottom_up"), "3630620fe328cb4c527b541dfaa1a455");
-    (("fig1.settled", "independent"), "3630620fe328cb4c527b541dfaa1a455");
-    (("fig1.settled", "naive"), "3630620fe328cb4c527b541dfaa1a455");
-    (("fig2.fresh", "bottom_up"), "c786e5e634743e058372987feeb5e229");
-    (("fig2.fresh", "independent"), "f9fe454f27adc1d42200025b24f914c0");
-    (("fig2.fresh", "naive"), "c786e5e634743e058372987feeb5e229");
-    (("fig2.settled", "bottom_up"), "c786e5e634743e058372987feeb5e229");
-    (("fig2.settled", "independent"), "f9fe454f27adc1d42200025b24f914c0");
-    (("fig2.settled", "naive"), "c786e5e634743e058372987feeb5e229");
-    (("fig3.fresh", "bottom_up"), "f4a64692c693dbad09c95c24516e2035");
-    (("fig3.fresh", "independent"), "32cef45b0ea5ac4a544a1ed4a1d2e30e");
-    (("fig3.fresh", "naive"), "f4a64692c693dbad09c95c24516e2035");
-    (("fig3.settled", "bottom_up"), "f4a64692c693dbad09c95c24516e2035");
-    (("fig3.settled", "independent"), "32cef45b0ea5ac4a544a1ed4a1d2e30e");
-    (("fig3.settled", "naive"), "f4a64692c693dbad09c95c24516e2035");
-    (("fig4.fresh", "bottom_up"), "e2d61b30b4ba162a46349d3c3870ab6d");
-    (("fig4.fresh", "independent"), "ba6f411076411a1ed74341563e081aab");
-    (("fig4.fresh", "naive"), "447fac5603fe1182ea1716f74be69f6d");
-    (("fig4.settled", "bottom_up"), "b675c4947413ab80a863586d2f1db1ca");
-    (("fig4.settled", "independent"), "b675c4947413ab80a863586d2f1db1ca");
-    (("fig4.settled", "naive"), "b675c4947413ab80a863586d2f1db1ca");
-    (("fig5.fresh", "bottom_up"), "187e4d4145d83e70de5442356c0a4410");
-    (("fig5.fresh", "independent"), "187e4d4145d83e70de5442356c0a4410");
-    (("fig5.fresh", "naive"), "187e4d4145d83e70de5442356c0a4410");
-    (("fig5.settled", "bottom_up"), "187e4d4145d83e70de5442356c0a4410");
-    (("fig5.settled", "independent"), "187e4d4145d83e70de5442356c0a4410");
-    (("fig5.settled", "naive"), "187e4d4145d83e70de5442356c0a4410");
-    (("fig6.fresh", "bottom_up"), "683bc5b6e5afbf8d1e4d9ab7b2acb913");
-    (("fig6.fresh", "independent"), "ec4b8cb252fa084316d1d7029522c181");
-    (("fig6.fresh", "naive"), "683bc5b6e5afbf8d1e4d9ab7b2acb913");
-    (("fig6.settled", "bottom_up"), "683bc5b6e5afbf8d1e4d9ab7b2acb913");
-    (("fig6.settled", "independent"), "ec4b8cb252fa084316d1d7029522c181");
-    (("fig6.settled", "naive"), "683bc5b6e5afbf8d1e4d9ab7b2acb913");
+    (("fig1.fresh", "bottom_up"), "b111759e9a8b97a951502306e5f6a513");
+    (("fig1.fresh", "independent"), "b111759e9a8b97a951502306e5f6a513");
+    (("fig1.fresh", "naive"), "b111759e9a8b97a951502306e5f6a513");
+    (("fig1.settled", "bottom_up"), "0232d850fb1dc93aef7e916b7a4d90cb");
+    (("fig1.settled", "independent"), "0232d850fb1dc93aef7e916b7a4d90cb");
+    (("fig1.settled", "naive"), "0232d850fb1dc93aef7e916b7a4d90cb");
+    (("fig2.fresh", "bottom_up"), "297d998bbe3edd7cd991f241e8a019c2");
+    (("fig2.fresh", "independent"), "a79f73fba0e82dfd26c8bfe07be6b72f");
+    (("fig2.fresh", "naive"), "297d998bbe3edd7cd991f241e8a019c2");
+    (("fig2.settled", "bottom_up"), "297d998bbe3edd7cd991f241e8a019c2");
+    (("fig2.settled", "independent"), "a79f73fba0e82dfd26c8bfe07be6b72f");
+    (("fig2.settled", "naive"), "297d998bbe3edd7cd991f241e8a019c2");
+    (("fig3.fresh", "bottom_up"), "c007b3d3ab9bdeb5dd92d1fde034a765");
+    (("fig3.fresh", "independent"), "8121519ce16fd4fdd6f11780bb6b5e3f");
+    (("fig3.fresh", "naive"), "c007b3d3ab9bdeb5dd92d1fde034a765");
+    (("fig3.settled", "bottom_up"), "c007b3d3ab9bdeb5dd92d1fde034a765");
+    (("fig3.settled", "independent"), "8121519ce16fd4fdd6f11780bb6b5e3f");
+    (("fig3.settled", "naive"), "c007b3d3ab9bdeb5dd92d1fde034a765");
+    (("fig4.fresh", "bottom_up"), "213b8894a0f664f0cd0022287f46192e");
+    (("fig4.fresh", "independent"), "fb9d14b50be9f602c54f8f35bad8a018");
+    (("fig4.fresh", "naive"), "82fcec8beb8d4f95a768b6f04d72ad10");
+    (("fig4.settled", "bottom_up"), "fa7b975606301418404672af5bb0a504");
+    (("fig4.settled", "independent"), "fa7b975606301418404672af5bb0a504");
+    (("fig4.settled", "naive"), "fa7b975606301418404672af5bb0a504");
+    (("fig5.fresh", "bottom_up"), "a259d4814944bd7daa7afccc4ceb0934");
+    (("fig5.fresh", "independent"), "a259d4814944bd7daa7afccc4ceb0934");
+    (("fig5.fresh", "naive"), "a259d4814944bd7daa7afccc4ceb0934");
+    (("fig5.settled", "bottom_up"), "a259d4814944bd7daa7afccc4ceb0934");
+    (("fig5.settled", "independent"), "a259d4814944bd7daa7afccc4ceb0934");
+    (("fig5.settled", "naive"), "a259d4814944bd7daa7afccc4ceb0934");
+    (("fig6.fresh", "bottom_up"), "6dd30c885326e30f35588b7f81a41f66");
+    (("fig6.fresh", "independent"), "aabab30a04e674332e83810303a3f1ed");
+    (("fig6.fresh", "naive"), "6dd30c885326e30f35588b7f81a41f66");
+    (("fig6.settled", "bottom_up"), "6dd30c885326e30f35588b7f81a41f66");
+    (("fig6.settled", "independent"), "aabab30a04e674332e83810303a3f1ed");
+    (("fig6.settled", "naive"), "6dd30c885326e30f35588b7f81a41f66");
   ]
 
 let dump () =

@@ -68,10 +68,12 @@ let test_metrics_bucket_mismatch_raises_under_check_step () =
   in
   let m = Engine.metrics eng in
   Metrics.hist_observe m ~buckets:[| 1.; 2. |] "h" 1.0;
+  (* The message must name BOTH bucket specs: a report that does not
+     say which registration conflicted cannot be acted on. *)
   Alcotest.check_raises "strict mode raises"
     (Engine.Metrics_bucket_mismatch
-       "histogram \"h\": ?buckets disagrees with existing bounds (3 given \
-        vs 2 in use); keeping the original")
+       "histogram \"h\": ?buckets disagrees with existing bounds (given \
+        [1; 2; 3] vs [1; 2] in use); keeping the original")
     (fun () -> Metrics.hist_observe m ~buckets:[| 1.; 2.; 3. |] "h" 1.0)
 
 let test_metrics_bucket_mismatch_warns_in_journal () =

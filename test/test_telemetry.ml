@@ -213,6 +213,114 @@ let test_jsonl_round_trip () =
       in
       Alcotest.(check string) "round-trip is lossless" golden_jsonl reprint
 
+(* --- time series ------------------------------------------------------- *)
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_series_counters_and_gauges () =
+  let s = Series.create ~window:1.0 () in
+  Series.add s "msgs" ~at:0.2 2;
+  Series.incr s "msgs" ~at:0.9;
+  Series.add s "msgs" ~at:2.4 5;
+  Series.set s "depth" ~at:0.5 3.;
+  Series.set s "depth" ~at:0.7 4.;
+  Series.set s "depth" ~at:5.0 1.;
+  Alcotest.(check (list (pair string string)))
+    "names sorted with kinds"
+    [ ("depth", "gauge"); ("msgs", "counter") ]
+    (List.map
+       (fun (n, k) ->
+         (n, match k with Series.Counter -> "counter" | Series.Gauge -> "gauge"))
+       (Series.names s));
+  Alcotest.(check (list (pair (float 0.) (float 0.))))
+    "counter buckets sum per window"
+    [ (0., 3.); (2., 5.) ]
+    (Series.points s "msgs");
+  Alcotest.(check (list (pair (float 0.) (float 0.))))
+    "gauge buckets keep the last write"
+    [ (0., 4.); (5., 1.) ]
+    (Series.points s "depth");
+  Alcotest.(check (float 0.)) "counter total" 8. (Series.total s "msgs");
+  Alcotest.(check (float 0.)) "gauge total is the last value" 1.
+    (Series.total s "depth");
+  Alcotest.(check (float 0.)) "unknown name totals 0" 0. (Series.total s "nope");
+  (match Series.set s "msgs" ~at:3. 1. with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "gauge write on a counter accepted");
+  match Series.add s "depth" ~at:3. 1 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "counter write on a gauge accepted"
+
+let test_series_bucket_eviction () =
+  let s = Series.create ~window:1.0 ~max_buckets:4 () in
+  for i = 0 to 9 do
+    Series.add s "c" ~at:(float_of_int i) 1
+  done;
+  Alcotest.(check int) "evicted buckets counted" 6 (Series.evicted s "c");
+  Alcotest.(check (list (pair (float 0.) (float 0.))))
+    "only the newest buckets retained"
+    [ (6., 1.); (7., 1.); (8., 1.); (9., 1.) ]
+    (Series.points s "c");
+  Alcotest.(check (float 0.)) "total still covers evicted buckets" 10.
+    (Series.total s "c")
+
+let test_series_exports () =
+  let s = Series.create () in
+  Series.add s "back.msgs" ~at:0.5 3;
+  Series.set s "bytes_resident{site=2}" ~at:1.5 4096.;
+  let prom = Series.to_prom s in
+  let has sub = contains_sub ~sub prom in
+  Alcotest.(check bool) "counter family typed" true
+    (has "# TYPE dgc_back_msgs counter");
+  Alcotest.(check bool) "counter exposes the total" true (has "dgc_back_msgs 3");
+  Alcotest.(check bool) "site suffix becomes a label" true
+    (has "dgc_bytes_resident{site=\"2\"} 4096");
+  let counters = Series.chrome_counters s in
+  Alcotest.(check int) "one counter event per point" 2 (List.length counters);
+  let pid_of j = Option.bind (Json.member "pid" j) Json.to_int_opt in
+  Alcotest.(check bool) "labelled series land on their site's pid" true
+    (List.exists (fun j -> pid_of j = Some 2) counters);
+  (match Series.validate (Series.to_json s) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validate: %s" e);
+  (* Survives printing and parsing byte-identically. *)
+  let str = Json.to_string (Series.to_json s) in
+  match Json.parse str with
+  | Error e -> Alcotest.failf "series reparse: %s" e
+  | Ok j ->
+      Alcotest.(check string) "print-parse-print stable" str (Json.to_string j);
+      List.iter
+        (fun (what, doc) ->
+          match Series.validate doc with
+          | Ok () -> Alcotest.failf "accepted %s" what
+          | Error _ -> ())
+        [
+          ("non-object", Json.Int 1);
+          ("missing window", Json.Obj [ ("series", Json.Obj []) ]);
+          ( "bad kind",
+            Json.Obj
+              [
+                ("window", Json.Float 1.);
+                ( "series",
+                  Json.Obj
+                    [
+                      ( "x",
+                        Json.Obj
+                          [
+                            ("kind", Json.Str "dial");
+                            ("n", Json.Int 0);
+                            ("max", Json.Float 0.);
+                            ("last", Json.Float 0.);
+                            ("total", Json.Float 0.);
+                            ("points", Json.Arr []);
+                          ] );
+                    ] );
+              ] );
+        ]
+
 (* --- run artifact ------------------------------------------------------ *)
 
 let test_artifact_shape () =
@@ -236,6 +344,36 @@ let test_artifact_shape () =
       match Run_artifact.validate art' with
       | Ok () -> ()
       | Error e -> Alcotest.failf "reparsed validate: %s" e)
+
+let test_artifact_with_series () =
+  let m = Metrics.create () in
+  Metrics.incr m "msg.total";
+  let s = Series.create () in
+  Series.add s "back.in_flight" ~at:0.5 1;
+  Series.set s "bytes_resident{site=0}" ~at:1.0 512.;
+  let art = Run_artifact.make ~name:"unit" ~sim_seconds:60. ~series:s m in
+  (match Run_artifact.validate art with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validate: %s" e);
+  (match Run_artifact.series_section art with
+  | Some sec -> (
+      match Series.validate sec with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "series section: %s" e)
+  | None -> Alcotest.fail "series section missing");
+  (* A corrupted series section must fail artifact validation. *)
+  let corrupt =
+    match art with
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (fun (k, v) -> if k = "series" then (k, Json.Int 3) else (k, v))
+             fields)
+    | j -> j
+  in
+  match Run_artifact.validate corrupt with
+  | Ok () -> Alcotest.fail "corrupted series section accepted"
+  | Error _ -> ()
 
 let test_artifact_rejects_bad () =
   List.iter
@@ -283,10 +421,21 @@ let () =
           Alcotest.test_case "golden JSONL round-trip" `Quick
             test_jsonl_round_trip;
         ] );
+      ( "series",
+        [
+          Alcotest.test_case "counters and gauges" `Quick
+            test_series_counters_and_gauges;
+          Alcotest.test_case "bucket eviction" `Quick
+            test_series_bucket_eviction;
+          Alcotest.test_case "prom, chrome and json exports" `Quick
+            test_series_exports;
+        ] );
       ( "artifact",
         [
           Alcotest.test_case "shape validates and reparses" `Quick
             test_artifact_shape;
+          Alcotest.test_case "carries a series section" `Quick
+            test_artifact_with_series;
           Alcotest.test_case "rejects malformed artifacts" `Quick
             test_artifact_rejects_bad;
         ] );
