@@ -32,12 +32,17 @@ let obj_fields = function Some (Json.Obj fields) -> fields | _ -> []
 
 (* retry.*, chaos.* and san.* counters come from the delivery-hardening,
    fault-injection and sanitizer channels: they appear only in runs that
-   exercised them, so their absence is judged against 0 rather than
-   flagged as a disappearance. *)
+   exercised them. profile.* and ledger.* counters come from the
+   sim-cost profiler and its per-trace cost ledger, which only runs
+   when [Config.profile] is set. All are judged against 0 when absent
+   rather than flagged as a disappearance, so artifacts from before the
+   channel existed (or with it switched off) still gate cleanly. *)
 let optional_counter k =
   String.starts_with ~prefix:"retry." k
   || String.starts_with ~prefix:"chaos." k
   || String.starts_with ~prefix:"san." k
+  || String.starts_with ~prefix:"profile." k
+  || String.starts_with ~prefix:"ledger." k
 
 let compare_counters ~tol ~exact base fresh =
   let bc = obj_fields (Json.member "counters" base) in
@@ -112,6 +117,52 @@ let gate_flight_ratio ~limit fresh =
         complain "flight recorder overhead %.3fx exceeds the %.2fx gate" r
           limit
 
+(* The profiler overhead gate: extra.profile_overhead.ratio (profiler-on
+   wall / profiler-off wall at t10k, best-pair both arms) must stay
+   under the limit. Like the flight gate, judged on the fresh run only. *)
+let gate_profile_ratio ~limit fresh =
+  let ratio =
+    Option.bind (Json.member "extra" fresh) (Json.member "profile_overhead")
+    |> Fun.flip Option.bind (Json.member "ratio")
+    |> Fun.flip Option.bind Json.to_float_opt
+  in
+  match ratio with
+  | None ->
+      complain
+        "extra.profile_overhead.ratio missing (gate --profile-ratio-max)"
+  | Some r when Float.is_nan r ->
+      complain "extra.profile_overhead.ratio is nan (gate --profile-ratio-max)"
+  | Some r ->
+      if r > limit then
+        complain "profiler overhead %.3fx exceeds the %.2fx gate" r limit
+
+(* The phase-share gate: both artifacts must carry a [dgc.profile/1]
+   section, and the share of deterministic work units attributed to
+   each top-level phase must not drift beyond the tolerance. Shares are
+   functions of work units — never of wall clock — so they gate across
+   machines; the tolerance absorbs intentional rebalancing. *)
+let gate_profile_shares ~tolerance base fresh =
+  match
+    (Run_artifact.profile_section base, Run_artifact.profile_section fresh)
+  with
+  | None, _ ->
+      complain "baseline has no profile section (gate \
+                --profile-share-tolerance)"
+  | _, None ->
+      complain "fresh artifact has no profile section (gate \
+                --profile-share-tolerance)"
+  | Some bp, Some fp -> (
+      match
+        Dgc_profile.Profile.diff ~share_tolerance:tolerance bp fp
+      with
+      | Error e -> complain "profile diff: %s" e
+      | Ok rep ->
+          if rep.Dgc_profile.Profile.df_regressed then
+            complain
+              "profile phase shares drifted %.2f%% (> %.2f%% tolerance)"
+              (100. *. rep.Dgc_profile.Profile.df_max_share_drift)
+              (100. *. tolerance))
+
 let compare_hists ~tol base fresh =
   let bh = obj_fields (Json.member "histograms" base) in
   let fh = obj_fields (Json.member "histograms" fresh) in
@@ -136,19 +187,23 @@ let compare_hists ~tol base fresh =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let tol, hist_tol, exact, flight_max, paths =
-    let rec go tol htol exact fmax paths = function
+  let tol, hist_tol, exact, flight_max, profile_max, share_tol, paths =
+    let rec go tol htol exact fmax pmax stol paths = function
       | "--tolerance" :: v :: rest ->
-          go (float_of_string v) htol exact fmax paths rest
+          go (float_of_string v) htol exact fmax pmax stol paths rest
       | "--hist-tolerance" :: v :: rest ->
-          go tol (Some (float_of_string v)) exact fmax paths rest
-      | "--exact-counters" :: rest -> go tol htol true fmax paths rest
+          go tol (Some (float_of_string v)) exact fmax pmax stol paths rest
+      | "--exact-counters" :: rest -> go tol htol true fmax pmax stol paths rest
       | "--flight-ratio-max" :: v :: rest ->
-          go tol htol exact (Some (float_of_string v)) paths rest
-      | p :: rest -> go tol htol exact fmax (p :: paths) rest
-      | [] -> (tol, htol, exact, fmax, List.rev paths)
+          go tol htol exact (Some (float_of_string v)) pmax stol paths rest
+      | "--profile-ratio-max" :: v :: rest ->
+          go tol htol exact fmax (Some (float_of_string v)) stol paths rest
+      | "--profile-share-tolerance" :: v :: rest ->
+          go tol htol exact fmax pmax (Some (float_of_string v)) paths rest
+      | p :: rest -> go tol htol exact fmax pmax stol (p :: paths) rest
+      | [] -> (tol, htol, exact, fmax, pmax, stol, List.rev paths)
     in
-    go 0.25 None false None [] args
+    go 0.25 None false None None None [] args
   in
   let hist_tol = Option.value hist_tol ~default:tol in
   let baseline_path, fresh_path =
@@ -158,7 +213,8 @@ let () =
         prerr_endline
           "usage: compare.exe BASELINE FRESH [--tolerance FRAC] \
            [--exact-counters] [--hist-tolerance FRAC] \
-           [--flight-ratio-max FRAC]";
+           [--flight-ratio-max FRAC] [--profile-ratio-max FRAC] \
+           [--profile-share-tolerance FRAC]";
         exit 2
   in
   let load path =
@@ -179,6 +235,10 @@ let () =
   compare_hists ~tol:hist_tol base fresh;
   compare_series ~tol base fresh;
   Option.iter (fun limit -> gate_flight_ratio ~limit fresh) flight_max;
+  Option.iter (fun limit -> gate_profile_ratio ~limit fresh) profile_max;
+  Option.iter
+    (fun tolerance -> gate_profile_shares ~tolerance base fresh)
+    share_tol;
   match !fail with
   | [] ->
       Printf.printf

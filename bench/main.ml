@@ -1024,9 +1024,18 @@ let exp_bench () =
   section "BENCH" "Run artifact: back-trace latency and message traffic";
   let agg = Metrics.create () in
   let sim_secs = ref 0. in
+  (* Cost-ledger totals accumulated across the ring runs; the per-cycle
+     milli ratios are integer functions of the deterministic schedule,
+     so they gate exactly like any other counter. *)
+  let l_traces = ref 0
+  and l_collected = ref 0
+  and l_msgs = ref 0
+  and l_bytes = ref 0
+  and l_frames = ref 0
+  and l_retries = ref 0 in
   List.iter
     (fun (span, per_site, seed) ->
-      let cfg = { base_cfg with Config.n_sites = span; seed } in
+      let cfg = { base_cfg with Config.n_sites = span; seed; profile = true } in
       let sim = Sim.make ~cfg () in
       let eng = sim.Sim.eng in
       ignore
@@ -1062,8 +1071,35 @@ let exp_bench () =
             String.starts_with ~prefix:"msg." k
             || String.starts_with ~prefix:"back." k
           then Metrics.add agg k v)
-        (Metrics.counters (Engine.metrics eng)))
+        (Metrics.counters (Engine.metrics eng));
+      match Engine.profile eng with
+      | None -> ()
+      | Some p ->
+          let r =
+            Dgc_profile.Ledger.rollup (Dgc_profile.Profile.ledger p)
+          in
+          l_traces := !l_traces + r.Dgc_profile.Ledger.r_traces;
+          l_collected := !l_collected + r.Dgc_profile.Ledger.r_collected;
+          l_msgs := !l_msgs + r.Dgc_profile.Ledger.r_msgs;
+          l_bytes := !l_bytes + r.Dgc_profile.Ledger.r_bytes;
+          l_frames := !l_frames + r.Dgc_profile.Ledger.r_frames;
+          l_retries := !l_retries + r.Dgc_profile.Ledger.r_retries)
     [ (2, 1, 11); (3, 2, 12); (4, 2, 13) ];
+  Metrics.add agg "ledger.traces" !l_traces;
+  Metrics.add agg "ledger.collected" !l_collected;
+  Metrics.add agg "ledger.msgs" !l_msgs;
+  Metrics.add agg "ledger.bytes" !l_bytes;
+  Metrics.add agg "ledger.frames" !l_frames;
+  Metrics.add agg "ledger.retries" !l_retries;
+  if !l_collected > 0 then begin
+    Metrics.add agg "ledger.msgs_per_cycle_milli"
+      (1000 * !l_msgs / !l_collected);
+    Metrics.add agg "ledger.bytes_per_cycle_milli"
+      (1000 * !l_bytes / !l_collected)
+  end;
+  say
+    "  cost ledger: %d traces (%d collected), %d msgs / %d bytes / %d frames"
+    !l_traces !l_collected !l_msgs !l_bytes !l_frames;
   let art =
     Dgc_telemetry.Run_artifact.make ~name:"backtrace-bench"
       ~sim_seconds:!sim_secs agg
@@ -1073,7 +1109,7 @@ let exp_bench () =
   (match
      Dgc_telemetry.Run_artifact.validate
        ~require_hists:[ "back.latency_ms"; "back.frames_per_trace" ]
-       ~require_counter_prefixes:[ "msg."; "back." ]
+       ~require_counter_prefixes:[ "msg."; "back."; "ledger." ]
        art
    with
   | Ok () -> say "wrote %s (shape ok)" path

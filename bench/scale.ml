@@ -176,14 +176,17 @@ let phase_bench m ~tier ~n ~reps =
 
 (* --- ring bench -------------------------------------------------------- *)
 
-let ring_bench ?(sanitize = false) ?(flight = true) ?(record = true) m ~tier
-    ~n =
+let ring_bench ?(sanitize = false) ?(flight = true) ?(profile = false)
+    ?(record = true) m ~tier ~n =
   let cfg =
     {
       cfg_base with
       Config.n_sites = 4;
       seed = 2000 + n;
       sanitize;
+      (* the profiler, like the recorder, draws no randomness and
+         schedules no events, so either arm replays the same rounds *)
+      profile;
       (* recorder-off arm of the flight-overhead probe; recording draws
          no randomness, so the schedule is identical either way *)
       flight_capacity = (if flight then cfg_base.Config.flight_capacity else 0);
@@ -277,11 +280,38 @@ let ring_bench ?(sanitize = false) ?(flight = true) ?(record = true) m ~tier
     Metrics.add m
       (Printf.sprintf "scale.%s.ring_collected" tier)
       (if collected then 1 else 0);
+    (* Cost-ledger rollup: every count is a function of the
+       deterministic schedule, so the per-cycle budget numbers gate
+       exactly alongside the visit counters above. *)
+    (match Engine.profile eng with
+    | None -> ()
+    | Some p ->
+        let r = Dgc_profile.Ledger.rollup (Dgc_profile.Profile.ledger p) in
+        let c name v =
+          Metrics.add m (Printf.sprintf "ledger.%s.%s" tier name) v
+        in
+        c "traces" r.Dgc_profile.Ledger.r_traces;
+        c "collected" r.Dgc_profile.Ledger.r_collected;
+        c "msgs" r.Dgc_profile.Ledger.r_msgs;
+        c "bytes" r.Dgc_profile.Ledger.r_bytes;
+        c "frames" r.Dgc_profile.Ledger.r_frames;
+        c "msgs_per_cycle_milli" r.Dgc_profile.Ledger.r_msgs_per_cycle_milli;
+        c "bytes_per_cycle_milli" r.Dgc_profile.Ledger.r_bytes_per_cycle_milli;
+        say "  %-6s ledger: %.3f msgs / %.1f bytes per collected cycle" tier
+          (float_of_int r.Dgc_profile.Ledger.r_msgs_per_cycle_milli /. 1000.)
+          (float_of_int r.Dgc_profile.Ledger.r_bytes_per_cycle_milli /. 1000.));
     say "  %-6s rings %s in %d rounds" tier
       (if collected then "collected" else "NOT collected")
       rounds
   end;
-  (Sim_time.to_seconds (Engine.now eng), !wall_ms, Engine.series eng)
+  let prof_json =
+    Option.map
+      (fun p ->
+        Dgc_profile.Profile.to_json ~name:(Printf.sprintf "scale-%s-ring" tier)
+          p)
+      (Engine.profile eng)
+  in
+  (Sim_time.to_seconds (Engine.now eng), !wall_ms, Engine.series eng, prof_json)
 
 (* --- driver ------------------------------------------------------------ *)
 
@@ -303,16 +333,21 @@ let () =
   let sim_secs = ref 0. in
   let ring_wall = Hashtbl.create 4 in
   let ring_series = ref None in
+  let ring_profile = ref None in
   List.iter
     (fun (tier, n, reps) ->
       say "tier %s: %d objects/site" tier n;
       phase_bench m ~tier ~n ~reps;
-      let secs, wall, series = ring_bench m ~tier ~n in
+      let secs, wall, series, prof = ring_bench ~profile:true m ~tier ~n in
       Hashtbl.replace ring_wall tier wall;
-      (* the t10k ring's series section is the committed, gated one:
-         per-site bytes resident, floating-garbage age, in-flight
-         back-trace gauges — all functions of sim time, so exact *)
-      if tier = "t10k" then ring_series := Some series;
+      (* the t10k ring's series and profile sections are the committed,
+         gated ones: the series gauges are functions of sim time and
+         the profile's phase shares functions of work units, so both
+         gate exactly across machines *)
+      if tier = "t10k" then begin
+        ring_series := Some series;
+        ring_profile := prof
+      end;
       sim_secs := !sim_secs +. secs)
     tiers;
   (* dgc-san overhead probe: re-run the t10k ring with the sanitizer's
@@ -321,7 +356,7 @@ let () =
      informational in the artifact (compare.exe treats san.* and
      fresh-only keys as optional). *)
   say "tier t10k + dgc-san: sanitize overhead probe";
-  let secs_san, wall_san, _ =
+  let secs_san, wall_san, _, _ =
     ring_bench ~sanitize:true m ~tier:"t10k_san" ~n:10_000
   in
   sim_secs := !sim_secs +. secs_san;
@@ -342,7 +377,9 @@ let () =
      slowdowns, never speedups, while a genuine regression lifts every
      pair. Early exit once a pair lands comfortably under the gate. *)
   let arm flight =
-    let _, w, _ = ring_bench ~flight ~record:false m ~tier:"t10k" ~n:10_000 in
+    let _, w, _, _ =
+      ring_bench ~flight ~record:false m ~tier:"t10k" ~n:10_000
+    in
     w
   in
   ignore (arm true);
@@ -362,6 +399,34 @@ let () =
   let fl_ratio = if Float.is_finite !fl_ratio then !fl_ratio else nan in
   say "  flight ring wall: off=%.1fms on=%.1fms ratio=%.2fx" fl_off fl_on
     fl_ratio;
+  (* Profiler overhead probe: the t10k ring with the sim-cost profiler
+     (scopes + work counters + cost ledger) on vs off, same best-pair
+     discipline as the flight probe. Gated (≤ 1.10×) by compare.exe via
+     --profile-ratio-max. *)
+  say "tier t10k: profiler on/off overhead probe";
+  let parm profile =
+    let _, w, _, _ =
+      ring_bench ~profile ~record:false m ~tier:"t10k" ~n:10_000
+    in
+    w
+  in
+  ignore (parm true);
+  ignore (parm false);
+  let pf_on = ref infinity and pf_off = ref infinity in
+  let pf_ratio = ref infinity in
+  let ppairs = ref 0 in
+  while !ppairs < 15 && !pf_ratio > 1.05 do
+    incr ppairs;
+    let w_on = parm true in
+    let w_off = parm false in
+    if w_on < !pf_on then pf_on := w_on;
+    if w_off < !pf_off then pf_off := w_off;
+    if w_off > 0. then pf_ratio := Float.min !pf_ratio (w_on /. w_off)
+  done;
+  let pf_on = !pf_on and pf_off = !pf_off in
+  let pf_ratio = if Float.is_finite !pf_ratio then !pf_ratio else nan in
+  say "  profile ring wall: off=%.1fms on=%.1fms ratio=%.2fx" pf_off pf_on
+    pf_ratio;
   let art =
     Dgc_telemetry.Run_artifact.make ~name:"scale-bench"
       ~sim_seconds:!sim_secs
@@ -385,8 +450,16 @@ let () =
                 ("ring_wall_ms_on", Dgc_telemetry.Json.Float fl_on);
                 ("ratio", Dgc_telemetry.Json.Float fl_ratio);
               ] );
+          ( "profile_overhead",
+            Dgc_telemetry.Json.Obj
+              [
+                ("tier", Dgc_telemetry.Json.Str "t10k");
+                ("ring_wall_ms_off", Dgc_telemetry.Json.Float pf_off);
+                ("ring_wall_ms_on", Dgc_telemetry.Json.Float pf_on);
+                ("ratio", Dgc_telemetry.Json.Float pf_ratio);
+              ] );
         ]
-      ?series:!ring_series m
+      ?series:!ring_series ?profile:!ring_profile m
   in
   Dgc_telemetry.Run_artifact.write ~path:out art;
   (match
@@ -397,7 +470,7 @@ let () =
            "scale.apply_ms{tier=t1k}";
            "scale.round_ms{tier=t1k}";
          ]
-       ~require_counter_prefixes:[ "scale." ] art
+       ~require_counter_prefixes:[ "scale."; "ledger." ] art
    with
   | Ok () -> say "wrote %s (shape ok)" out
   | Error e -> Fmt.failwith "scale artifact failed validation: %s" e)

@@ -5,14 +5,21 @@
 
      schema_check.exe FILE.json ...
 
-   Dispatch: dgc.run/1 -> Run_artifact.validate, dgc.plan/1 ->
-   Plan.of_json, dgc.flight/1 -> Flight.of_json (strict, byte-identical
-   round trip), dgc.chaos/1 -> required sections plus its embedded
-   plan/run/flight documents, dgc.schedule/1 -> deviation-list shape. *)
+   Dispatch: dgc.run/1 -> Run_artifact.validate (plus the deep profile
+   check below), dgc.plan/1 -> Plan.of_json, dgc.flight/1 ->
+   Flight.of_json (strict, byte-identical round trip), dgc.profile/1 ->
+   Profile.validate, dgc.chaos/1 -> required sections plus its embedded
+   plan/run/flight documents, dgc.schedule/1 -> deviation-list shape.
+
+   A run artifact's embedded "profile" section gets the full
+   Profile.validate treatment here: Run_artifact lives below dgc.profile
+   in the library stack, so its own validate can only check the schema
+   tag. *)
 
 module Tel = Dgc_telemetry
 module Json = Tel.Json
 module Plan = Dgc_chaos.Plan
+module Prof = Dgc_profile.Profile
 
 let failed = ref false
 
@@ -36,6 +43,17 @@ let check_schedule path doc =
           | _ -> complain path "dgc.schedule/1: bad deviation entry")
         devs
 
+let check_run path doc =
+  (match Tel.Run_artifact.validate doc with
+  | Ok () -> ()
+  | Error e -> complain path "dgc.run/1: %s" e);
+  match Tel.Run_artifact.profile_section doc with
+  | None -> ()
+  | Some p -> (
+      match Prof.validate p with
+      | Ok () -> ()
+      | Error e -> complain path "dgc.run/1 embedded profile: %s" e)
+
 let check_chaos path doc =
   List.iter
     (fun k ->
@@ -49,10 +67,7 @@ let check_chaos path doc =
       | Error e -> complain path "dgc.chaos/1 embedded plan: %s" e)
   | None -> ());
   (match Json.member "run" doc with
-  | Some r -> (
-      match Tel.Run_artifact.validate r with
-      | Ok () -> ()
-      | Error e -> complain path "dgc.chaos/1 embedded run: %s" e)
+  | Some r -> check_run path r
   | None -> ());
   match Json.member "flight" doc with
   | None -> ()
@@ -70,10 +85,11 @@ let check path =
       | Ok doc -> (
           match Option.bind (Json.member "schema" doc) Json.to_str_opt with
           | None -> complain path "no \"schema\" field"
-          | Some "dgc.run/1" -> (
-              match Tel.Run_artifact.validate doc with
+          | Some "dgc.run/1" -> check_run path doc
+          | Some "dgc.profile/1" -> (
+              match Prof.validate doc with
               | Ok () -> ()
-              | Error e -> complain path "dgc.run/1: %s" e)
+              | Error e -> complain path "dgc.profile/1: %s" e)
           | Some "dgc.plan/1" -> (
               match Plan.of_json doc with
               | Ok _ -> ()

@@ -18,6 +18,8 @@ open Dgc_workload
 open Dgc_baselines
 open Dgc_telemetry
 module Obs = Dgc_observe
+module Prof = Dgc_profile.Profile
+module Ledg = Dgc_profile.Ledger
 open Cmdliner
 
 type collector_kind = Back_tracing | Global | Hughes_ts | Group | Migrate
@@ -40,6 +42,7 @@ type opts = {
   o_verbose : bool;
   o_dot : string option;
   o_journal : int;
+  o_profile : bool;
 }
 
 let say fmt = Format.printf (fmt ^^ "@.")
@@ -79,6 +82,7 @@ let config_of opts =
     trace_jitter = Sim_time.of_seconds (opts.o_interval /. 10.);
     trace_duration = Sim_time.of_seconds opts.o_window;
     ext_drop = opts.o_drop;
+    profile = opts.o_profile;
   }
 
 (* The journal is always attached (capacity from the configuration);
@@ -87,6 +91,12 @@ let config_of opts =
 let attach_journal cfg eng =
   let j = Journal.create ~capacity:(max 64 cfg.Config.journal_capacity) () in
   Engine.attach_journal eng j
+
+(* Baseline collectors build their engine directly (no [Sim.make]), so
+   [--profile] attaches the profiler here. *)
+let attach_profiler cfg eng =
+  if cfg.Config.profile && Option.is_none (Engine.profile eng) then
+    Engine.attach_profile eng (Prof.create ())
 
 let print_journal_tail ?(n = 20) eng =
   match Engine.journal eng with
@@ -155,11 +165,15 @@ let print_journal opts eng =
     | None -> ()
 
 let write_artifact ?audit ~out ~name eng =
+  (* An attached profiler lands as the artifact's "profile" section
+     automatically — no extra flag beyond --profile. *)
+  let profile = Option.map (fun p -> Prof.to_json ~name p) (Engine.profile eng) in
   let art =
     Run_artifact.make ~name
       ~sim_seconds:(Sim_time.to_seconds (Engine.now eng))
       ?audit
       ~series:(Engine.series eng)
+      ?profile
       (Engine.metrics eng)
   in
   Run_artifact.write ~path:out art;
@@ -182,7 +196,7 @@ let dump_flight_to eng path =
    run left behind. prom: print the final time-series values in
    Prometheus text exposition. dump_flight: write the ring dump even
    though the run ended without a failure. *)
-let run ?artifact ?dump_flight ?(prom = false) opts =
+let run ?artifact ?dump_flight ?(prom = false) ?prom_out opts =
   let cfg = config_of opts in
   say "dgc-sim: %a" Config.pp cfg;
   let minutes = Sim_time.of_minutes opts.o_minutes in
@@ -217,6 +231,7 @@ let run ?artifact ?dump_flight ?(prom = false) opts =
     | Global ->
         let eng = Engine.create cfg in
         attach_journal cfg eng;
+        attach_profiler cfg eng;
         let gt = Global_trace.install eng in
         build_workload eng opts;
         Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
@@ -235,6 +250,7 @@ let run ?artifact ?dump_flight ?(prom = false) opts =
     | Hughes_ts ->
         let eng = Engine.create cfg in
         attach_journal cfg eng;
+        attach_profiler cfg eng;
         let h = Hughes.install eng ~slack:(Sim_time.of_seconds 60.) in
         build_workload eng opts;
         Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
@@ -254,6 +270,7 @@ let run ?artifact ?dump_flight ?(prom = false) opts =
     | Group ->
         let eng = Engine.create cfg in
         attach_journal cfg eng;
+        attach_profiler cfg eng;
         let g = Group_trace.install eng ~max_group:opts.o_sites in
         build_workload eng opts;
         Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
@@ -269,6 +286,7 @@ let run ?artifact ?dump_flight ?(prom = false) opts =
     | Migrate ->
         let eng = Engine.create cfg in
         attach_journal cfg eng;
+        attach_profiler cfg eng;
         let m = Migration.install eng in
         build_workload eng opts;
         Option.iter (fun s -> Engine.crash eng (Site_id.of_int s)) opts.o_crash;
@@ -283,6 +301,13 @@ let run ?artifact ?dump_flight ?(prom = false) opts =
   in
   Option.iter (dump_flight_to eng) dump_flight;
   if prom then print_string (Series.to_prom (Engine.series eng));
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (Series.to_prom (Engine.series eng));
+      close_out oc;
+      say "wrote Prometheus exposition to %s" path)
+    prom_out;
   Option.iter
     (fun out ->
       let audit =
@@ -387,13 +412,13 @@ let run_trace scenario out format =
 
 let all_figs = [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6" ]
 
-let scenario_sim = function
-  | "fig1" -> (Scenario.fig1 ~cfg:scenario_cfg ()).Scenario.f1_sim
-  | "fig2" -> (Scenario.fig2 ~cfg:scenario_cfg ()).Scenario.f2_sim
-  | "fig3" -> (Scenario.fig3 ~cfg:scenario_cfg ()).Scenario.f3_sim
-  | "fig4" -> (Scenario.fig4 ~cfg:scenario_cfg ()).Scenario.f4_sim
-  | "fig5" -> (Scenario.fig5 ~cfg:scenario_cfg ()).Scenario.f5_sim
-  | "fig6" -> (fst (Scenario.fig6 ~cfg:scenario_cfg ())).Scenario.f5_sim
+let scenario_sim ?(cfg = scenario_cfg) = function
+  | "fig1" -> (Scenario.fig1 ~cfg ()).Scenario.f1_sim
+  | "fig2" -> (Scenario.fig2 ~cfg ()).Scenario.f2_sim
+  | "fig3" -> (Scenario.fig3 ~cfg ()).Scenario.f3_sim
+  | "fig4" -> (Scenario.fig4 ~cfg ()).Scenario.f4_sim
+  | "fig5" -> (Scenario.fig5 ~cfg ()).Scenario.f5_sim
+  | "fig6" -> (fst (Scenario.fig6 ~cfg ())).Scenario.f5_sim
   | s -> Fmt.failwith "unknown scenario %S (try fig1..fig6)" s
 
 type fault = F_none | F_crash | F_partition
@@ -423,7 +448,11 @@ let inject_fault sim fault =
       when_tracing (fun () -> Engine.partition eng [ [ Site_id.of_int 0 ] ])
 
 let audit_one ~fault ~rounds ~sanitize name =
-  let sim = scenario_sim name in
+  (* Profiler on: schedule-neutral, and its cost ledger becomes audit
+     evidence — trace-involved verdicts arrive priced. *)
+  let sim =
+    scenario_sim ~cfg:{ scenario_cfg with Config.profile = true } name
+  in
   let eng = sim.Sim.eng in
   attach_journal (Engine.config eng) eng;
   Engine.attach_tracer eng (Tracer.create ());
@@ -519,6 +548,154 @@ let run_inspect scenario rounds out =
       say "wrote snapshots to %s" path)
     out;
   0
+
+(* --- profile subcommand: the lib/profile cost profiler ------------------ *)
+
+let write_text ~path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let run_profile scenario rounds out folded speedscope unit_ =
+  let cfg = { scenario_cfg with Config.profile = true } in
+  let sim = scenario_sim ~cfg scenario in
+  let eng = sim.Sim.eng in
+  Sim.start sim;
+  Sim.run_rounds sim rounds;
+  match Engine.profile eng with
+  | None ->
+      say "no profiler attached (unexpected with profile = true)";
+      2
+  | Some p ->
+      let name = "profile-" ^ scenario in
+      let doc = Prof.to_json ~name p in
+      let valid = Prof.validate doc in
+      (match valid with
+      | Ok () -> say "profile: schema-valid %s document" Prof.schema
+      | Error e -> say "profile: VALIDATION FAILED: %s" e);
+      Run_artifact.write ~path:out doc;
+      say "wrote %s artifact to %s" Prof.schema out;
+      Option.iter
+        (fun path ->
+          write_text ~path (Prof.to_folded ?unit_ p);
+          say "wrote folded stacks to %s (render: flamegraph.pl %s > prof.svg)"
+            path path)
+        folded;
+      Option.iter
+        (fun path ->
+          write_text ~path
+            (Json.to_string (Prof.to_speedscope ?unit_ ~name p) ^ "\n");
+          say "wrote speedscope profile to %s (open at speedscope.app)" path)
+        speedscope;
+      let r = Ledg.rollup (Prof.ledger p) in
+      say
+        "ledger: %d traces (%d garbage, %d live), %d msgs, %d bytes, %d frames"
+        r.Ledg.r_traces r.Ledg.r_collected r.Ledg.r_live r.Ledg.r_msgs
+        r.Ledg.r_bytes r.Ledg.r_frames;
+      if r.Ledg.r_collected > 0 then
+        say "  per collected cycle: %.3f msgs, %.3f bytes"
+          (float_of_int r.Ledg.r_msgs_per_cycle_milli /. 1000.)
+          (float_of_int r.Ledg.r_bytes_per_cycle_milli /. 1000.);
+      (match valid with Ok () -> 0 | Error _ -> 1)
+
+let run_profile_diff base fresh tol =
+  match (Run_artifact.read ~path:base, Run_artifact.read ~path:fresh) with
+  | Error e, _ ->
+      say "cannot read %s: %s" base e;
+      2
+  | _, Error e ->
+      say "cannot read %s: %s" fresh e;
+      2
+  | Ok b, Ok f -> (
+      match Prof.diff ~share_tolerance:tol b f with
+      | Error e ->
+          say "diff: %s" e;
+          2
+      | Ok report ->
+          say "%a" Prof.pp_diff report;
+          if report.Prof.df_regressed then 1 else 0)
+
+let profile_cmd =
+  let doc =
+    "run a figure scenario with the deterministic sim-cost profiler \
+     attached and export the $(b,dgc.profile/1) artifact (work units per \
+     phase scope, per-back-trace cost ledger), flamegraph.pl folded \
+     stacks, and speedscope JSON; $(b,profile diff) compares two artifacts"
+  in
+  let scenario =
+    Arg.(
+      value & opt string "fig2"
+      & info [ "scenario" ] ~doc:"Scenario: $(b,fig1)..$(b,fig6).")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 8
+      & info [ "rounds" ] ~doc:"Local-trace rounds to run before exporting.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "dgc_profile.json"
+      & info [ "out"; "o" ] ~doc:"$(b,dgc.profile/1) artifact output path.")
+  in
+  let folded =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ]
+          ~doc:
+            "Write flamegraph.pl-compatible folded stacks here (render with \
+             $(b,flamegraph.pl FILE > prof.svg)).")
+  in
+  let speedscope =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "speedscope" ]
+          ~doc:
+            "Write a speedscope sampled-JSON profile here (open at \
+             speedscope.app).")
+  in
+  let unit_ =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "unit" ]
+          ~doc:
+            "Weight folded/speedscope output by this work unit (e.g. \
+             $(b,events), $(b,visits), $(b,bytes_sent)); default is the sum \
+             over all units.")
+  in
+  let run_t =
+    Term.(
+      const run_profile $ scenario $ rounds $ out $ folded $ speedscope
+      $ unit_)
+  in
+  let diff_cmd =
+    let base =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"BASE")
+    in
+    let fresh =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"FRESH")
+    in
+    let tol =
+      Arg.(
+        value
+        & opt float 0.10
+        & info [ "share-tolerance" ]
+            ~doc:
+              "Largest tolerated drift in any top-level phase's share of a \
+               work unit's total before the exit status reports a \
+               regression.")
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "compare two dgc.profile/1 artifacts: per-node work deltas plus \
+            a top-level phase-share regression verdict")
+      Term.(const run_profile_diff $ base $ fresh $ tol)
+  in
+  Cmd.group ~default:run_t (Cmd.info "profile" ~doc) [ diff_cmd ]
 
 (* --- chaos subcommand: fault-plan campaigns ----------------------------- *)
 
@@ -852,9 +1029,18 @@ let opts_term =
           ~doc:"Print the journal's last N events after the run (the \
                 journal itself is always recorded).")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Attach the deterministic sim-cost profiler; artifact-writing \
+             commands embed its $(b,dgc.profile/1) section. Schedules are \
+             event-identical with or without it.")
+  in
   let make o_sites o_seed o_workload o_span o_per_site o_delta o_threshold2
       o_interval o_window o_drop o_churn o_minutes o_crash o_collector
-      o_verbose o_dot o_journal =
+      o_verbose o_dot o_journal o_profile =
     {
       o_sites;
       o_seed;
@@ -873,11 +1059,12 @@ let opts_term =
       o_verbose;
       o_dot;
       o_journal;
+      o_profile;
     }
   in
   const make $ sites $ seed $ workload $ span $ per_site $ delta $ threshold2
   $ interval $ window $ drop $ churn $ minutes $ crash $ collector $ verbose
-  $ dot $ journal
+  $ dot $ journal $ profile
 
 let dump_flight_arg =
   Arg.(
@@ -897,7 +1084,12 @@ let run_cmd =
 let trace_cmd =
   let doc =
     "record a figure scenario as causal back-trace spans (Chrome \
-     trace-event or JSONL)"
+     trace-event or JSONL). The $(b,chrome) format also merges the \
+     engine's time series as Perfetto counter tracks (ph $(b,C) events): \
+     in-flight back traces, frames held, retry rates, and per-site \
+     $(b,bytes_resident) gauges appear as counter lanes under the spans \
+     (labelled series land on their site's pid) when the file is loaded \
+     at ui.perfetto.dev"
   in
   let scenario =
     Arg.(
@@ -936,13 +1128,23 @@ let metrics_cmd =
       value & flag
       & info [ "prom" ]
           ~doc:
-            "Also print the run's time-series (final values) as a \
-             Prometheus-style text exposition on stdout.")
+            "Also print the run's time-series (final values) as a strict \
+             Prometheus text exposition on stdout.")
+  in
+  let prom_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom-out" ]
+          ~doc:
+            "Write the Prometheus text exposition to this file (implies the \
+             same content as $(b,--prom), independent of it).")
   in
   Cmd.v (Cmd.info "metrics" ~doc)
     Term.(
-      const (fun o out prom df -> run ~artifact:out ~prom ?dump_flight:df o)
-      $ opts_term $ out $ prom $ dump_flight_arg)
+      const (fun o out prom prom_out df ->
+          run ~artifact:out ~prom ?prom_out ?dump_flight:df o)
+      $ opts_term $ out $ prom $ prom_out $ dump_flight_arg)
 
 let audit_cmd =
   let doc =
@@ -1032,6 +1234,14 @@ let cmd =
   let doc = "simulate distributed cyclic garbage collection by back tracing" in
   Cmd.group ~default:Term.(const (fun o -> run o) $ opts_term)
     (Cmd.info "dgc-sim" ~doc)
-    [ run_cmd; trace_cmd; metrics_cmd; audit_cmd; inspect_cmd; chaos_cmd ]
+    [
+      run_cmd;
+      trace_cmd;
+      metrics_cmd;
+      profile_cmd;
+      audit_cmd;
+      inspect_cmd;
+      chaos_cmd;
+    ]
 
 let () = exit (Cmd.eval' cmd)

@@ -162,9 +162,17 @@ let run_case ?(tweak = fun c -> c) case =
     | Some s -> [ ("san", Dgc_sanitize.Sanitizer.to_json s) ]
     | None -> []
   in
+  (* Profile embed is wall-free ([wall:false]): campaign artifacts are
+     pinned byte-for-byte by tests, and host wall-time is the one
+     non-deterministic quantity the profiler holds. *)
+  let profile =
+    Option.map
+      (fun p -> Dgc_profile.Profile.to_json ~wall:false ~name:case.cs_name p)
+      (Engine.profile eng)
+  in
   let run =
     Tel.Run_artifact.make ~name:case.cs_name ~sim_seconds ~extra ~audit
-      ~series:(Engine.series eng) (Engine.metrics eng)
+      ~series:(Engine.series eng) ?profile (Engine.metrics eng)
   in
   {
     oc_case = case;

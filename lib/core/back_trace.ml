@@ -165,9 +165,24 @@ let on_outcome sh f = sh.observers <- f :: sh.observers
 let bump_stat sh trace f =
   match Hashtbl.find_opt sh.tstats trace with Some s -> f s | None -> ()
 
+(* Cost-ledger feed (lib/profile): every per-trace cost below is also
+   attributed to the trace's ledger entry when a profiler is attached.
+   [led] is a no-op otherwise. *)
+let led sh f =
+  match Engine.profile sh.eng with
+  | Some p -> f (Dgc_profile.Profile.ledger p)
+  | None -> ()
+
+let lkey = Format.asprintf "%a" Trace_id.pp
+
 let send_back sh ~src ~dst trace ext =
   bump_stat sh trace (fun s -> s.ts_msgs <- s.ts_msgs + 1);
   Metrics.incr (Engine.metrics sh.eng) "back.msgs";
+  led sh (fun l ->
+      let payload = Protocol.Ext ext in
+      Dgc_profile.Ledger.on_msg l ~trace:(lkey trace)
+        ~kind:(Protocol.kind payload)
+        ~bytes:(Protocol.approx_bytes payload));
   Engine.send sh.eng ~src ~dst (Protocol.Ext ext)
 
 (* Cap on memoized calls per site: entries normally die with the
@@ -293,6 +308,8 @@ let new_frame sh st trace parent ioref ~kind =
   Hashtbl.add st.frames fr.fr_id fr;
   gauge_frames sh 1;
   bump_stat sh trace (fun s -> s.ts_frames <- s.ts_frames + 1);
+  Engine.profile_work sh.eng "frames" 1;
+  led sh (fun l -> Dgc_profile.Ledger.on_frame l ~trace:(lkey trace));
   (match tracer sh with
   | None -> ()
   | Some tr ->
@@ -403,6 +420,10 @@ and conclude sh st trace outcome parts =
     (match outcome with
     | Verdict.Garbage -> "back.outcome_garbage"
     | Verdict.Live -> "back.outcome_live");
+  led sh (fun l ->
+      Dgc_profile.Ledger.on_conclude l ~trace:(lkey trace)
+        ~outcome:(String.lowercase_ascii (Verdict.to_string outcome))
+        ~at:(now_s sh));
   bump_stat sh trace (fun s ->
       if s.ts_outcome = None then gauge_in_flight sh (-1);
       s.ts_outcome <- Some (outcome, Engine.now sh.eng);
@@ -445,6 +466,7 @@ and conclude sh st trace outcome parts =
             ("dst", jsite p);
             ("outcome", jstr (Verdict.to_string outcome));
           ];
+        led sh (fun l -> Dgc_profile.Ledger.on_report l ~trace:(lkey trace));
         send_back sh ~src:(self_id st) ~dst:p trace
           (Back_report { trace; outcome })
       end)
@@ -467,6 +489,8 @@ and conclude sh st trace outcome parts =
              Engine.schedule sh.eng ~delay (fun () ->
                  Metrics.incr (Engine.metrics sh.eng) "retry.back_report";
                  Engine.series_incr sh.eng "retry.back_report";
+                 led sh (fun l ->
+                     Dgc_profile.Ledger.on_retry l ~trace:(lkey trace));
                  send_back sh ~src:(self_id st) ~dst:p trace
                    (Back_report { trace; outcome }))
            done)
@@ -562,6 +586,8 @@ and record_visit sh st trace r =
           if Hashtbl.mem st.visited_refs trace then begin
             (* Never heard the outcome: assume Live (§4.6). *)
             Metrics.incr (Engine.metrics sh.eng) "back.visited_ttl_expired";
+            led sh (fun l ->
+                Dgc_profile.Ledger.on_timeout l ~trace:(lkey trace));
             (match tracer sh with
             | None -> ()
             | Some tr ->
@@ -626,6 +652,8 @@ and step_remote sh st trace i parent =
                 st.next_call <- seq + 1;
                 fr.fr_calls <- Int_set.add seq fr.fr_calls;
                 bump_stat sh trace (fun s -> s.ts_calls <- s.ts_calls + 1);
+                led sh (fun l ->
+                    Dgc_profile.Ledger.on_call l ~trace:(lkey trace));
                 start_msg_span sh
                   (call_key trace ~caller:(self_id st) ~callee:q seq)
                   ~name:"leap.call"
@@ -674,6 +702,9 @@ and step_remote sh st trace i parent =
                             Metrics.incr (Engine.metrics sh.eng)
                               "retry.back_call";
                             Engine.series_incr sh.eng "retry.back_call";
+                            led sh (fun l ->
+                                Dgc_profile.Ledger.on_retry l
+                                  ~trace:(lkey trace));
                             Engine.jlog sh.eng ~level:Journal.Debug
                               ~cat:"retry"
                               "%a call %d to %a unanswered: retry %d/%d"
@@ -690,6 +721,9 @@ and step_remote sh st trace i parent =
                                 "retry.exhausted";
                             Metrics.incr (Engine.metrics sh.eng)
                               "back.call_timeout";
+                            led sh (fun l ->
+                                Dgc_profile.Ledger.on_timeout l
+                                  ~trace:(lkey trace));
                             finish_msg_span sh
                               (call_key trace ~caller:(self_id st) ~callee:q
                                  seq)
@@ -739,6 +773,9 @@ let start sh site_id outref =
           ts_outcome = None;
         };
       Metrics.incr (Engine.metrics sh.eng) "back.traces_started";
+      led sh (fun l ->
+          Dgc_profile.Ledger.on_start l ~trace:(lkey trace)
+            ~root:(Oid.to_string outref) ~at:(now_s sh));
       gauge_in_flight sh 1;
       (match tracer sh with
       | None -> ()
@@ -767,6 +804,7 @@ let handle_ext sh site_id ~src ext =
              reply verbatim (at-least-once delivery, exactly-once
              tracing). *)
           Metrics.incr (Engine.metrics sh.eng) "back.call_replayed";
+          led sh (fun l -> Dgc_profile.Ledger.on_memo_hit l ~trace:(lkey trace));
           Engine.jlog sh.eng ~level:Journal.Debug ~cat:"back"
             "%a duplicate call %d from %a: replaying cached reply"
             Trace_id.pp trace call_seq Site_id.pp reply_site;
@@ -775,6 +813,7 @@ let handle_ext sh site_id ~src ext =
           (* Duplicate of a call still being traced: the eventual
              reply answers both copies. *)
           Metrics.incr (Engine.metrics sh.eng) "back.dup_call_ignored";
+          led sh (fun l -> Dgc_profile.Ledger.on_memo_hit l ~trace:(lkey trace));
           Engine.jlog sh.eng ~level:Journal.Debug ~cat:"back"
             "%a duplicate call %d from %a ignored (in progress)"
             Trace_id.pp trace call_seq Site_id.pp reply_site

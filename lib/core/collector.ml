@@ -148,6 +148,47 @@ let sample_memory t site_id outcome =
   Engine.series_set t.eng "bytes.trace_workspace"
     (float_of_int outcome.Local_trace.ot_stats.Local_trace.workspace_bytes)
 
+(* Profiled [Local_trace.compute]: a [local_trace] scope with
+   per-phase subscopes (clean / suspect / assemble) driven by the
+   [?probe] hook, plus the outcome's deterministic work-unit stats —
+   object visits, outset algebra, memo hits, workspace bytes —
+   attributed to the [local_trace] node. Without a profiler this is
+   exactly the bare compute. *)
+let profiled_compute t input =
+  match Engine.profile t.eng with
+  | None -> Local_trace.compute input
+  | Some p ->
+      let module Prof = Dgc_profile.Profile in
+      Prof.enter p "local_trace";
+      let open_sub = ref false in
+      let close_sub () =
+        if !open_sub then begin
+          Prof.leave p;
+          open_sub := false
+        end
+      in
+      let probe tag =
+        close_sub ();
+        Prof.enter p tag;
+        open_sub := true
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          close_sub ();
+          Prof.leave p)
+        (fun () ->
+          let outcome = Local_trace.compute ~probe input in
+          close_sub ();
+          let st = outcome.Local_trace.ot_stats in
+          Prof.work p "visits"
+            (st.Local_trace.clean_visits + st.Local_trace.suspect_visits);
+          Prof.work p "outsets" st.Local_trace.distinct_outsets;
+          Prof.work p "union_calls" st.Local_trace.union_calls;
+          Prof.work p "memo_hits" st.Local_trace.memo_hits;
+          Prof.work p "inset_entries" st.Local_trace.inset_entries;
+          Prof.work p "workspace_bytes" st.Local_trace.workspace_bytes;
+          outcome)
+
 let finish_window t site_id =
   let c = ctl t site_id in
   match c.ctl_window with
@@ -155,7 +196,7 @@ let finish_window t site_id =
   | Some w ->
       c.ctl_window <- None;
       if not c.ctl_site.Site.crashed then begin
-        let outcome = Local_trace.compute w.w_input in
+        let outcome = profiled_compute t w.w_input in
         Local_trace.apply t.eng c.ctl_site outcome
           ~window_cleans:(List.rev w.w_cleans)
           ~on_cleaned:(Back_trace.on_cleaned t.back site_id)
@@ -172,7 +213,7 @@ let run_scheduled_trace t site_id =
     if Sim_time.compare conf.Config.trace_duration Sim_time.zero <= 0 then begin
       (* Atomic trace. *)
       let input = Local_trace.input_of_site t.eng c.ctl_site in
-      let outcome = Local_trace.compute input in
+      let outcome = profiled_compute t input in
       Local_trace.apply t.eng c.ctl_site outcome ~window_cleans:[]
         ~on_cleaned:(Back_trace.on_cleaned t.back site_id)
         ~oracle_check:conf.Config.oracle_checks;
@@ -196,7 +237,7 @@ let force_local_trace t site_id =
   (* Discard any open window: the atomic trace supersedes it. *)
   c.ctl_window <- None;
   let input = Local_trace.input_of_site t.eng c.ctl_site in
-  let outcome = Local_trace.compute input in
+  let outcome = profiled_compute t input in
   Local_trace.apply t.eng c.ctl_site outcome ~window_cleans:[]
     ~on_cleaned:(Back_trace.on_cleaned t.back site_id)
     ~oracle_check:(cfg t).Config.oracle_checks;

@@ -13,6 +13,11 @@ let make ?(cfg = Config.default) () =
     Engine.attach_flight eng
       (Dgc_telemetry.Flight.create ~capacity:cfg.Config.flight_capacity
          ~n_sites:cfg.Config.n_sites ());
+  (* Same contract as the flight recorder: the profiler draws no
+     randomness and schedules no events, so runs stay event-identical
+     with it on or off. *)
+  if cfg.Config.profile then
+    Engine.attach_profile eng (Dgc_profile.Profile.create ());
   let col = Collector.install eng in
   let muts = Mutator.manager eng in
   (match cfg.Config.check_level with

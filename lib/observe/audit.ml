@@ -350,6 +350,17 @@ let decide eng back si objects cs =
         (List.hd stats_touching) (List.tl stats_touching)
     in
     let key = tkey trace in
+    (* When the profiler's cost ledger tracked this trace, cite its
+       budget line: a timed-out or incomplete verdict reads differently
+       at 2 messages than at 40 messages and 6 retries. *)
+    let ledger_ev =
+      match Engine.profile eng with
+      | None -> []
+      | Some p -> (
+          match Dgc_profile.Ledger.find (Dgc_profile.Profile.ledger p) key with
+          | Some e -> [ E_state (Dgc_profile.Ledger.describe e) ]
+          | None -> [])
+    in
     let tspans = spans_of_trace si key in
     let open_spans =
       List.filter (fun (sp : Tel.Tracer.span) -> sp.Tel.Tracer.finish = None) tspans
@@ -362,8 +373,9 @@ let decide eng back si objects cs =
           && String.sub n 0 (String.length prefix) = prefix)
         tspans
     in
-    match st.Back_trace.ts_outcome with
-    | None ->
+    let verdict, ev, keys =
+      match st.Back_trace.ts_outcome with
+      | None ->
         (* Started, never concluded: crash or partition ate the trace.
            The "san" category carries dgc-san's lost-trace proofs, so
            when a sanitizer ran the verdict cites causal evidence (no
@@ -444,8 +456,12 @@ let decide eng back si objects cs =
                   && o.Ioref.or_dist <= o.Ioref.or_back_threshold)
                 cs.cs_outrefs
             then
-              (Suspected_not_triggered, state_ev @ take_n 4 (jev ()), trace_keys)
+              ( Suspected_not_triggered,
+                state_ev @ take_n 4 (jev ()),
+                trace_keys )
             else (Unexplained, take_n 6 (jev ()), trace_keys))
+    in
+    (verdict, ev @ ledger_ev, keys)
   end
 
 (* ---- critical paths --------------------------------------------------- *)

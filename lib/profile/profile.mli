@@ -1,0 +1,103 @@
+(** Deterministic sim-cost profiler.
+
+    A stack of phase scopes forming a tree of nodes; each node
+    accumulates named {e work units} — deterministic integer costs
+    (events, frames, edges visited, bytes moved, workspace touches)
+    attributed to the innermost open scope — plus inclusive host wall
+    time. Work units are pure functions of the simulated schedule, so
+    two same-seed runs produce byte-identical work sections
+    ({!work_fingerprint}); wall time is machine-dependent and kept in
+    a separate field that bit-reproducible artifacts omit.
+
+    The profiler draws no randomness and schedules no events, so runs
+    with it attached stay event-identical to runs without it.
+
+    Exports: flamegraph.pl folded stacks ({!to_folded}), speedscope
+    sampled JSON ({!to_speedscope}), and the [dgc.profile/1] artifact
+    ({!to_json}) with {!validate} and a per-node {!diff} carrying a
+    top-level phase-share regression verdict. Each profile also owns
+    the per-back-trace cost {!Ledger}. *)
+
+module Json = Dgc_telemetry.Json
+
+val schema : string
+(** ["dgc.profile/1"] *)
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** [clock] supplies host seconds for wall accounting (default
+    [Sys.time]); it never influences work units or the schedule. *)
+
+val ledger : t -> Ledger.t
+
+(** {1 Scopes and work} *)
+
+val enter : t -> string -> unit
+val leave : t -> unit
+(** @raise Invalid_argument when the scope stack is empty. *)
+
+val with_scope : t -> string -> (unit -> 'a) -> 'a
+(** Exception-safe [enter]/[leave] bracket. *)
+
+val depth : t -> int
+(** Open-scope count (root excluded); for tests. *)
+
+val work : t -> string -> int -> unit
+(** [work t unit n] adds [n] units to the innermost open scope (the
+    root when none is open). [n = 0] is a no-op. *)
+
+(** {1 Exports} *)
+
+val units : t -> string list
+(** All work-unit names seen, sorted. *)
+
+val to_folded : ?unit_:string -> t -> string
+(** flamegraph.pl-compatible folded stacks ("all;deliver;move 42"),
+    weighted by [unit_]'s self-work per node, or the sum over all work
+    units when omitted. Zero-weight nodes are skipped. *)
+
+val to_speedscope : ?unit_:string -> ?name:string -> t -> Json.t
+(** speedscope "sampled" profile over the same weights. *)
+
+val to_json : ?wall:bool -> ?name:string -> t -> Json.t
+(** The [dgc.profile/1] artifact: pre-order nodes (children in name
+    order) with sorted work maps, the unit list, and the embedded
+    ledger. [wall:false] omits the host-time [wall_ns] fields so the
+    document is bit-reproducible across machines. *)
+
+val work_fingerprint : t -> string
+(** [Json.to_string (to_json ~wall:false t)] — the determinism
+    surface: equal for same-seed runs. *)
+
+val validate : Json.t -> (unit, string) result
+(** Schema/shape check used by [bench/schema_check.ml]: declared
+    units, sorted work maps, parents-before-children pre-order, no
+    duplicate paths, ledger shape. *)
+
+(** {1 Diff} *)
+
+type delta = {
+  d_path : string;
+  d_unit : string;
+  d_base : int;
+  d_fresh : int;
+}
+
+type diff_report = {
+  df_deltas : delta list;  (** every path×unit whose count changed *)
+  df_shares : (string * string * float * float) list;
+      (** (top-level phase, unit, base share, fresh share) *)
+  df_max_share_drift : float;
+  df_share_tolerance : float;
+  df_regressed : bool;
+}
+
+val diff :
+  ?share_tolerance:float -> Json.t -> Json.t -> (diff_report, string) result
+(** Per-node work deltas between two [dgc.profile/1] documents plus a
+    regression verdict: the largest absolute drift in any top-level
+    phase's share of a work unit's total, against [share_tolerance]
+    (default 0.10). *)
+
+val pp_diff : Format.formatter -> diff_report -> unit

@@ -35,6 +35,10 @@ type t = {
   sanitize : bool;
   journal_capacity : int;
   flight_capacity : int;
+  profile : bool;
+      (** attach the deterministic sim-cost profiler + cost ledger;
+          draws no randomness, so schedules are event-identical either
+          way *)
 }
 
 let default =
@@ -66,6 +70,7 @@ let default =
     sanitize = false;
     journal_capacity = 2048;
     flight_capacity = 32768;
+    profile = false;
   }
 
 let pp ppf t =

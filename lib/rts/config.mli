@@ -106,6 +106,15 @@ type t = {
           it). The recorder draws no randomness and schedules nothing,
           so runs are event-identical with it on or off — only wall
           clock moves, which the scale bench gates at ≤ 1.05×. *)
+  profile : bool;
+      (** attach the deterministic sim-cost profiler and per-trace
+          cost ledger ([Sim.make] creates one and the engine/collector
+          taps feed it). Like the flight recorder it draws no
+          randomness and schedules nothing, so schedules are
+          event-identical with it on or off; its work-unit sections
+          are byte-identical across same-seed runs, and the scale
+          bench gates its wall-clock overhead at ≤ 1.10×. Off by
+          default. *)
 }
 
 val default : t

@@ -2,6 +2,7 @@ open Dgc_prelude
 open Dgc_simcore
 open Dgc_heap
 module Tel = Dgc_telemetry
+module Prof = Dgc_profile.Profile
 
 type move_wait = {
   mutable remaining : int;
@@ -63,6 +64,7 @@ type t = {
   mutable journal : Journal.t option;
   mutable tracer : Dgc_telemetry.Tracer.t option;
   mutable flight : Tel.Flight.t option;
+  mutable profile : Prof.t option;
   series : Tel.Series.t;
   mutable msg_monitor :
     (phase:[ `Send | `Deliver ] ->
@@ -105,6 +107,7 @@ let create cfg =
       journal = None;
       tracer = None;
       flight = None;
+      profile = None;
       series = Tel.Series.create ();
       msg_monitor = None;
       on_step = None;
@@ -227,6 +230,17 @@ let attach_flight t f =
   wire_flight t
 
 let flight t = t.flight
+
+let attach_profile t p = t.profile <- Some p
+let profile t = t.profile
+
+(* Work-unit attribution to the profiler's innermost open scope; a
+   single [match] when no profiler is attached, so the off path costs
+   nothing and — since the profiler draws no randomness and schedules
+   no events — the schedule is identical either way. *)
+let profile_work t u n =
+  match t.profile with None -> () | Some p -> Prof.work p u n
+
 let series t = t.series
 
 let series_add t name n = Tel.Series.add t.series name ~at:(now_s t) n
@@ -435,7 +449,16 @@ let rec base_handlers =
 and deliver t ~src ~dst ~capsule payload =
   monitor_msg t ~phase:`Deliver ~src ~dst payload;
   san_deliver t ~src ~dst ~capsule payload;
-  Protocol.dispatch base_handlers (t, dst) ~src payload
+  (* Per-handler dispatch scope: everything a handler does — including
+     the sends and frames it causes — lands under deliver;<kind>. *)
+  match t.profile with
+  | None -> Protocol.dispatch base_handlers (t, dst) ~src payload
+  | Some p ->
+      Prof.with_scope p "deliver" (fun () ->
+          Prof.with_scope p (Protocol.kind payload) (fun () ->
+              Prof.work p "deliveries" 1;
+              Prof.work p "bytes_delivered" (Protocol.approx_bytes payload);
+              Protocol.dispatch base_handlers (t, dst) ~src payload))
 
 (* --- sending -------------------------------------------------------- *)
 
@@ -461,6 +484,8 @@ and send_now t ~src ~dst ~capsule payload =
   Metrics.incr t.metrics ("msg." ^ kind);
   Metrics.incr t.metrics "msg.total";
   Metrics.add t.metrics "msg.bytes" bytes;
+  profile_work t "msgs_sent" 1;
+  profile_work t "bytes_sent" bytes;
   Metrics.hist_observe t.metrics ("msg.size." ^ kind) (float_of_int bytes);
   let dst_site = site t dst in
   let is_ext = Protocol.is_ext payload in
@@ -557,10 +582,12 @@ and send_now t ~src ~dst ~capsule payload =
 and flush_batch t ~src ~dst payloads =
   Metrics.incr t.metrics "msg.total";
   Metrics.incr t.metrics "msg.batches";
-  Metrics.add t.metrics "msg.bytes"
-    (Dgc_prelude.Util.list_sum
-       (fun (p, _) -> Protocol.approx_bytes p)
-       payloads);
+  let batch_bytes =
+    Dgc_prelude.Util.list_sum (fun (p, _) -> Protocol.approx_bytes p) payloads
+  in
+  Metrics.add t.metrics "msg.bytes" batch_bytes;
+  profile_work t "msgs_sent" (List.length payloads);
+  profile_work t "bytes_sent" batch_bytes;
   List.iter
     (fun (p, _) ->
       Metrics.incr t.metrics ("msg." ^ Protocol.kind p);
@@ -761,6 +788,7 @@ let step_nth t n =
       (* Deviating to a later-scheduled event must not move time
          backwards when the skipped earlier events eventually run. *)
       if Sim_time.compare at t.now > 0 then t.now <- at;
+      profile_work t "events" 1;
       f ();
       (match t.on_step with Some h -> h () | None -> ());
       List.iter (fun w -> w ()) t.step_watchers;

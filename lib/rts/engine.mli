@@ -61,6 +61,22 @@ val dump_flight : t -> reason:string -> Dgc_telemetry.Json.t option
     Campaign failures, watchdog verdicts and [dgc-sim --dump-flight]
     all come through here. *)
 
+val attach_profile : t -> Dgc_profile.Profile.t -> unit
+(** Attach the deterministic sim-cost profiler. The engine opens a
+    [deliver;<kind>] scope around every handler dispatch and attributes
+    work units (events, deliveries, msgs_sent, bytes) to the innermost
+    open scope; the collector layers add local-trace phase scopes and
+    frame/visit work, and feed the profile's cost {!Dgc_profile.Ledger}
+    per back trace. Like the flight recorder it draws no randomness and
+    schedules nothing, so runs are event-identical with it on or off.
+    [Sim.make] attaches one automatically when [Config.profile]. *)
+
+val profile : t -> Dgc_profile.Profile.t option
+
+val profile_work : t -> string -> int -> unit
+(** Attribute work units to the attached profiler's innermost open
+    scope; no-op without a profiler. *)
+
 val series : t -> Dgc_telemetry.Series.t
 (** The engine's always-on time-series registry (windowed counters and
     gauges, simulated-time buckets). Unlike the flight recorder it is

@@ -14,7 +14,7 @@ let hist_json (st : Metrics.hist_stats) =
       ("p99", Json.Float st.Metrics.p99);
     ]
 
-let make ~name ~sim_seconds ?(extra = []) ?audit ?series metrics =
+let make ~name ~sim_seconds ?(extra = []) ?audit ?series ?profile metrics =
   Json.Obj
     ([
        ("schema", Json.Str schema);
@@ -31,10 +31,12 @@ let make ~name ~sim_seconds ?(extra = []) ?audit ?series metrics =
        ("extra", Json.Obj extra);
      ]
     @ (match series with Some s -> [ ("series", Series.to_json s) ] | None -> [])
+    @ (match profile with Some p -> [ ("profile", p) ] | None -> [])
     @ match audit with Some a -> [ ("audit", a) ] | None -> [])
 
 let audit_section j = Json.member "audit" j
 let series_section j = Json.member "series" j
+let profile_section j = Json.member "profile" j
 
 let validate ?(require_hists = []) ?(require_counter_prefixes = []) j =
   let ( let* ) r f = Result.bind r f in
@@ -112,6 +114,20 @@ let validate ?(require_hists = []) ?(require_counter_prefixes = []) j =
         match Series.validate s with
         | Ok () -> Ok ()
         | Error e -> Error ("series section: " ^ e))
+  in
+  (* Lightweight check only: full [dgc.profile/1] validation lives in
+     [Dgc_profile.Profile.validate] (telemetry sits below lib/profile
+     in the dependency order, so it can't call it). *)
+  let* () =
+    match Json.member "profile" j with
+    | None -> Ok ()
+    | Some p -> (
+        match Option.bind (Json.member "schema" p) Json.to_str_opt with
+        | Some "dgc.profile/1" -> Ok ()
+        | Some s ->
+            Error
+              (Printf.sprintf "profile schema %S, expected \"dgc.profile/1\"" s)
+        | None -> Error "profile section missing its schema field")
   in
   List.fold_left
     (fun acc prefix ->

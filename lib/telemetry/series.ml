@@ -227,6 +227,36 @@ let validate j =
         (Ok ()) pts)
     (Ok ()) fields
 
+(* Strict text-exposition label escaping: exactly backslash, double
+   quote, and newline are escaped; everything else passes through
+   verbatim (the format is UTF-8). OCaml's [%S] is close but not
+   conformant — it escapes tabs and non-printables as [\t]/[\ddd],
+   which Prometheus parsers reject. *)
+let escape_label_value v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+(* Label names must match [a-zA-Z_][a-zA-Z0-9_]*; anything else is
+   sanitized the same way metric names are (':' is NOT legal in label
+   names, unlike metric names). *)
+let sanitize_label_name n =
+  let n = if n = "" then "label" else n in
+  let n =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      n
+  in
+  match n.[0] with '0' .. '9' -> "_" ^ n | _ -> n
+
 let to_prom t =
   let b = Buffer.create 1024 in
   let typed = Hashtbl.create 8 in
@@ -241,9 +271,13 @@ let to_prom t =
       end;
       let labels =
         match label with
-        | Some (lk, lv) -> Printf.sprintf "{%s=%S}" lk lv
+        | Some (lk, lv) ->
+            Printf.sprintf "{%s=\"%s\"}" (sanitize_label_name lk)
+              (escape_label_value lv)
         | None -> ""
       in
+      (* Counters expose the cumulative total, gauges the last value —
+         both live in [s_total]. *)
       Buffer.add_string b
         (Printf.sprintf "%s%s %g\n" metric labels (last_value t name)))
     (names t);

@@ -71,11 +71,13 @@ val validate : Json.t -> (unit, string) result
     points array, and two-element numeric points. *)
 
 val to_prom : t -> string
-(** Prometheus text exposition of the final state: one [# TYPE] line
-    per metric family, one sample per series (counters expose the
-    cumulative total, gauges the last value). Names are sanitized
-    (dots to underscores, ["dgc_"] prefix) and [{site=N}] suffixes
-    become proper labels. *)
+(** Strict Prometheus text exposition of the final state: one
+    [# TYPE] line per metric family, one sample per series (counters
+    expose the cumulative total, gauges the last value). Names are
+    sanitized (dots to underscores, ["dgc_"] prefix), [{site=N}]
+    suffixes become proper labels with validated label names, and
+    label values escape exactly backslash, double quote and newline as
+    the exposition format requires. *)
 
 val chrome_counters : t -> Json.t list
 (** One Chrome trace-event counter sample (["ph":"C"]) per retained

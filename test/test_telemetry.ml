@@ -321,6 +321,55 @@ let test_series_exports () =
               ] );
         ]
 
+(* Strict text-format escaping: label values escape exactly backslash,
+   double quote and newline; label names are forced into
+   [a-zA-Z_][a-zA-Z0-9_]*. The parse-back half walks the exposition
+   line with the official unescaping rules and must recover the
+   original value byte-for-byte. *)
+let test_series_prom_escaping () =
+  let s = Series.create () in
+  let original = "a\\b\"c\nd" in
+  Series.add s ("evt{msg=" ^ original ^ "}") ~at:0.5 2;
+  Series.set s "gauge{9bad-name=x}" ~at:1.0 7.;
+  let prom = Series.to_prom s in
+  Alcotest.(check bool) "value escaped per the text format" true
+    (contains_sub ~sub:"dgc_evt{msg=\"a\\\\b\\\"c\\nd\"} 2" prom);
+  Alcotest.(check bool) "label name sanitized and digit-prefixed" true
+    (contains_sub ~sub:"dgc_gauge{_9bad_name=\"x\"} 7" prom);
+  (* No exposition line may contain a raw (unescaped) newline: every
+     line must be a comment, blank, or metric sample. *)
+  List.iter
+    (fun line ->
+      if line <> "" && not (String.starts_with ~prefix:"#" line) then
+        Alcotest.(check bool)
+          (Printf.sprintf "sample line well-formed: %s" line)
+          true
+          (String.starts_with ~prefix:"dgc_" line))
+    (String.split_on_char '\n' prom);
+  (* Parse back: unescape the quoted label value. *)
+  let prefix = "dgc_evt{msg=\"" in
+  let line =
+    List.find
+      (String.starts_with ~prefix)
+      (String.split_on_char '\n' prom)
+  in
+  let buf = Buffer.create 16 in
+  let rec go i =
+    match line.[i] with
+    | '"' -> ()
+    | '\\' ->
+        (match line.[i + 1] with
+        | 'n' -> Buffer.add_char buf '\n'
+        | c -> Buffer.add_char buf c);
+        go (i + 2)
+    | c ->
+        Buffer.add_char buf c;
+        go (i + 1)
+  in
+  go (String.length prefix);
+  Alcotest.(check string) "round-trips through the exposition format"
+    original (Buffer.contents buf)
+
 (* --- run artifact ------------------------------------------------------ *)
 
 let test_artifact_shape () =
@@ -429,6 +478,8 @@ let () =
             test_series_bucket_eviction;
           Alcotest.test_case "prom, chrome and json exports" `Quick
             test_series_exports;
+          Alcotest.test_case "strict prom escaping round-trips" `Quick
+            test_series_prom_escaping;
         ] );
       ( "artifact",
         [
