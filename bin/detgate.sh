@@ -1,0 +1,51 @@
+#!/bin/sh
+# @detgate: the sharded engine's determinism bar.
+#
+# A dgc.run/1 artifact is a function of (seed, shards) only — never of
+# the worker domain count. Every figure scenario runs at --domains
+# 1/2/4 and every committed dgc.plan/1 chaos reproducer replays at
+# --domains 1/4; each group of artifacts must be byte-identical.
+#
+#   usage: detgate.sh DGC_SIM_EXE CORPUS_DIR
+set -eu
+
+SIM="$1"
+CORPUS="$2"
+# dune hands the executable as a bare relative name
+case "$SIM" in
+  /*) ;;
+  *) SIM="./$SIM" ;;
+esac
+TMP="${TMPDIR:-/tmp}/detgate.$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+for fig in fig1 fig2 fig3 fig4 fig5 fig6; do
+  for d in 1 2 4; do
+    "$SIM" det --scenario "$fig" --domains "$d" \
+      -o "$TMP/$fig.d$d.json" >/dev/null
+  done
+  cmp "$TMP/$fig.d1.json" "$TMP/$fig.d2.json"
+  cmp "$TMP/$fig.d1.json" "$TMP/$fig.d4.json"
+  echo "detgate: $fig byte-identical at domains 1/2/4"
+done
+
+for plan in "$CORPUS"/*.json; do
+  # dgc.schedule/1 files are explorer deviation schedules, not fault
+  # plans — chaos --plan refuses them by design.
+  grep -q '"dgc.plan/1"' "$plan" || continue
+  base=$(basename "$plan" .json)
+  for d in 1 4; do
+    # Reproducer plans for planted defects FAIL their replay (exit 1);
+    # the gate here is the artifact bytes, not the verdict. Exit 2+
+    # (load error, bad flags) still fails the gate.
+    rc=0
+    "$SIM" chaos --plan "$plan" --domains "$d" \
+      --out "$TMP/$base.d$d.json" >/dev/null || rc=$?
+    [ "$rc" -le 1 ] || { echo "detgate: $base replay exited $rc" >&2; exit "$rc"; }
+  done
+  cmp "$TMP/$base.d1.json" "$TMP/$base.d4.json"
+  echo "detgate: $base byte-identical at domains 1/4"
+done
+
+echo "detgate: all artifacts byte-identical across domain counts"

@@ -103,8 +103,10 @@ type outinfo = { oi_dist : int; mutable oi_clean : bool }
    - [w_vis] is a sub-trace visited stamp against [w_vep] (one bump
      per §5.1 independent trace, one for the whole naive scan).
 
-   [compute] is synchronous and single-threaded, so one module-level
-   workspace suffices; it grows to the largest allocation clock seen. *)
+   [compute] is synchronous, but the sharded engine runs one [compute]
+   per worker domain concurrently, so the workspace is domain-local
+   (one per domain, via [Domain.DLS]); each grows to the largest
+   allocation clock its domain has seen. *)
 type ws = {
   mutable w_cap : int;
   mutable w_mark : int array;
@@ -121,24 +123,25 @@ type ws = {
   mutable w_vep : int;
 }
 
-let ws =
-  {
-    w_cap = 0;
-    w_mark = [||];
-    w_num = [||];
-    w_nume = [||];
-    w_lead = [||];
-    w_oset = [||];
-    w_vis = [||];
-    w_stack = Array.make 256 0;
-    w_fx = Array.make 256 0;
-    w_fk = Array.make 256 0;
-    w_comp = Array.make 256 0;
-    w_epoch = 0;
-    w_vep = 0;
-  }
+let ws_key : ws Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        w_cap = 0;
+        w_mark = [||];
+        w_num = [||];
+        w_nume = [||];
+        w_lead = [||];
+        w_oset = [||];
+        w_vis = [||];
+        w_stack = Array.make 256 0;
+        w_fx = Array.make 256 0;
+        w_fk = Array.make 256 0;
+        w_comp = Array.make 256 0;
+        w_epoch = 0;
+        w_vep = 0;
+      })
 
-let ws_ensure cap =
+let ws_ensure ws cap =
   if cap > ws.w_cap then begin
     let c = max cap (max 1024 (2 * ws.w_cap)) in
     ws.w_mark <- Array.make c 0;
@@ -159,7 +162,8 @@ let compute ?(mode = Bottom_up) ?probe inp =
   and pool = d.Dense.d_pool
   and pres = d.Dense.d_present in
   let present i = Bytes.get pres i <> '\000' in
-  ws_ensure bound;
+  let ws = Domain.DLS.get ws_key in
+  ws_ensure ws bound;
   ws.w_epoch <- ws.w_epoch + 1;
   let epoch = ws.w_epoch in
   let mark = ws.w_mark

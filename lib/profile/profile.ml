@@ -24,7 +24,13 @@ type t = {
   p_ledger : Ledger.t;
 }
 
-let create ?(clock = Sys.time) () =
+(* The clock runs twice per scope on hot paths, so it must be the
+   cheapest real-time source available: [Unix.gettimeofday] is
+   vDSO-backed (~tens of ns) where [Sys.time] is a genuine syscall —
+   four orders of magnitude apart on syscall-intercepting hosts. It
+   also actually measures wall time, which is what the [wall_ns]
+   field advertises. *)
+let create ?(clock = Unix.gettimeofday) () =
   {
     p_root = new_node "all";
     p_stack = [];

@@ -27,7 +27,8 @@ type t
 
 val create : ?clock:(unit -> float) -> unit -> t
 (** [clock] supplies host seconds for wall accounting (default
-    [Sys.time]); it never influences work units or the schedule. *)
+    [Unix.gettimeofday] — vDSO-cheap where [Sys.time] is a syscall);
+    it never influences work units or the schedule. *)
 
 val ledger : t -> Ledger.t
 

@@ -8,7 +8,14 @@ type t = {
   mutable at : Site_id.t;
   vars : (string, Oid.t) Hashtbl.t;
   mutable pin_token : int option;
-  mutable traveling : bool;
+  traveling : bool Atomic.t;
+      (* Atomic as defensive hardening for the sharded engine: agents
+         live on the coordinator, but [set_extra_roots] reads
+         [traveling]/[at] from worker domains during a trace window
+         (windows never overlap coordinator events, so the values are
+         stable; the atomic removes the data race the memory model
+         would otherwise flag). Always write [at] before clearing
+         [traveling]. *)
   mutable arrival_k : (unit -> unit) option;
 }
 
@@ -44,7 +51,7 @@ let manager eng =
           | None -> ());
           a.pin_token <- None;
           a.at <- dst;
-          a.traveling <- false;
+          Atomic.set a.traveling false;
           repin a;
           let k = a.arrival_k in
           a.arrival_k <- None;
@@ -52,7 +59,8 @@ let manager eng =
   Engine.set_extra_roots eng (fun site_id ->
       Hashtbl.fold
         (fun _ a acc ->
-          if (not a.traveling) && Site_id.equal a.at site_id then
+          if (not (Atomic.get a.traveling)) && Site_id.equal a.at site_id
+          then
             var_refs a @ acc
           else acc)
         mgr.agents []);
@@ -66,7 +74,7 @@ let spawn mgr ~at =
       at;
       vars = Hashtbl.create 8;
       pin_token = None;
-      traveling = false;
+      traveling = Atomic.make false;
       arrival_k = None;
     }
   in
@@ -75,7 +83,7 @@ let spawn mgr ~at =
   a
 
 let agent_site a = a.at
-let traveling a = a.traveling
+let traveling a = Atomic.get a.traveling
 
 let vars a =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) a.vars []
@@ -96,7 +104,7 @@ let set_var a name r =
   Hashtbl.replace a.vars name r;
   repin a
 
-let ready a = not a.traveling
+let ready a = not (Atomic.get a.traveling)
 
 let load_root a ~dst =
   if not (ready a) then fail a "traveling"
@@ -210,7 +218,7 @@ let travel a ~via ~k =
           ok a
         end
         else begin
-          a.traveling <- true;
+          Atomic.set a.traveling true;
           Engine.move_agent a.mgr.eng ~agent:a.id ~src:a.at ~dst
             ~refs:(var_refs a);
           ok a

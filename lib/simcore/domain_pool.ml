@@ -1,0 +1,170 @@
+(* A tiny persistent worker pool for the sharded scheduler.
+
+   Windows are short (often a handful of events), so worker handoff
+   must cost microseconds, not a domain spawn: workers are spawned
+   once, then parked on an atomic generation counter — spin briefly,
+   then block on a condition variable. Blocking (rather than spinning
+   through [Domain.cpu_relax]) matters when domains outnumber cores:
+   a spinning worker preempts the coordinator between windows and the
+   whole run crawls. The caller participates in every round, so a pool
+   of size [n] uses [n-1] spawned domains. All signalling goes through
+   sequentially-consistent atomics, which also gives the
+   happens-before edges that make the shards' plain-field writes of
+   one window visible to every domain in the next.
+
+   OCaml caps live domains (~128); engines are created freely in tests
+   and benches, so pools are handed out lazily, torn down explicitly
+   ([teardown]), and any survivors are joined at exit. *)
+
+type task = unit -> unit
+
+type t = {
+  size : int;  (** total workers including the caller *)
+  gen : int Atomic.t;  (** round generation; bumped to start a round *)
+  done_count : int Atomic.t;
+  stop : bool Atomic.t;
+  mutable tasks : task array;  (** tasks of the current round *)
+  next_task : int Atomic.t;
+  mutable domains : unit Domain.t array;
+  mutable live : bool;
+  mu : Mutex.t;  (** guards the cv waits below; state itself is atomic *)
+  cv : Condition.t;  (** signalled on gen bumps and task completions *)
+}
+
+let registry : t list ref = ref []
+let registry_mu = Mutex.create ()
+
+let spin_limit = 2_000
+
+let rec wait_for_gen t seen spin =
+  let g = Atomic.get t.gen in
+  if g <> seen then g
+  else if spin < spin_limit then wait_for_gen t seen (spin + 1)
+  else begin
+    (* Park. The signaller bumps [gen] and then broadcasts while
+       holding [mu], and we re-check [gen] under [mu] before waiting,
+       so a wakeup cannot be missed. *)
+    Mutex.lock t.mu;
+    let rec block () =
+      let g = Atomic.get t.gen in
+      if g <> seen then g
+      else begin
+        Condition.wait t.cv t.mu;
+        block ()
+      end
+    in
+    let g = block () in
+    Mutex.unlock t.mu;
+    g
+  end
+
+let signal_all t =
+  Mutex.lock t.mu;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.mu
+
+let run_tasks t =
+  let n = Array.length t.tasks in
+  let rec go () =
+    let i = Atomic.fetch_and_add t.next_task 1 in
+    if i < n then begin
+      t.tasks.(i) ();
+      go ()
+    end
+  in
+  go ()
+
+let worker t () =
+  let seen = ref 0 in
+  let rec loop () =
+    let g = wait_for_gen t !seen 0 in
+    seen := g;
+    if not (Atomic.get t.stop) then begin
+      run_tasks t;
+      ignore (Atomic.fetch_and_add t.done_count 1);
+      signal_all t;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~size =
+  let size = max 1 size in
+  let t =
+    {
+      size;
+      gen = Atomic.make 0;
+      done_count = Atomic.make 0;
+      stop = Atomic.make false;
+      tasks = [||];
+      next_task = Atomic.make 0;
+      domains = [||];
+      live = true;
+      mu = Mutex.create ();
+      cv = Condition.create ();
+    }
+  in
+  t.domains <- Array.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  Mutex.lock registry_mu;
+  registry := t :: !registry;
+  Mutex.unlock registry_mu;
+  t
+
+let size t = t.size
+
+exception Task_error of exn
+
+let run t tasks =
+  if not t.live then invalid_arg "Domain_pool.run: pool torn down";
+  match tasks with
+  | [] -> ()
+  | [ task ] -> task ()
+  | tasks ->
+      (* Exceptions out of a worker task must not wedge the pool:
+         capture the first one and re-raise on the caller after the
+         round's barrier. *)
+      let failure = Atomic.make None in
+      let guard task () =
+        try task ()
+        with e ->
+          ignore (Atomic.compare_and_set failure None (Some e))
+      in
+      t.tasks <- Array.of_list (List.map guard tasks);
+      Atomic.set t.next_task 0;
+      Atomic.set t.done_count 0;
+      Atomic.incr t.gen;
+      signal_all t;
+      run_tasks t;
+      let spin = ref 0 in
+      while Atomic.get t.done_count < t.size - 1 && !spin < spin_limit do
+        incr spin
+      done;
+      if Atomic.get t.done_count < t.size - 1 then begin
+        Mutex.lock t.mu;
+        while Atomic.get t.done_count < t.size - 1 do
+          Condition.wait t.cv t.mu
+        done;
+        Mutex.unlock t.mu
+      end;
+      t.tasks <- [||];
+      (match Atomic.get failure with
+      | Some e -> raise (Task_error e)
+      | None -> ())
+
+let teardown t =
+  if t.live then begin
+    t.live <- false;
+    Atomic.set t.stop true;
+    Atomic.incr t.gen;
+    signal_all t;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||];
+    Mutex.lock registry_mu;
+    registry := List.filter (fun p -> p != t) !registry;
+    Mutex.unlock registry_mu
+  end
+
+let () =
+  at_exit (fun () ->
+      let ps = Mutex.protect registry_mu (fun () -> !registry) in
+      List.iter teardown ps)

@@ -1,0 +1,31 @@
+(** Persistent worker pool for the sharded scheduler.
+
+    [run] executes a round of tasks across [size] workers (the calling
+    domain participates, so [size - 1] domains are spawned) and
+    returns only when every task finished — a synchronization barrier.
+    Handoff is spin-then-relax on atomics, so a round costs
+    microseconds, matching the very short windows conservative
+    synchronization produces.
+
+    Pools must be released with {!teardown} (OCaml caps live domains);
+    any still-live pool is torn down at process exit. *)
+
+type t
+
+exception Task_error of exn
+(** A task raised; carries the first exception of the round. The round
+    still runs to completion (remaining tasks execute), keeping the
+    pool reusable. *)
+
+val create : size:int -> t
+(** [create ~size] spawns [max 1 size - 1] worker domains. *)
+
+val size : t -> int
+
+val run : t -> (unit -> unit) list -> unit
+(** Execute all tasks, blocking until every one has finished. Tasks
+    are claimed dynamically in list order. A single-task round runs
+    inline on the caller. *)
+
+val teardown : t -> unit
+(** Stop and join the worker domains. Idempotent. *)

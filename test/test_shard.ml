@@ -1,0 +1,173 @@
+(* Sharded-engine determinism and the Event_queue heap laws.
+
+   The qcheck properties pin the batch/window primitives the sharded
+   scheduler leans on: [push_batch] must equal a fold of [push] (list
+   order decides tie-break sequence numbers), [pop_until] must drain
+   exactly the [<= bound] prefix in (time, insertion) order, and a
+   [pop_nth] deviation must leave every other event's position and
+   tie-break order intact — including through a later [pop_until].
+
+   The engine tests then run fig2 on the sharded scheduler with one
+   and two worker domains: two-plus shards trace inside the same
+   window, so domains=2 genuinely runs [Local_trace.compute] on
+   concurrent domains, and the resulting artifacts must still be
+   byte-identical with the single-domain run. *)
+
+open Dgc_simcore
+open Dgc_rts
+open Dgc_core
+open Dgc_workload
+module Tel = Dgc_telemetry
+
+(* --- Event_queue laws --------------------------------------------------- *)
+
+let drain q =
+  let rec go acc =
+    match Event_queue.pop q with
+    | None -> List.rev acc
+    | Some e -> go (e :: acc)
+  in
+  go []
+
+(* Times from a tiny range so ties are the common case, payload = list
+   index so insertion order is observable. *)
+let events_of times =
+  List.mapi (fun i t -> (Sim_time.of_millis (float_of_int t), i)) times
+
+(* The reference model: a stable sort by time is exactly "earliest
+   first, ties in insertion order". *)
+let model evs =
+  List.stable_sort (fun (a, _) (b, _) -> Sim_time.compare a b) evs
+
+let times_arb = QCheck.(list_of_size Gen.(0 -- 40) (int_bound 4))
+
+let prop_push_batch_is_fold =
+  QCheck.Test.make ~count:500 ~name:"push_batch = fold push (tie-break)"
+    times_arb (fun times ->
+      let evs = events_of times in
+      let q1 = Event_queue.create () in
+      let q2 = Event_queue.create () in
+      Event_queue.push_batch q1 evs;
+      List.iter (fun (at, p) -> Event_queue.push q2 ~at p) evs;
+      drain q1 = drain q2)
+
+let prop_drain_is_stable_sort =
+  QCheck.Test.make ~count:500 ~name:"drain = stable sort by time"
+    times_arb (fun times ->
+      let evs = events_of times in
+      let q = Event_queue.create () in
+      Event_queue.push_batch q evs;
+      drain q = model evs)
+
+let prop_pop_until_splits =
+  QCheck.Test.make ~count:500 ~name:"pop_until drains the <= bound prefix"
+    QCheck.(pair times_arb (int_bound 4))
+    (fun (times, b) ->
+      let bound = Sim_time.of_millis (float_of_int b) in
+      let evs = events_of times in
+      let q = Event_queue.create () in
+      Event_queue.push_batch q evs;
+      let window = Event_queue.pop_until q bound in
+      let rest = drain q in
+      let m = model evs in
+      window = List.filter (fun (t, _) -> Sim_time.compare t bound <= 0) m
+      && rest = List.filter (fun (t, _) -> Sim_time.compare t bound > 0) m)
+
+let prop_pop_nth_preserves_order =
+  QCheck.Test.make ~count:500
+    ~name:"pop_nth removes nth; survivors keep order through pop_until"
+    QCheck.(triple times_arb (int_bound 45) (int_bound 4))
+    (fun (times, n, b) ->
+      let bound = Sim_time.of_millis (float_of_int b) in
+      let evs = events_of times in
+      let q = Event_queue.create () in
+      Event_queue.push_batch q evs;
+      let m = model evs in
+      match Event_queue.pop_nth q n with
+      | None -> n >= List.length m && drain q = m
+      | Some e ->
+          let m' = List.filteri (fun i _ -> i <> n) m in
+          e = List.nth m n
+          && Event_queue.pop_until q bound
+             = List.filter (fun (t, _) -> Sim_time.compare t bound <= 0) m'
+          && drain q
+             = List.filter (fun (t, _) -> Sim_time.compare t bound > 0) m')
+
+(* --- sharded engine ----------------------------------------------------- *)
+
+(* Mirrors the CLI's det surface: the scenario config with the fixed
+   4-shard logical timeline and a caller-chosen worker count. *)
+let sharded_cfg domains =
+  {
+    Config.default with
+    Config.delta = 3;
+    threshold2 = 6;
+    threshold_bump = 4;
+    trace_duration = Sim_time.zero;
+    shards = 4;
+    domains;
+  }
+
+let run_fig2 domains =
+  let f = Scenario.fig2 ~cfg:(sharded_cfg domains) () in
+  let sim = f.Scenario.f2_sim in
+  let eng = sim.Sim.eng in
+  Sim.start sim;
+  Sim.run_rounds sim 6;
+  let counters = Metrics.counters (Engine.merged_metrics eng) in
+  let stats = Engine.shard_stats eng in
+  let artifact =
+    Tel.Run_artifact.make ~name:"shard-test"
+      ~sim_seconds:(Sim_time.to_seconds (Engine.now eng))
+      ~series:(Engine.merged_series eng)
+      (Engine.merged_metrics eng)
+  in
+  let rendered = Tel.Json.to_string artifact in
+  Engine.teardown eng;
+  (counters, stats, rendered)
+
+let test_two_shards_concurrent () =
+  let counters, stats, _ = run_fig2 2 in
+  let windows, xmsgs, _ =
+    match stats with
+    | Some s -> s
+    | None -> Alcotest.fail "engine not sharded"
+  in
+  Alcotest.(check bool) "windows ran" true (windows > 0);
+  Alcotest.(check int) "deliveries stay on the coordinator" 0 xmsgs;
+  let traces =
+    match List.assoc_opt "gc.local_traces" counters with
+    | Some n -> n
+    | None -> Alcotest.fail "gc.local_traces counter missing"
+  in
+  (* fig2 spans three sites on distinct shards, so every synchronized
+     tick window traces at least two shards concurrently. *)
+  Alcotest.(check bool) "several shards traced" true (traces >= 2)
+
+let test_domains_equal () =
+  let c1, s1, a1 = run_fig2 1 in
+  let c2, s2, a2 = run_fig2 2 in
+  Alcotest.(check bool) "shard stats equal" true (s1 = s2);
+  Alcotest.(check bool) "counters equal" true (c1 = c2);
+  Alcotest.(check string) "artifacts byte-identical" a1 a2
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "event_queue laws",
+        List.map
+          (fun t -> QCheck_alcotest.to_alcotest t)
+          [
+            prop_push_batch_is_fold;
+            prop_drain_is_stable_sort;
+            prop_pop_until_splits;
+            prop_pop_nth_preserves_order;
+          ] );
+      ( "sharded engine",
+        [
+          Alcotest.test_case "two shards trace concurrently" `Quick
+            test_two_shards_concurrent;
+          Alcotest.test_case "domains 1 vs 2 artifacts identical" `Quick
+            test_domains_equal;
+        ] );
+    ]
