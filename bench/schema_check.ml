@@ -9,7 +9,9 @@
    check below), dgc.plan/1 -> Plan.of_json, dgc.flight/1 ->
    Flight.of_json (strict, byte-identical round trip), dgc.profile/1 ->
    Profile.validate, dgc.chaos/1 -> required sections plus its embedded
-   plan/run/flight documents, dgc.schedule/1 -> deviation-list shape.
+   plan/run/flight documents, dgc.schedule/1 -> deviation-list shape,
+   dgc.fuzz/1 -> Dgc_fuzz.Report.validate (monotone coverage curve,
+   corpus arithmetic).
 
    A run artifact's embedded "profile" section gets the full
    Profile.validate treatment here: Run_artifact lives below dgc.profile
@@ -100,6 +102,10 @@ let check path =
               | Error e -> complain path "dgc.flight/1: %s" e)
           | Some "dgc.chaos/1" -> check_chaos path doc
           | Some "dgc.schedule/1" -> check_schedule path doc
+          | Some "dgc.fuzz/1" -> (
+              match Dgc_fuzz.Report.validate doc with
+              | Ok () -> ()
+              | Error e -> complain path "dgc.fuzz/1: %s" e)
           | Some s -> complain path "unknown schema %S" s))
 
 let () =

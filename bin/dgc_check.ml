@@ -271,6 +271,234 @@ let san_cmd =
   in
   Cmd.v (Cmd.info "san" ~doc) Term.(const run_san $ smoke $ opts_term)
 
+(* --- fuzz subcommand: coverage-guided plan/schedule fuzzing ------------ *)
+
+module Fuzzer = Dgc_fuzz.Fuzzer
+module Freport = Dgc_fuzz.Report
+
+(* The smoke recipe: a cold corpus pointed at the two seeded defects —
+   the §6.4 transfer-barrier race (schedule mutation against
+   san-race-broken) and the lost-trace leak (plan mutation against
+   fig2 with dgc-san on and the §4.6 timeouts off). Budgeted to finish
+   under @runtest; stop_on ends the loop as soon as both are found. *)
+let smoke_opts ~seed =
+  {
+    Fuzzer.default_opts with
+    Fuzzer.o_name = "fuzz-smoke";
+    o_seed = seed;
+    o_execs = 48;
+    o_cov_size = 4096;
+    o_workloads = [ "fig2" ];
+    o_suts = [ "san-race-broken" ];
+    o_tweaks = [ "sanitize"; "no_timeouts" ];
+    o_shards = [ 1 ];
+    o_horizon_ms = 15_000.;
+    o_events = 2;
+    o_max_steps = 64;
+    o_width = 3;
+    o_stop_on = [ "race"; "leak" ];
+  }
+
+let print_fuzz_report (r : Freport.t) =
+  say "[%s] mode %s: %d execs, %d/%d coverage slots hit (%d records)"
+    r.Freport.r_name r.Freport.r_mode r.Freport.r_execs
+    (Dgc_fuzz.Coverage.hits r.Freport.r_map)
+    (Dgc_fuzz.Coverage.size r.Freport.r_map)
+    (Dgc_fuzz.Coverage.total r.Freport.r_map);
+  say "  corpus pool: %d inputs (%d plans, %d schedules), %d promoted"
+    r.Freport.r_pool_size r.Freport.r_pool_plans r.Freport.r_pool_schedules
+    r.Freport.r_promoted;
+  if r.Freport.r_san_skipped > 0 then
+    say "  sanitizer-blind execs (sharded engine): %d" r.Freport.r_san_skipped;
+  List.iter
+    (fun o ->
+      say "  op %-10s tried %3d, novel %3d, failing %3d" o.Freport.op_name
+        o.Freport.op_tried o.Freport.op_novel o.Freport.op_failed)
+    r.Freport.r_ops;
+  List.iter
+    (fun f ->
+      say "  FOUND %s (%s input, exec %d%s): %s" f.Freport.fd_kind
+        f.Freport.fd_input f.Freport.fd_exec
+        (match f.Freport.fd_promoted with
+        | Some p -> ", promoted as " ^ p
+        | None -> "")
+        f.Freport.fd_detail)
+    r.Freport.r_found;
+  match r.Freport.r_baseline with
+  | Some (execs, hits) ->
+      say "  baseline (uniform random, %d execs): %d slots hit" execs hits
+  | None -> ()
+
+let split_commas s =
+  String.split_on_char ',' s |> List.filter (fun x -> not (String.equal x ""))
+
+let run_fuzz smoke with_baseline out promote seed execs workloads suts tweaks
+    shards horizon_ms events max_steps width corpus =
+  let opts =
+    if smoke then smoke_opts ~seed
+    else
+      {
+        Fuzzer.default_opts with
+        Fuzzer.o_name = "fuzz";
+        o_seed = seed;
+        o_execs = execs;
+        o_workloads = split_commas workloads;
+        o_suts = split_commas suts;
+        o_tweaks = split_commas tweaks;
+        o_shards = List.map int_of_string (split_commas shards);
+        o_horizon_ms = horizon_ms;
+        o_events = events;
+        o_max_steps = max_steps;
+        o_width = width;
+      }
+  in
+  let opts =
+    { opts with Fuzzer.o_promote_dir = promote; o_corpus = corpus }
+  in
+  say "== coverage-guided fuzzing (%s, seed %d, budget %d execs) =="
+    opts.Fuzzer.o_name opts.Fuzzer.o_seed opts.Fuzzer.o_execs;
+  let report =
+    if with_baseline then Fuzzer.with_baseline opts else Fuzzer.run opts
+  in
+  print_fuzz_report report;
+  (match out with
+  | Some path ->
+      Freport.save ~path report;
+      say "  report written to %s" path
+  | None -> ());
+  let found k =
+    List.exists (fun f -> String.equal f.Freport.fd_kind k) report.Freport.r_found
+  in
+  let ok =
+    if smoke then begin
+      let ok_race = found "race" and ok_leak = found "leak" in
+      if not ok_race then
+        say "  SMOKE FAILED: seeded race not rediscovered within budget";
+      if not ok_leak then
+        say "  SMOKE FAILED: seeded lost-trace leak not rediscovered within \
+             budget";
+      let ok_base =
+        match report.Freport.r_baseline with
+        | Some (_, hits) ->
+            let guided = Dgc_fuzz.Coverage.hits report.Freport.r_map in
+            if guided <= hits then
+              say "  SMOKE FAILED: guided coverage (%d) does not beat the \
+                   random baseline (%d)"
+                guided hits;
+            guided > hits
+        | None -> true
+      in
+      ok_race && ok_leak && ok_base
+    end
+    else if report.Freport.r_found <> [] then begin
+      say "  failures found on supposedly-clean targets";
+      false
+    end
+    else true
+  in
+  if ok then begin
+    say "dgc-check fuzz: ok";
+    0
+  end
+  else begin
+    say "dgc-check fuzz: FAILED";
+    1
+  end
+
+let fuzz_cmd =
+  let doc =
+    "coverage-guided fuzzing of fault plans and explorer schedules, with \
+     reproducer shrinking and corpus promotion"
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Budgeted cold-corpus run that must rediscover both seeded \
+             defects (the transfer-barrier race and the lost-trace leak).")
+  in
+  let baseline =
+    Arg.(
+      value & flag
+      & info [ "baseline" ]
+          ~doc:
+            "Also spend the same budget on uniform-random inputs and embed \
+             the comparison in the report.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the dgc.fuzz/1 report here.")
+  in
+  let promote =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "promote" ] ~docv:"DIR"
+          ~doc:"Promote shrunk reproducers into this corpus directory.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let execs =
+    Arg.(
+      value & opt int 200
+      & info [ "execs" ] ~doc:"Execution budget (long mode).")
+  in
+  let workloads =
+    Arg.(
+      value
+      & opt string "churn,fig2,ring"
+      & info [ "workloads" ] ~doc:"Comma-separated plan-input workloads.")
+  in
+  let suts =
+    Arg.(
+      value & opt string "fig1"
+      & info [ "suts" ] ~doc:"Comma-separated schedule-input SUTs.")
+  in
+  let tweaks =
+    Arg.(
+      value & opt string ""
+      & info [ "tweaks" ]
+          ~doc:"Comma-separated config tweaks armed on every plan run.")
+  in
+  let shards =
+    Arg.(
+      value & opt string "1,4"
+      & info [ "shards" ]
+          ~doc:"Comma-separated shard counts plan runs rotate over.")
+  in
+  let horizon_ms =
+    Arg.(
+      value & opt float 20_000.
+      & info [ "horizon-ms" ] ~doc:"Chaos horizon per plan run.")
+  in
+  let events =
+    Arg.(
+      value & opt int 3
+      & info [ "events" ] ~doc:"Fault windows per fresh random plan.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 400
+      & info [ "max-steps" ] ~doc:"Step bound per schedule run.")
+  in
+  let width =
+    Arg.(
+      value & opt int 3 & info [ "width" ] ~doc:"Deviation ranks considered.")
+  in
+  let corpus =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"CORPUS" ~doc:"Seed corpus files to warm the pool.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run_fuzz $ smoke $ baseline $ out $ promote $ seed $ execs
+      $ workloads $ suts $ tweaks $ shards $ horizon_ms $ events $ max_steps
+      $ width $ corpus)
+
 let cmd =
   let doc =
     "check protocol conformance and explore event schedules for invariant \
@@ -279,6 +507,6 @@ let cmd =
   Cmd.group
     ~default:Term.(const run $ opts_term)
     (Cmd.info "dgc-check" ~doc)
-    [ san_cmd ]
+    [ san_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -24,6 +24,11 @@ type t = {
   receivers : (string, Site_id.Set.t ref) Hashtbl.t;
   mutable violations : violation list;
   mutable total : int;
+  (* incremental mirrors of the automata, kept so [state_code] is O(1)
+     per delivery (the coverage-guided fuzzer reads it on every one) *)
+  mutable unacked_moves : int;
+  mutable open_inserts : int;
+  mutable observer : (kind:string -> state:int -> unit) option;
 }
 
 let create () =
@@ -35,7 +40,24 @@ let create () =
     receivers = Hashtbl.create 8;
     violations = [];
     total = 0;
+    unacked_moves = 0;
+    open_inserts = 0;
+    observer = None;
   }
+
+let set_observer t f = t.observer <- Some f
+
+(* A compact fingerprint of the ordering automata: how many moves are
+   inside their insert-barrier window, how many inserts await their
+   ack, and whether any rule has fired — bucketed so the code space
+   stays tiny (32 states) and a fuzzer's coverage map cannot be blown
+   apart by raw counters. *)
+let bucket n = if n <= 0 then 0 else if n = 1 then 1 else if n < 4 then 2 else 3
+
+let state_code t =
+  (bucket t.unacked_moves * 8)
+  + (bucket t.open_inserts * 2)
+  + if t.violations = [] then 0 else 1
 
 let note t ~rule fmt =
   Format.kasprintf
@@ -59,8 +81,10 @@ let rules : (t * Site_id.t) Protocol.handlers =
     Protocol.h_move =
       (fun (t, dst) ~src ~agent:_ ~refs:_ ~token ->
         (match Hashtbl.find_opt t.moves token with
-        | Some _ -> note t ~rule:"move-token-fresh" "move token %d reused" token
-        | None -> ());
+        | Some m ->
+            note t ~rule:"move-token-fresh" "move token %d reused" token;
+            if m.mv_acked then t.unacked_moves <- t.unacked_moves + 1
+        | None -> t.unacked_moves <- t.unacked_moves + 1);
         Hashtbl.replace t.moves token
           { mv_src = src; mv_dst = dst; mv_acked = false });
     h_move_ack =
@@ -81,6 +105,7 @@ let rules : (t * Site_id.t) Protocol.handlers =
                  %a->%a"
                 token Site_id.pp src Site_id.pp dst Site_id.pp m.mv_src
                 Site_id.pp m.mv_dst;
+            if not m.mv_acked then t.unacked_moves <- t.unacked_moves - 1;
             m.mv_acked <- true);
     h_insert =
       (fun (t, dst) ~src ~r ~by ->
@@ -92,6 +117,7 @@ let rules : (t * Site_id.t) Protocol.handlers =
           note t ~rule:"insert-by-holder"
             "insert for %a names holder %a but was sent by %a" Oid.pp r
             Site_id.pp by Site_id.pp src;
+        t.open_inserts <- t.open_inserts + 1;
         bump t.pending_inserts (r, by) 1);
     h_insert_done =
       (fun (t, dst) ~src ~r ->
@@ -100,7 +126,9 @@ let rules : (t * Site_id.t) Protocol.handlers =
             "insert_done for %a sent by %a, not its owner" Oid.pp r Site_id.pp
             src;
         match Hashtbl.find_opt t.pending_inserts (r, dst) with
-        | Some n when n > 0 -> Hashtbl.replace t.pending_inserts (r, dst) (n - 1)
+        | Some n when n > 0 ->
+            t.open_inserts <- t.open_inserts - 1;
+            Hashtbl.replace t.pending_inserts (r, dst) (n - 1)
         | Some _ | None ->
             note t ~rule:"insert-pairing"
               "insert_done for %a at %a without an outstanding insert" Oid.pp r
@@ -137,7 +165,12 @@ let hook t ~phase ~src ~dst payload =
       if (not (Protocol.is_ext payload)) && Site_id.equal src dst then
         note t ~rule:"no-self-send" "%s delivered from %a to itself" base
           Site_id.pp src;
-      Protocol.dispatch rules (t, dst) ~src payload
+      Protocol.dispatch rules (t, dst) ~src payload;
+      (* observers see the registered label (back_call, g_mark, ...) so
+         coverage can tell the collectors' ext kinds apart *)
+      match t.observer with
+      | Some f -> f ~kind:(Protocol.kind payload) ~state:(state_code t)
+      | None -> ()
 
 let attach t eng = Engine.set_msg_monitor eng (hook t)
 

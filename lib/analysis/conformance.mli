@@ -51,6 +51,18 @@ val finish : t -> violation list
 (** End-of-run obligations (moves acked, inserts answered) plus
     everything recorded along the way, in detection order. *)
 
+val set_observer : t -> (kind:string -> state:int -> unit) -> unit
+(** Install a tap fired after every delivery the monitor processes,
+    with the payload's registered kind label (ext kinds keep their
+    specific label: [back_call], [g_mark], ...) and {!state_code} as
+    of after the delivery. One observer at a time; the coverage-guided
+    fuzzer uses this as its protocol-automaton coverage signal. *)
+
+val state_code : t -> int
+(** A compact fingerprint of the ordering automata in [0, 32): bucketed
+    counts of unacknowledged moves and outstanding inserts, plus a
+    violation bit. O(1). *)
+
 type report = {
   r_violations : violation list;
   r_deliveries : (string * int) list;  (** per base kind, declaration order *)

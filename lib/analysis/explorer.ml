@@ -48,8 +48,9 @@ type run = {
   run_violation : (int * string list) option;
 }
 
-let run_schedule sut ~max_steps sched =
+let run_schedule ?probe sut ~max_steps sched =
   let inst = sut.sut_make () in
+  (match probe with Some f -> f inst | None -> ());
   let eng = inst.i_sim.Sim.eng in
   let enabled = Array.make (max 1 max_steps) 0 in
   let violation = ref None in

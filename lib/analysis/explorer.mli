@@ -48,10 +48,13 @@ type run = {
   run_violation : (int * string list) option;
 }
 
-val run_schedule : sut -> max_steps:int -> Shrink.deviation list -> run
+val run_schedule :
+  ?probe:(instance -> unit) -> sut -> max_steps:int -> Shrink.deviation list -> run
 (** Replay one schedule from scratch. Ranks beyond the live queue are
     clamped; oracle safety exceptions and [Invariants.Violation] are
-    converted into run violations. *)
+    converted into run violations. [probe] sees the freshly built
+    instance before the first step — the fuzzer attaches its coverage
+    taps (conformance observer, journal tap) through it. *)
 
 type counterexample = {
   cx_schedule : Shrink.deviation list;  (** as first found *)

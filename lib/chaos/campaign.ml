@@ -25,6 +25,14 @@ let failure_to_string = function
   | Race m -> "race: " ^ m
   | Leak m -> "leak: " ^ m
 
+let failure_kind = function
+  | Safety _ -> "safety"
+  | Liveness _ -> "liveness"
+  | Invariant _ -> "invariant"
+  | Table _ -> "table"
+  | Race _ -> "race"
+  | Leak _ -> "leak"
+
 let same_kind a b =
   match (a, b) with
   | Safety _, Safety _
@@ -50,11 +58,23 @@ type outcome = {
   oc_failure : failure option;
   oc_sim_seconds : float;
   oc_injected : int;
+  oc_sanitizer : string;
+      (** ["off"], ["on"], or ["skipped-sharded"] — the last means the
+          (tweaked) config asked for dgc-san but the engine was sharded
+          and the sanitizer was downgraded to a journal warning; the
+          artifact carries it so a fuzz run can never count race/leak
+          detection it did not actually have *)
   oc_journal : string list;
   oc_counters : (string * int) list;
   oc_run : Json.t;
   oc_flight : Json.t option;
       (** [dgc.flight/1] dump, captured iff the case failed *)
+}
+
+type probe = {
+  pb_eng : Dgc_rts.Engine.t;
+  pb_journal : Journal.t;
+  pb_inject : Inject.t;
 }
 
 let schema = "dgc.chaos/1"
@@ -75,7 +95,7 @@ let base_cfg case =
     oracle_checks = true;
   }
 
-let run_case ?(tweak = fun c -> c) case =
+let run_case ?(tweak = fun c -> c) ?probe case =
   let cfg = tweak (base_cfg case) in
   let wrng = Rng.create ~seed:((case.cs_seed * 7) + 1) in
   let spec = Workloads.build ~name:case.cs_workload ~cfg ~rng:wrng in
@@ -89,25 +109,28 @@ let run_case ?(tweak = fun c -> c) case =
      shrinks race and leak reports like any other. A sharded engine
      refuses the sanitizer (no single observation order), so skip it
      with a journal warning rather than dying. *)
-  let san =
+  let san, sanitizer_status =
     if cfg.Config.sanitize then
       if Engine.sharded eng then begin
         Journal.record journal ~level:Journal.Warn ~at:(Engine.now eng)
           ~cat:"shard"
           "sanitize requested but engine is sharded; dgc-san skipped \
            (rerun at shards=1)";
-        None
+        (None, "skipped-sharded")
       end
       else begin
         let s = Dgc_sanitize.Sanitizer.install eng in
         Dgc_sanitize.Sanitizer.set_shared s (Collector.back sim.Sim.col);
-        Some s
+        (Some s, "on")
       end
-    else None
+    else (None, "off")
   in
   if not spec.Workloads.settled then Scenario.settle sim ~rounds:5;
   Sim.start sim;
   let inj = Inject.arm eng case.cs_plan in
+  (match probe with
+  | Some f -> f { pb_eng = eng; pb_journal = journal; pb_inject = inj }
+  | None -> ());
   let failure = ref None in
   let catchf f =
     try f () with
@@ -198,6 +221,7 @@ let run_case ?(tweak = fun c -> c) case =
       oc_failure = !failure;
       oc_sim_seconds = sim_seconds;
       oc_injected = Inject.injected inj;
+      oc_sanitizer = sanitizer_status;
       oc_journal =
         List.map
           (fun e -> Format.asprintf "%a" Journal.pp_entry e)
@@ -246,12 +270,18 @@ let artifact ?shrunk oc =
        ("plan", Plan.to_json case.cs_plan);
        ( "outcome",
          match oc.oc_failure with
-         | None -> Json.Obj [ ("status", Json.Str "pass") ]
+         | None ->
+             Json.Obj
+               [
+                 ("status", Json.Str "pass");
+                 ("sanitizer", Json.Str oc.oc_sanitizer);
+               ]
          | Some f ->
              Json.Obj
                [
                  ("status", Json.Str "fail");
                  ("failure", Json.Str (failure_to_string f));
+                 ("sanitizer", Json.Str oc.oc_sanitizer);
                ] );
        ("injected", Json.Int oc.oc_injected);
        ("journal", Json.Arr (List.map (fun s -> Json.Str s) oc.oc_journal));

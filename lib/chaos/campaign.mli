@@ -32,6 +32,11 @@ type failure =
 
 val failure_to_string : failure -> string
 
+val failure_kind : failure -> string
+(** The constructor name alone: ["safety"], ["liveness"], ["invariant"],
+    ["table"], ["race"], ["leak"] — the vocabulary corpus files use in
+    their ["expect"] field and the fuzzer uses as dedup/stop keys. *)
+
 type case = {
   cs_name : string;
   cs_workload : string;  (** a {!Workloads.names} entry *)
@@ -45,6 +50,14 @@ type outcome = {
   oc_failure : failure option;
   oc_sim_seconds : float;
   oc_injected : int;  (** fault windows actually opened *)
+  oc_sanitizer : string;
+      (** dgc-san status of this run: ["off"] (not requested), ["on"]
+          (armed, its verdicts were live failure detectors), or
+          ["skipped-sharded"] (requested but the engine was sharded, so
+          the sanitizer was downgraded to a journal warning). Also
+          carried in the ["dgc.chaos/1"] artifact's outcome section so
+          downstream consumers — the fuzzer above all — cannot mistake
+          a sanitizer-blind run for sanitizer coverage. *)
   oc_journal : string list;  (** rendered journal, oldest first *)
   oc_counters : (string * int) list;  (** sorted *)
   oc_run : Json.t;  (** embedded ["dgc.run/1"] artifact with audit *)
@@ -65,9 +78,24 @@ val base_cfg : case -> Dgc_rts.Config.t
     [retry_limit = 2] (the hardened delivery defaults), oracle checks
     on. [run_case]'s [tweak] post-processes it. *)
 
-val run_case : ?tweak:(Dgc_rts.Config.t -> Dgc_rts.Config.t) -> case -> outcome
+type probe = {
+  pb_eng : Dgc_rts.Engine.t;
+  pb_journal : Dgc_simcore.Journal.t;
+  pb_inject : Inject.t;
+}
+(** What a {!run_case} probe sees: the live engine, the campaign's
+    journal and the armed injector — enough to attach coverage taps
+    (conformance observer, journal tap, {!Inject.active_mask} polls). *)
+
+val run_case :
+  ?tweak:(Dgc_rts.Config.t -> Dgc_rts.Config.t) ->
+  ?probe:(probe -> unit) ->
+  case ->
+  outcome
 (** Deterministic: same case (and tweak) ⇒ identical outcome,
-    including journal and counters. *)
+    including journal and counters. [probe] fires once, after the plan
+    is armed and before the horizon runs; a probe that only observes
+    (no scheduling, no rng draws) preserves determinism. *)
 
 val shrink_case :
   ?tweak:(Dgc_rts.Config.t -> Dgc_rts.Config.t) ->

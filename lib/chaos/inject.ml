@@ -189,3 +189,16 @@ let active t =
   Array.fold_left (fun a d -> a + min d 1) 0 t.crash_depth
   + List.length t.partitions + List.length t.drops + List.length t.dups
   + List.length t.slows
+
+let active_mask t =
+  (if Array.exists (fun d -> d > 0) t.crash_depth then 1 else 0)
+  lor (if t.partitions <> [] then 2 else 0)
+  lor (if t.drops <> [] then 4 else 0)
+  lor (if t.dups <> [] then 8 else 0)
+  lor if t.slows <> [] then 16 else 0
+
+let mask_kinds = [ (1, "crash"); (2, "partition"); (4, "drop"); (8, "dup"); (16, "slow") ]
+
+let active_kinds t =
+  let m = active_mask t in
+  List.filter_map (fun (bit, k) -> if m land bit <> 0 then Some k else None) mask_kinds

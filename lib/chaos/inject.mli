@@ -29,3 +29,12 @@ val injected : t -> int
 
 val active : t -> int
 (** Windows currently open. *)
+
+val active_mask : t -> int
+(** One bit per fault kind with a window currently open: crash [1],
+    partition [2], drop [4], dup [8], slow [16]. The fuzzer folds this
+    into its coverage keys so "state X reached {e while partitioned}"
+    and "state X reached fault-free" count as different edges. *)
+
+val active_kinds : t -> string list
+(** {!active_mask} as kind names, in mask-bit order. *)

@@ -155,6 +155,49 @@ let of_string s =
   let* j = Json.parse s in
   of_json j
 
+(* ---- validation ------------------------------------------------------ *)
+
+(* What [of_json] cannot check without knowing the deployment: site
+   ranges. Probabilities and factors are bounded here too so the fuzz
+   mutators have one contract to satisfy (the injector itself is
+   lenient — it skips out-of-range sites and clamps nothing). *)
+let validate ~sites t =
+  let err fmt = Printf.ksprintf Result.error fmt in
+  let rec go i = function
+    | [] -> Ok ()
+    | { at_ms; dur_ms; ev } :: tl ->
+        if at_ms < 0. || not (Float.is_finite at_ms) then
+          err "event %d: negative or non-finite at_ms" i
+        else if dur_ms < 0. || not (Float.is_finite dur_ms) then
+          err "event %d: negative or non-finite dur_ms" i
+        else
+          let ok =
+            match ev with
+            | Crash { site } ->
+                if site < 0 || site >= sites then
+                  err "event %d: crash site %d out of range [0,%d)" i site sites
+                else Ok ()
+            | Partition { groups } ->
+                if
+                  List.exists
+                    (List.exists (fun s -> s < 0 || s >= sites))
+                    groups
+                then err "event %d: partition names an out-of-range site" i
+                else Ok ()
+            | Drop { p } | Dup { p } ->
+                if p < 0. || p > 1. || not (Float.is_finite p) then
+                  err "event %d: probability %g outside [0,1]" i p
+                else Ok ()
+            | Slow { factor } ->
+                if factor <= 0. || not (Float.is_finite factor) then
+                  err "event %d: latency factor %g not positive" i factor
+                else Ok ()
+          in
+          let* () = ok in
+          go (i + 1) tl
+  in
+  go 0 t.events
+
 let save ~path t =
   let oc = open_out path in
   output_string oc (Json.to_string (to_json t));

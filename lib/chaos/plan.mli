@@ -46,6 +46,12 @@ val of_string : string -> (t, string) result
 val save : path:string -> t -> unit
 val load : path:string -> (t, string) result
 
+val validate : sites:int -> t -> (unit, string) result
+(** Deployment-aware well-formedness: non-negative finite windows,
+    probabilities in [0,1], positive latency factors, crash/partition
+    sites inside [0, sites). {!random} and every fuzz mutator preserve
+    this. *)
+
 val random : rng:Rng.t -> sites:int -> horizon_ms:float -> events:int -> t
 (** Draw [events] random fault windows opening in the first three
     quarters of the horizon, each lasting 5–25% of it, sorted by open

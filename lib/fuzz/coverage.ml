@@ -1,0 +1,106 @@
+module Json = Dgc_telemetry.Json
+
+type t = {
+  mask : int;  (** size - 1; size is a power of two *)
+  counts : int array;  (** per-slot hit counts; > 0 = set *)
+  seed : int;
+  mutable set : int;  (** distinct slots set *)
+  mutable total : int;  (** keys recorded *)
+}
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(size = 16384) ~seed () =
+  let n = round_pow2 (max 2 size) in
+  { mask = n - 1; counts = Array.make n 0; seed; set = 0; total = 0 }
+
+(* FNV-1a over the key bytes, the seed folded into the offset basis.
+   Deterministic across runs and OCaml versions — never use
+   [Hashtbl.hash] here, its layout is not a contract. The canonical
+   64-bit offset basis doesn't fit OCaml's 63-bit int, so the top
+   nibble is dropped; any fixed odd basis serves. *)
+let fnv_prime = 0x100000001b3
+let fnv_basis = 0x3bf29ce484222325
+
+let hash ~seed s =
+  let h = ref (fnv_basis lxor (seed * 0x9e3779b9)) in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * fnv_prime)
+    s;
+  !h land max_int
+
+let record t key =
+  let i = hash ~seed:t.seed key land t.mask in
+  t.total <- t.total + 1;
+  if t.counts.(i) = 0 then t.set <- t.set + 1;
+  t.counts.(i) <- t.counts.(i) + 1
+
+let size t = t.mask + 1
+let hits t = t.set
+let total t = t.total
+
+(* AFL-style count buckets: an edge hit once, a few times and hundreds
+   of times are different behaviours. [bits] projects each set slot
+   crossed with its bucket back into the map's index space, so a
+   mutation that merely amplifies a known edge still scores novelty —
+   the gradient that lets guided search climb where a binary hit set
+   saturates. *)
+let bucket c =
+  if c <= 1 then 0
+  else if c = 2 then 1
+  else if c <= 4 then 2
+  else if c <= 8 then 3
+  else if c <= 16 then 4
+  else if c <= 32 then 5
+  else if c <= 128 then 6
+  else 7
+
+let bits t =
+  let acc = ref [] in
+  for i = t.mask downto 0 do
+    let c = t.counts.(i) in
+    if c > 0 then
+      acc := ((i * 8) + bucket c) * 0x9e3779b9 land max_int land t.mask :: !acc
+  done;
+  List.sort_uniq compare !acc
+
+let absorb t bits =
+  List.fold_left
+    (fun novel i ->
+      t.total <- t.total + 1;
+      if t.counts.(i) = 0 then begin
+        t.set <- t.set + 1;
+        t.counts.(i) <- 1;
+        novel + 1
+      end
+      else begin
+        t.counts.(i) <- t.counts.(i) + 1;
+        novel
+      end)
+    0 bits
+
+let rarity t bits =
+  List.fold_left
+    (fun acc i -> acc +. (1. /. float_of_int (max 1 t.counts.(i))))
+    0. bits
+
+let signature bits =
+  let h =
+    List.fold_left
+      (fun h i -> (h lxor i) * fnv_prime)
+      fnv_basis
+      (List.sort compare bits)
+  in
+  h land max_int
+
+let to_json t =
+  Json.Obj
+    [
+      ("size", Json.Int (size t));
+      ("hits", Json.Int t.set);
+      ("total", Json.Int t.total);
+    ]

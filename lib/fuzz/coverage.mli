@@ -1,0 +1,53 @@
+(** The fuzzer's coverage signal: a deterministic seeded bitmap.
+
+    A coverage {e edge} is an opaque string key — the fuzzer builds
+    them from (protocol-automaton state × active fault-window kind ×
+    journal category) tuples — hashed into a fixed-size bit array by a
+    seeded FNV-1a. Per-run recorders and the global map share the seed,
+    so the same key always lands on the same slot and two in-process
+    runs with the same seed produce identical hit sets (the determinism
+    pin in [test_fuzzer.ml] holds the fuzz artifact to this).
+
+    The global map additionally counts how often each slot has been
+    hit across the whole campaign; {!rarity} turns an input's hit set
+    into a power-schedule weight favouring rare edges. *)
+
+type t
+
+val create : ?size:int -> seed:int -> unit -> t
+(** [size] (default 16384) is rounded up to a power of two. *)
+
+val size : t -> int
+
+val record : t -> string -> unit
+(** Hash the key, set its bit, bump its hit count. *)
+
+val hits : t -> int
+(** Distinct slots set so far. *)
+
+val total : t -> int
+(** Keys recorded (including re-hits). *)
+
+val bits : t -> int list
+(** The run's hit set as map indices, sorted and deduplicated: each
+    set slot crossed with its AFL-style hit-count bucket (1, 2, 3–4,
+    5–8, ... 129+) and projected back into the index space — so
+    amplifying a known edge still reads as a new behaviour. *)
+
+val absorb : t -> int list -> int
+(** [absorb global bits] merges a run's hit set into the global map
+    (bumping each slot's hit count) and returns how many slots were
+    new — the novelty score that decides corpus retention. *)
+
+val rarity : t -> int list -> float
+(** Power-schedule weight: Σ 1/(hit count) over the given slots — an
+    input whose edges are rare in the global map outweighs one that
+    only re-treads hot paths. 0 for the empty set. *)
+
+val signature : int list -> int
+(** Order-insensitive fingerprint of a hit set (for the promotion
+    dedup key). Non-negative. *)
+
+val to_json : t -> Dgc_telemetry.Json.t
+(** [{size; hits; total}] — the bitmap summary embedded in
+    ["dgc.fuzz/1"]. *)

@@ -1,0 +1,43 @@
+open Dgc_prelude
+
+type entry = { e_input : Input.t; e_bits : int list }
+
+type t = { mutable rev : entry list; mutable n : int }
+
+let create () = { rev = []; n = 0 }
+
+let add t input bits =
+  t.rev <- { e_input = input; e_bits = bits } :: t.rev;
+  t.n <- t.n + 1
+
+let size t = t.n
+let entries t = List.rev t.rev
+
+let count pred t =
+  List.fold_left (fun k e -> if pred e.e_input then k + 1 else k) 0 t.rev
+
+let plans t =
+  count (function Input.Plan_input _ -> true | _ -> false) t
+
+let schedules t =
+  count (function Input.Schedule_input _ -> true | _ -> false) t
+
+let select t ~rng ~global =
+  match t.rev with
+  | [] -> None
+  | entries ->
+      (* weight floor keeps fully-cold entries selectable: mutation of
+         a stale input can still reach new edges *)
+      let weights =
+        List.map
+          (fun e -> Float.max 1e-6 (Coverage.rarity global e.e_bits))
+          entries
+      in
+      let total = List.fold_left ( +. ) 0. weights in
+      let x = Rng.float_in rng 0. total in
+      let rec scan acc = function
+        | [ (e, _) ] -> Some e
+        | (e, w) :: tl -> if acc +. w >= x then Some e else scan (acc +. w) tl
+        | [] -> None
+      in
+      scan 0. (List.combine entries weights)

@@ -1,0 +1,26 @@
+(** The corpus pool: retained inputs power-scheduled by edge rarity.
+
+    Entries are inputs that increased global coverage when they ran,
+    stored with the hit set they produced. {!select} draws an entry
+    with probability proportional to {!Coverage.rarity} of its hit set
+    against the current global map — an input whose edges have gone
+    cold is picked less and less as the campaign re-treads them, an
+    input holding the only copy of a rare edge keeps its weight. *)
+
+open Dgc_prelude
+
+type entry = { e_input : Input.t; e_bits : int list }
+type t
+
+val create : unit -> t
+val add : t -> Input.t -> int list -> unit
+val size : t -> int
+val plans : t -> int
+val schedules : t -> int
+
+val entries : t -> entry list
+(** Insertion order. *)
+
+val select : t -> rng:Rng.t -> global:Coverage.t -> entry option
+(** Rarity-weighted draw; [None] on an empty pool. Deterministic given
+    the rng stream and the global map. *)

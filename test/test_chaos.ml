@@ -410,20 +410,15 @@ let test_differential_crashed_bystander () =
    explorer deviation schedules replayed against a catalog SUT: the
    §6.4 race is causally ordered under every FIFO fault plan (the Move
    departs its site only after the trace read was delivered there), so
-   its reproducer is a queue deviation, not a fault window. *)
+   its reproducer is a queue deviation, not a fault window.
+
+   Both shapes load through [Dgc_fuzz.Input] — the same codec the
+   fuzzer promotes reproducers with — so anything the fuzzer writes
+   into the corpus is replayable here by construction. *)
 
 module Explorer = Dgc_analysis.Explorer
 module Sut = Dgc_analysis.Sut
-
-type corpus_entry =
-  | Plan_case of Campaign.case * string option * (Config.t -> Config.t)
-      (** case, expected failure kind, config tweak *)
-  | Schedule_case of {
-      sc_sut : string;
-      sc_schedule : Shrink.deviation list;
-      sc_max_steps : int;
-      sc_expect : string;
-    }
+module Finput = Dgc_fuzz.Input
 
 (* cwd is the test's build directory under `dune runtest` (the corpus
    is declared as a dep) but the workspace root under `dune exec`. *)
@@ -437,82 +432,6 @@ let corpus_files dir =
   |> List.filter (fun f -> Filename.check_suffix f ".json")
   |> List.sort String.compare
 
-let tweak_of_name path = function
-  | "sanitize" -> fun c -> { c with Config.sanitize = true }
-  | "no_timeouts" -> fun c -> { c with Config.enable_timeouts = false }
-  | "broken_transfer_barrier" ->
-      fun c -> { c with Config.enable_transfer_barrier = false }
-  | t -> Alcotest.failf "%s: unknown tweak %S" path t
-
-let corpus_case path =
-  let text = In_channel.with_open_bin path In_channel.input_all in
-  let doc =
-    match Json.parse text with
-    | Ok j -> j
-    | Error e -> Alcotest.failf "%s: %s" path e
-  in
-  let str name d = Option.bind (Json.member name d) Json.to_str_opt in
-  let int name d = Option.bind (Json.member name d) Json.to_int_opt in
-  let flt name d = Option.bind (Json.member name d) Json.to_float_opt in
-  match str "schema" doc with
-  | Some "dgc.schedule/1" ->
-      let schedule =
-        match Option.bind (Json.member "schedule" doc) Json.to_list_opt with
-        | None -> Alcotest.failf "%s: no schedule" path
-        | Some devs ->
-            List.map
-              (fun d ->
-                match Json.to_list_opt d with
-                | Some [ a; b ] -> (
-                    match (Json.to_int_opt a, Json.to_int_opt b) with
-                    | Some step, Some rank -> (step, rank)
-                    | _ -> Alcotest.failf "%s: bad deviation" path)
-                | _ -> Alcotest.failf "%s: bad deviation" path)
-              devs
-      in
-      Schedule_case
-        {
-          sc_sut = Option.value ~default:"" (str "sut" doc);
-          sc_schedule = schedule;
-          sc_max_steps = Option.value ~default:400 (int "max_steps" doc);
-          sc_expect = Option.value ~default:"" (str "expect" doc);
-        }
-  | _ ->
-      let plan =
-        match Plan.of_json doc with
-        | Ok p -> p
-        | Error e -> Alcotest.failf "%s: %s" path e
-      in
-      let tweak =
-        match Option.bind (Json.member "tweak" doc) Json.to_list_opt with
-        | None -> Fun.id
-        | Some names ->
-            List.fold_left
-              (fun acc j ->
-                match Json.to_str_opt j with
-                | Some n -> fun c -> tweak_of_name path n (acc c)
-                | None -> Alcotest.failf "%s: bad tweak entry" path)
-              Fun.id names
-      in
-      Plan_case
-        ( {
-            Campaign.cs_name =
-              Filename.remove_extension (Filename.basename path);
-            cs_workload = Option.value ~default:"churn" (str "workload" doc);
-            cs_seed = Option.value ~default:1 (int "seed" doc);
-            cs_horizon_ms = Option.value ~default:60_000. (flt "horizon_ms" doc);
-            cs_plan = plan;
-          },
-          str "expect" doc,
-          tweak )
-
-let failure_matches expect f =
-  match (expect, f) with
-  | "leak", Campaign.Leak _ -> true
-  | "race", Campaign.Race _ -> true
-  | "safety", Campaign.Safety _ -> true
-  | _ -> false
-
 let contains_sub ~sub s =
   let n = String.length sub and m = String.length s in
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
@@ -525,46 +444,71 @@ let expect_needle path = function
   | "leak" -> "lost trace"
   | e -> Alcotest.failf "%s: unknown expect %S" path e
 
+let replay_plan_case f (p : Finput.plan_case) (meta : Finput.meta) =
+  Alcotest.(check bool)
+    (f ^ ": known workload") true
+    (Workloads.mem p.Finput.pi_workload);
+  let tweak = Finput.tweak_all meta.Finput.m_tweaks in
+  let case =
+    Finput.case_of_plan ~name:(Filename.remove_extension f) p
+  in
+  (let oc = Campaign.run_case ~tweak case in
+   match (meta.Finput.m_expect, oc.Campaign.oc_failure) with
+   | None, None -> ()
+   | None, Some fl -> Alcotest.failf "%s: %s" f (Campaign.failure_to_string fl)
+   | Some e, Some fl when String.equal e (Campaign.failure_kind fl) -> ()
+   | Some e, Some fl ->
+       Alcotest.failf "%s: expected %s, got %s" f e
+         (Campaign.failure_to_string fl)
+   | Some e, None -> Alcotest.failf "%s: expected %s, replayed clean" f e);
+  (* The determinism half: on a sharded engine the artifact must be a
+     function of (seed, shards) alone, never of the worker domain
+     count — replay the same case at domains 1 and 4 and hold the
+     dgc.chaos/1 documents to byte equality. *)
+  let sharded domains cfg =
+    { (tweak cfg) with Config.shards = 4; domains }
+  in
+  let doc domains =
+    Json.to_string (Campaign.artifact (Campaign.run_case ~tweak:(sharded domains) case))
+  in
+  Alcotest.(check string)
+    (f ^ ": domains 1/4 byte-identical artifact")
+    (doc 1) (doc 4)
+
+let replay_sched_case f (s : Finput.sched_case) (meta : Finput.meta) =
+  let sut =
+    match Sut.find s.Finput.si_sut with
+    | Some x -> x
+    | None -> Alcotest.failf "%s: unknown SUT %S" f s.Finput.si_sut
+  in
+  let run =
+    Explorer.run_schedule sut ~max_steps:s.Finput.si_max_steps
+      s.Finput.si_schedule
+  in
+  let expect =
+    match meta.Finput.m_expect with
+    | Some e -> e
+    | None -> Alcotest.failf "%s: schedule corpus files must pin \"expect\"" f
+  in
+  let needle = expect_needle f expect in
+  match run.Explorer.run_violation with
+  | Some (_, msgs) when List.exists (contains_sub ~sub:needle) msgs -> ()
+  | Some (_, msgs) ->
+      Alcotest.failf "%s: expected %S in violation, got: %s" f needle
+        (String.concat " | " msgs)
+  | None ->
+      Alcotest.failf "%s: schedule replayed clean, expected %s" f expect
+
 let test_corpus_replays_clean () =
   let dir = corpus_dir () in
   let files = corpus_files dir in
   Alcotest.(check bool) "corpus is non-empty" true (List.length files >= 7);
   List.iter
     (fun f ->
-      match corpus_case (Filename.concat dir f) with
-      | Plan_case (case, expect, tweak) -> (
-          Alcotest.(check bool)
-            (f ^ ": known workload") true
-            (Workloads.mem case.Campaign.cs_workload);
-          let oc = Campaign.run_case ~tweak case in
-          match (expect, oc.Campaign.oc_failure) with
-          | None, None -> ()
-          | None, Some fl ->
-              Alcotest.failf "%s: %s" f (Campaign.failure_to_string fl)
-          | Some e, Some fl when failure_matches e fl -> ()
-          | Some e, Some fl ->
-              Alcotest.failf "%s: expected %s, got %s" f e
-                (Campaign.failure_to_string fl)
-          | Some e, None -> Alcotest.failf "%s: expected %s, replayed clean" f e)
-      | Schedule_case { sc_sut; sc_schedule; sc_max_steps; sc_expect } -> (
-          let sut =
-            match Sut.find sc_sut with
-            | Some s -> s
-            | None -> Alcotest.failf "%s: unknown SUT %S" f sc_sut
-          in
-          let run =
-            Explorer.run_schedule sut ~max_steps:sc_max_steps sc_schedule
-          in
-          let needle = expect_needle f sc_expect in
-          match run.Explorer.run_violation with
-          | Some (_, msgs) when List.exists (contains_sub ~sub:needle) msgs ->
-              ()
-          | Some (_, msgs) ->
-              Alcotest.failf "%s: expected %S in violation, got: %s" f needle
-                (String.concat " | " msgs)
-          | None ->
-              Alcotest.failf "%s: schedule replayed clean, expected %s" f
-                sc_expect))
+      match Finput.load ~path:(Filename.concat dir f) with
+      | Error e -> Alcotest.failf "%s: %s" f e
+      | Ok (Finput.Plan_input p, meta) -> replay_plan_case f p meta
+      | Ok (Finput.Schedule_input s, meta) -> replay_sched_case f s meta)
     files
 
 let () =
